@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the computational substrates: the `O(nM)` backward
+//! DP (the paper's Section 5 complexity claim), aggregation, and the exact
+//! M-K distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use saturn_distrib::{mk_distance_to_uniform, WeightedDist};
+use saturn_graphseries::GraphSeries;
+use saturn_synth::TimeUniform;
+use saturn_trips::{occupancy_histogram_on, TargetSet, Timeline};
+
+/// DP cost vs n at fixed per-pair activity: the paper's O(nM) means cost per
+/// edge grows linearly with n (M itself grows with n² here, so total is
+/// ~n³ — the throughput metric below normalizes by n·M).
+fn bench_dp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_nm_scaling");
+    group.sample_size(10);
+    for n in [20u32, 40, 80] {
+        let stream = TimeUniform { nodes: n, links_per_pair: 6, span: 50_000, seed: 1 }
+            .generate();
+        let timeline = Timeline::aggregated(&stream, 2_000);
+        let work = (n as u64) * timeline.total_edges() as u64; // n·M units
+        group.throughput(Throughput::Elements(work));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &timeline, |b, t| {
+            b.iter(|| occupancy_histogram_on(t, &TargetSet::all(n)))
+        });
+    }
+    group.finish();
+}
+
+/// DP cost vs the number of windows K at fixed data: K only changes step
+/// bookkeeping, so cost should stay nearly flat.
+fn bench_dp_vs_k(c: &mut Criterion) {
+    let stream =
+        TimeUniform { nodes: 40, links_per_pair: 8, span: 100_000, seed: 2 }.generate();
+    let mut group = c.benchmark_group("dp_vs_k");
+    group.sample_size(10);
+    for k in [100u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let timeline = Timeline::aggregated(&stream, k);
+            b.iter(|| occupancy_histogram_on(&timeline, &TargetSet::all(40)))
+        });
+    }
+    group.finish();
+}
+
+/// Aggregation throughput (events/s) across window counts.
+fn bench_aggregation(c: &mut Criterion) {
+    let stream =
+        TimeUniform { nodes: 60, links_per_pair: 10, span: 100_000, seed: 3 }.generate();
+    let mut group = c.benchmark_group("aggregation");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for k in [10u64, 1_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| GraphSeries::aggregate(&stream, k))
+        });
+    }
+    group.finish();
+}
+
+/// Exact M-K distance vs support size (closed-form segment integration).
+fn bench_mk_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mk_distance");
+    for support in [100usize, 10_000, 100_000] {
+        let dist = WeightedDist::from_pairs(
+            (1..=support).map(|i| (i as f64 / support as f64, 1 + (i % 7) as u64)).collect(),
+        );
+        group.throughput(Throughput::Elements(support as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(support), &dist, |b, d| {
+            b.iter(|| mk_distance_to_uniform(d))
+        });
+    }
+    group.finish();
+}
+
+/// Exact-timeline (stream) trip enumeration, the Section 8 reference.
+fn bench_stream_trips(c: &mut Criterion) {
+    let stream =
+        TimeUniform { nodes: 40, links_per_pair: 10, span: 100_000, seed: 4 }.generate();
+    c.bench_function("stream_minimal_trips", |b| {
+        b.iter(|| {
+            saturn_trips::stream_minimal_trips(&stream, &TargetSet::all(40), true)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dp_scaling,
+    bench_dp_vs_k,
+    bench_aggregation,
+    bench_mk_distance,
+    bench_stream_trips
+);
+criterion_main!(benches);

@@ -1,0 +1,289 @@
+//! `saturn` — command-line saturation-scale analyzer for link streams.
+//!
+//! The paper's closing claim: "our method is fully automatic and does not
+//! require any parameter as input. Therefore, it can easily been
+//! incorporated into any automatic tool for analyzing dynamic networks."
+//! This binary is that tool.
+//!
+//! ```text
+//! saturn analyze <file> [--directed] [--points N] [--sample N] [--json] [--unit s|m|h|d]
+//! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
+//! saturn validate <file> [--directed] [--points N]
+//! saturn stats <file> [--directed]
+//! saturn help
+//! ```
+
+use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec};
+use saturn_linkstream::{io, Directedness, LinkStream};
+use saturn_synth::DatasetProfile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "synth" => cmd_synth(rest),
+        "validate" => cmd_validate(rest),
+        "stats" => cmd_stats(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("saturn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+saturn — saturation-scale analysis of link streams (CoNEXT 2015)
+
+USAGE:
+  saturn analyze <file>   detect the saturation scale γ of a trace
+      --directed          treat links as directed (default: undirected)
+      --points N          Δ-grid size (default 48)
+      --sample N          sample N destination nodes (default: exact, all nodes)
+      --unit s|m|h|d      display unit for Δ (ticks are seconds; default h)
+      --json              emit the full report as JSON
+  saturn validate <file>  information-loss curves (lost transitions, elongation)
+      --directed, --points N, --unit as above
+  saturn stats <file>     print stream statistics
+      --directed
+  saturn synth <name>     generate a dataset stand-in (irvine, facebook,
+                          enron, manufacturing) to stdout or --out FILE
+      --seed S            generation seed (default 1)
+      --scale F           shrink nodes/events by factor F in (0,1]
+  saturn help             this message
+
+input format: one event per line, `u v t` or KONECT `u v w t`; integer
+timestamps; lines starting with % or # are skipped.";
+
+#[derive(Debug)]
+struct Flags {
+    file: Option<String>,
+    directed: bool,
+    points: usize,
+    sample: Option<u32>,
+    json: bool,
+    unit: (f64, &'static str),
+    seed: u64,
+    scale: f64,
+    out: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        file: None,
+        directed: false,
+        points: 48,
+        sample: None,
+        json: false,
+        unit: (3600.0, "h"),
+        seed: 1,
+        scale: 1.0,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--directed" => f.directed = true,
+            "--json" => f.json = true,
+            "--points" => {
+                f.points = value("--points")?.parse().map_err(|e| format!("--points: {e}"))?
+            }
+            "--sample" => {
+                f.sample =
+                    Some(value("--sample")?.parse().map_err(|e| format!("--sample: {e}"))?)
+            }
+            "--seed" => f.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scale" => {
+                f.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--out" => f.out = Some(value("--out")?),
+            "--unit" => {
+                f.unit = match value("--unit")?.as_str() {
+                    "s" => (1.0, "s"),
+                    "m" => (60.0, "min"),
+                    "h" => (3600.0, "h"),
+                    "d" => (86400.0, "d"),
+                    u => return Err(format!("unknown unit `{u}` (use s|m|h|d)")),
+                }
+            }
+            other if !other.starts_with('-') && f.file.is_none() => {
+                f.file = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(f)
+}
+
+fn load(f: &Flags) -> Result<LinkStream, String> {
+    let file = f.file.as_deref().ok_or("missing input file")?;
+    let d = if f.directed { Directedness::Directed } else { Directedness::Undirected };
+    io::read_path(file, d).map_err(|e| format!("{file}: {e}"))
+}
+
+fn targets(f: &Flags) -> TargetSpec {
+    match f.sample {
+        Some(size) => TargetSpec::Sample { size, seed: f.seed },
+        None => TargetSpec::All,
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let stream = load(&f)?;
+    let report = OccupancyMethod::new()
+        .grid(SweepGrid::Geometric { points: f.points })
+        .targets(targets(&f))
+        .run(&stream);
+    if f.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text(f.unit.0, f.unit.1));
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let stream = load(&f)?;
+    let report = validation_sweep(
+        &stream,
+        &SweepGrid::Geometric { points: f.points },
+        targets(&f),
+        0,
+        1,
+        true,
+    );
+    if f.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+        return Ok(());
+    }
+    let (per, unit) = f.unit;
+    println!("{} shortest transitions, {} stream trips", report.reference_transitions, report.reference_trips);
+    println!("{:>14} {:>12} {:>12}", format!("Δ ({unit})"), "lost", "elongation");
+    for p in &report.points {
+        println!(
+            "{:>14.4} {:>12.4} {:>12.3}",
+            p.delta_ticks / per,
+            p.lost_transitions,
+            p.elongation.mean
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let stream = load(&f)?;
+    let s = stream.stats();
+    println!("nodes                {}", s.nodes);
+    println!("links                {}", s.links);
+    println!("distinct timestamps  {}", s.distinct_timestamps);
+    println!("period               [{}, {}] ({} ticks)", s.t_begin, s.t_end, s.span);
+    println!("links/node           {:.3}", s.mean_links_per_node);
+    println!("mean inter-contact   {:.1} ticks", s.mean_inter_contact);
+    println!("dropped self-loops   {}", stream.dropped_self_loops());
+    println!("dropped duplicates   {}", stream.dropped_duplicates());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<Flags, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let f = flags(&["trace.txt"]).unwrap();
+        assert_eq!(f.file.as_deref(), Some("trace.txt"));
+        assert!(!f.directed && !f.json);
+        assert_eq!(f.points, 48);
+        assert_eq!(f.unit.1, "h");
+        assert!(f.sample.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let f = flags(&[
+            "t.txt", "--directed", "--points", "12", "--sample", "30", "--json", "--unit",
+            "m", "--seed", "9", "--scale", "0.5", "--out", "x.txt",
+        ])
+        .unwrap();
+        assert!(f.directed && f.json);
+        assert_eq!(f.points, 12);
+        assert_eq!(f.sample, Some(30));
+        assert_eq!(f.unit, (60.0, "min"));
+        assert_eq!(f.seed, 9);
+        assert_eq!(f.scale, 0.5);
+        assert_eq!(f.out.as_deref(), Some("x.txt"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(flags(&["--points"]).unwrap_err().contains("--points"));
+        assert!(flags(&["--unit", "fortnights"]).unwrap_err().contains("fortnights"));
+        assert!(flags(&["--points", "abc"]).unwrap_err().contains("--points"));
+        assert!(flags(&["a.txt", "b.txt"]).unwrap_err().contains("unexpected"));
+        assert!(flags(&["--bogus"]).unwrap_err().contains("--bogus"));
+    }
+
+    #[test]
+    fn unit_table() {
+        for (name, per, label) in
+            [("s", 1.0, "s"), ("m", 60.0, "min"), ("h", 3600.0, "h"), ("d", 86400.0, "d")]
+        {
+            let f = flags(&["t", "--unit", name]).unwrap();
+            assert_eq!(f.unit, (per, label));
+        }
+    }
+
+    #[test]
+    fn missing_file_reported_by_load() {
+        let f = flags(&["--directed"]).unwrap();
+        assert!(load(&f).unwrap_err().contains("missing input file"));
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("synth needs a profile name")?.clone();
+    let f = parse_flags(&args[1..])?;
+    let profile = match name.as_str() {
+        "irvine" => DatasetProfile::irvine(),
+        "facebook" => DatasetProfile::facebook(),
+        "enron" => DatasetProfile::enron(),
+        "manufacturing" => DatasetProfile::manufacturing(),
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let profile = if f.scale < 1.0 { profile.scaled(f.scale) } else { profile };
+    let stream = profile.generate(f.seed);
+    match &f.out {
+        Some(path) => {
+            io::write_path(&stream, path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {} events to {path}", stream.len());
+        }
+        None => {
+            io::write_stream(&stream, std::io::stdout().lock())
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `saturn` binary.
+
+use std::process::Command;
+
+fn saturn(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_saturn"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp_trace() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("saturn-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("trace-{}.txt", std::process::id()));
+    let mut text = String::new();
+    for i in 0..300i64 {
+        text.push_str(&format!("n{} n{} {}\n", i % 6, (i + 1) % 6, i * 40));
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn help_and_unknown_commands() {
+    let out = saturn(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = saturn(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = saturn(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_reports_counts() {
+    let path = tmp_trace();
+    let out = saturn(&["stats", path.to_str().unwrap(), "--directed"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes                6"), "{text}");
+    assert!(text.contains("links                300"), "{text}");
+}
+
+#[test]
+fn analyze_finds_gamma_and_json_is_valid() {
+    let path = tmp_trace();
+    let out = saturn(&["analyze", path.to_str().unwrap(), "--points", "10", "--unit", "s"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("γ ="), "{text}");
+
+    let out = saturn(&["analyze", path.to_str().unwrap(), "--points", "10", "--json"]);
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    assert!(v["results"].as_array().unwrap().len() >= 5);
+}
+
+#[test]
+fn validate_prints_loss_table() {
+    let path = tmp_trace();
+    let out = saturn(&["validate", path.to_str().unwrap(), "--points", "8", "--unit", "s"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lost"), "{text}");
+    assert!(text.contains("elongation"), "{text}");
+}
+
+#[test]
+fn synth_writes_parseable_stream() {
+    let dir = std::env::temp_dir().join("saturn-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("synth-{}.txt", std::process::id()));
+    let out = saturn(&[
+        "synth",
+        "manufacturing",
+        "--scale",
+        "0.05",
+        "--seed",
+        "3",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // the generated file round-trips through analyze
+    let out = saturn(&["analyze", path.to_str().unwrap(), "--directed", "--points", "8"]);
+    assert!(out.status.success());
+
+    let out = saturn(&["synth", "atlantis"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = saturn(&["analyze", "/no/such/file.txt"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/no/such/file.txt"), "{err}");
+}

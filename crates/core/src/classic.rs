@@ -1,0 +1,93 @@
+//! Sweep of the classical graph-series parameters (Figure 2 / Section 3).
+//!
+//! The paper's motivating observation: density, connectedness and distance
+//! statistics all drift smoothly from one extreme to the other as `Δ` grows,
+//! exhibiting no qualitative change at any scale — which is why a dedicated
+//! method (the occupancy method) is needed. This sweep reproduces those
+//! curves.
+
+use crate::parallel::parallel_map;
+use crate::{SweepGrid, TargetSpec};
+use saturn_graphseries::{snapshot_means, SnapshotMeans};
+use saturn_linkstream::LinkStream;
+use saturn_trips::{distance_means, DistanceMeans};
+use serde::Serialize;
+
+/// The classical statistics of `G_Δ` at one scale.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ClassicPoint {
+    /// Window count `K`.
+    pub k: u64,
+    /// Window length `Δ` in ticks.
+    pub delta_ticks: f64,
+    /// Per-snapshot means: density, degree, non-isolated vertices, largest
+    /// connected component (Figure 2, top row).
+    pub snapshots: SnapshotMeans,
+    /// Temporal distance means: `d_time`, `d_hops`, `d_abstime` (Figure 2,
+    /// bottom row).
+    pub distances: DistanceMeans,
+}
+
+/// Sweeps the classical parameters over `grid`, in parallel.
+pub fn classic_sweep(
+    stream: &LinkStream,
+    grid: &SweepGrid,
+    targets: TargetSpec,
+    threads: usize,
+    delta_min: i64,
+) -> Vec<ClassicPoint> {
+    let target_set = targets.build(stream.node_count() as u32);
+    let ks = grid.k_values(stream, delta_min);
+    let mut points = parallel_map(&ks, threads, |&k| ClassicPoint {
+        k,
+        delta_ticks: stream.span() as f64 / k as f64,
+        snapshots: snapshot_means(stream, k),
+        distances: distance_means(stream, k, &target_set),
+    });
+    points.sort_unstable_by(|a, b| b.k.cmp(&a.k)); // Δ ascending
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> LinkStream {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 10);
+        for i in 0..200i64 {
+            b.add_indexed((i % 10) as u32, ((i * 3 + 1) % 10) as u32, i * 5);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn monotone_drifts_match_the_paper() {
+        let s = stream();
+        let pts = classic_sweep(&s, &SweepGrid::Geometric { points: 10 }, TargetSpec::All, 2, 1);
+        assert!(pts.len() >= 5);
+        let first = pts.first().unwrap(); // finest Δ
+        let last = pts.last().unwrap(); // Δ = T
+        assert_eq!(last.k, 1);
+        // density increases with Δ (Figure 2 top-left)
+        assert!(first.snapshots.mean_density < last.snapshots.mean_density);
+        // LCC increases with Δ (top-right)
+        assert!(
+            first.snapshots.mean_largest_component <= last.snapshots.mean_largest_component
+        );
+        // d_time (in steps) decreases with Δ (bottom-left: ~1/Δ power law)
+        assert!(first.distances.mean_dtime_steps > last.distances.mean_dtime_steps);
+        // d_hops decreases toward 1 at Δ = T (bottom-right)
+        assert!(last.distances.mean_dhops <= first.distances.mean_dhops);
+        assert!((last.distances.mean_dhops - 1.0).abs() < 1e-9);
+        // d_abstime at Δ = T equals T (single window: d_time = 1)
+        assert!((last.distances.mean_dabstime_ticks - s.span() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn points_are_delta_sorted() {
+        let s = stream();
+        let pts = classic_sweep(&s, &SweepGrid::Linear { points: 6 }, TargetSpec::All, 1, 1);
+        assert!(pts.windows(2).all(|w| w[0].delta_ticks < w[1].delta_ticks));
+    }
+}

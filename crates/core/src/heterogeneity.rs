@@ -1,0 +1,331 @@
+//! Heterogeneity-aware saturation analysis — the paper's second Section 9
+//! perspective.
+//!
+//! "One could enhance the method so that it is able to separate the high
+//! activity periods from the lower activity periods and to determine an
+//! appropriate aggregation scale for each of these parts independently.
+//! Then one could decide either to aggregate the whole link stream at the
+//! shortest aggregation scale detected [...] or to partition the period of
+//! study and aggregate each part with a different length of window."
+//!
+//! This module implements exactly that pipeline:
+//!
+//! 1. profile the activity over fixed-resolution bins,
+//! 2. classify bins high/low with 1-D two-means (Lloyd's algorithm),
+//! 3. merge adjacent same-class bins into segments,
+//! 4. run the occupancy method on each segment independently,
+//! 5. report both recommendations (global-min γ, or per-segment plan).
+
+use crate::{OccupancyMethod, SweepGrid};
+use saturn_linkstream::{LinkStream, Time};
+use serde::Serialize;
+
+/// Activity class of a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ActivityClass {
+    /// Above the two-means midpoint.
+    High,
+    /// Below the two-means midpoint.
+    Low,
+}
+
+/// One maximal run of same-class activity.
+#[derive(Clone, Debug, Serialize)]
+pub struct ActivitySegment {
+    /// Segment start (inclusive), ticks.
+    pub start: i64,
+    /// Segment end (inclusive), ticks.
+    pub end: i64,
+    /// Events inside the segment.
+    pub events: usize,
+    /// Mean activity in events per tick.
+    pub rate: f64,
+    /// High or low activity.
+    pub class: ActivityClass,
+    /// Saturation scale of the segment alone (ticks), when the segment held
+    /// enough events for the method to run.
+    pub gamma_ticks: Option<f64>,
+}
+
+/// Result of a heterogeneity-aware analysis.
+#[derive(Clone, Debug, Serialize)]
+pub struct HeterogeneityReport {
+    /// The segments, in time order.
+    pub segments: Vec<ActivitySegment>,
+    /// γ of the whole stream, for comparison.
+    pub whole_stream_gamma_ticks: f64,
+    /// The conservative recommendation: the smallest per-segment γ
+    /// ("aggregate the whole link stream at the shortest aggregation scale
+    /// detected, which is the one that better preserves the information").
+    pub min_segment_gamma_ticks: Option<f64>,
+}
+
+/// Configuration of the segmentation.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HeterogeneityConfig {
+    /// Number of profiling bins over the study period (resolution of the
+    /// segmentation).
+    pub bins: usize,
+    /// Grid density for the per-segment occupancy sweeps.
+    pub grid_points: usize,
+    /// Minimum events for a segment to be analyzed on its own.
+    pub min_segment_events: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for HeterogeneityConfig {
+    fn default() -> Self {
+        HeterogeneityConfig { bins: 64, grid_points: 24, min_segment_events: 50, threads: 0 }
+    }
+}
+
+/// 1-D two-means classification; returns per-value class and the final
+/// centers `(low, high)`. Deterministic: seeds at min/max.
+fn two_means(values: &[f64]) -> (Vec<ActivityClass>, (f64, f64)) {
+    let lo0 = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi0 = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (mut lo, mut hi) = (lo0, hi0);
+    let mut classes = vec![ActivityClass::Low; values.len()];
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        for (c, &v) in classes.iter_mut().zip(values) {
+            *c = if v > mid { ActivityClass::High } else { ActivityClass::Low };
+        }
+        let (mut sl, mut nl, mut sh, mut nh) = (0.0, 0usize, 0.0, 0usize);
+        for (c, &v) in classes.iter().zip(values) {
+            match c {
+                ActivityClass::Low => {
+                    sl += v;
+                    nl += 1;
+                }
+                ActivityClass::High => {
+                    sh += v;
+                    nh += 1;
+                }
+            }
+        }
+        let new_lo = if nl > 0 { sl / nl as f64 } else { lo };
+        let new_hi = if nh > 0 { sh / nh as f64 } else { hi };
+        if (new_lo - lo).abs() < 1e-12 && (new_hi - hi).abs() < 1e-12 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    (classes, (lo, hi))
+}
+
+/// Profiles activity and segments the study period into maximal high/low
+/// runs. Degenerate (uniform) streams come back as a single segment.
+pub fn segment_activity(stream: &LinkStream, bins: usize) -> Vec<ActivitySegment> {
+    assert!(bins >= 1, "need at least one bin");
+    let span = stream.span();
+    if span == 0 {
+        return vec![ActivitySegment {
+            start: stream.t_begin().ticks(),
+            end: stream.t_end().ticks(),
+            events: stream.len(),
+            rate: stream.len() as f64,
+            class: ActivityClass::High,
+            gamma_ticks: None,
+        }];
+    }
+    let bins = bins.min(span as usize).max(1);
+    let partition = saturn_linkstream::WindowPartition::new(
+        stream.t_begin(),
+        stream.t_end(),
+        bins as u64,
+    )
+    .expect("bins validated");
+    let mut counts = vec![0usize; bins];
+    for (w, links) in partition.window_slices(stream) {
+        counts[w as usize] = links.len();
+    }
+    let rates: Vec<f64> =
+        counts.iter().map(|&c| c as f64 / (span as f64 / bins as f64)).collect();
+    let (classes, _) = two_means(&rates);
+
+    // merge adjacent same-class bins
+    let mut segments: Vec<ActivitySegment> = Vec::new();
+    for (i, (&count, &class)) in counts.iter().zip(&classes).enumerate() {
+        let (lo, hi) = partition.window_bounds(i as u64);
+        let start = lo.ceil() as i64;
+        let end = (hi.floor() as i64).min(stream.t_end().ticks());
+        match segments.last_mut() {
+            Some(last) if last.class == class => {
+                last.end = end;
+                last.events += count;
+            }
+            _ => segments.push(ActivitySegment {
+                start,
+                end,
+                events: count,
+                rate: 0.0,
+                class,
+                gamma_ticks: None,
+            }),
+        }
+    }
+    for s in &mut segments {
+        let len = (s.end - s.start).max(1) as f64;
+        s.rate = s.events as f64 / len;
+    }
+    segments
+}
+
+/// Runs the full heterogeneity-aware pipeline.
+pub fn heterogeneous_analysis(
+    stream: &LinkStream,
+    config: HeterogeneityConfig,
+) -> HeterogeneityReport {
+    let mut segments = segment_activity(stream, config.bins);
+
+    let method = OccupancyMethod::new()
+        .grid(SweepGrid::Geometric { points: config.grid_points })
+        .threads(config.threads)
+        .refine(1, 6);
+
+    let whole = method
+        .clone()
+        .run(stream)
+        .gamma()
+        .map(|g| g.delta_ticks)
+        .unwrap_or(f64::NAN);
+
+    for seg in &mut segments {
+        if seg.events < config.min_segment_events {
+            continue;
+        }
+        let Some(sub) = stream.restrict(Time::new(seg.start), Time::new(seg.end)) else {
+            continue;
+        };
+        if sub.span() == 0 {
+            continue;
+        }
+        seg.gamma_ticks = method.clone().run(&sub).gamma().map(|g| g.delta_ticks);
+    }
+
+    let min_gamma = segments
+        .iter()
+        .filter_map(|s| s.gamma_ticks)
+        .fold(None, |acc: Option<f64>, g| Some(acc.map_or(g, |a| a.min(g))));
+
+    HeterogeneityReport {
+        segments,
+        whole_stream_gamma_ticks: whole,
+        min_segment_gamma_ticks: min_gamma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_synth::TwoMode;
+
+    fn two_mode_stream() -> LinkStream {
+        TwoMode {
+            nodes: 20,
+            alternations: 4,
+            span: 40_000,
+            links_high: 10,
+            links_low: 1,
+            low_share: 0.5,
+            seed: 21,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn two_means_separates_bimodal_values() {
+        let values = [1.0, 1.1, 0.9, 10.0, 9.8, 10.4, 1.05];
+        let (classes, (lo, hi)) = two_means(&values);
+        assert!(lo < 2.0 && hi > 9.0);
+        let highs: Vec<bool> =
+            classes.iter().map(|c| *c == ActivityClass::High).collect();
+        assert_eq!(highs, vec![false, false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn segmentation_recovers_two_mode_structure() {
+        let s = two_mode_stream();
+        let segments = segment_activity(&s, 40);
+        // 4 alternations of high+low => ~8 segments (boundary bins may merge)
+        assert!(
+            (4..=12).contains(&segments.len()),
+            "found {} segments",
+            segments.len()
+        );
+        // classes alternate
+        for pair in segments.windows(2) {
+            assert_ne!(pair[0].class, pair[1].class, "adjacent segments merged");
+        }
+        // high segments have higher rates
+        let hi_rate: f64 = segments
+            .iter()
+            .filter(|s| s.class == ActivityClass::High)
+            .map(|s| s.rate)
+            .sum::<f64>();
+        let lo_rate: f64 = segments
+            .iter()
+            .filter(|s| s.class == ActivityClass::Low)
+            .map(|s| s.rate)
+            .sum::<f64>();
+        assert!(hi_rate > lo_rate);
+    }
+
+    #[test]
+    fn uniform_stream_is_one_segment_class() {
+        let s = saturn_synth::TimeUniform { nodes: 10, links_per_pair: 10, span: 10_000, seed: 2 }
+            .generate();
+        let segments = segment_activity(&s, 20);
+        // two-means on near-uniform rates: segments may exist but rates are close
+        let rates: Vec<f64> = segments.iter().map(|s| s.rate).collect();
+        let max = rates.iter().copied().fold(f64::MIN, f64::max);
+        let min = rates.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max / min.max(1e-12) < 5.0, "uniform stream splits too sharply: {rates:?}");
+    }
+
+    #[test]
+    fn per_segment_gammas_reflect_their_mode() {
+        let s = two_mode_stream();
+        let report = heterogeneous_analysis(
+            &s,
+            HeterogeneityConfig { bins: 40, grid_points: 14, min_segment_events: 30, threads: 2 },
+        );
+        let high_gammas: Vec<f64> = report
+            .segments
+            .iter()
+            .filter(|s| s.class == ActivityClass::High)
+            .filter_map(|s| s.gamma_ticks)
+            .collect();
+        let low_gammas: Vec<f64> = report
+            .segments
+            .iter()
+            .filter(|s| s.class == ActivityClass::Low)
+            .filter_map(|s| s.gamma_ticks)
+            .collect();
+        assert!(!high_gammas.is_empty());
+        if !low_gammas.is_empty() {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(
+                mean(&high_gammas) < mean(&low_gammas),
+                "high-activity segments must have smaller γ: {high_gammas:?} vs {low_gammas:?}"
+            );
+        }
+        // the conservative recommendation is no larger than the whole-stream γ
+        let min = report.min_segment_gamma_ticks.expect("segments analyzed");
+        assert!(min <= report.whole_stream_gamma_ticks * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn zero_span_stream_single_segment() {
+        let mut b = saturn_linkstream::LinkStreamBuilder::new(
+            saturn_linkstream::Directedness::Undirected,
+        );
+        b.add("a", "b", 5);
+        let s = b.build().unwrap();
+        let segments = segment_activity(&s, 16);
+        assert_eq!(segments.len(), 1);
+    }
+}

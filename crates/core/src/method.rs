@@ -1,0 +1,387 @@
+//! The occupancy method driver (Section 4 of the paper).
+
+use crate::parallel::parallel_map;
+use crate::report::OccupancyReport;
+use crate::SweepGrid;
+use saturn_distrib::{SelectionMetric, WeightedDist};
+use saturn_linkstream::LinkStream;
+use saturn_trips::{occupancy_histogram, TargetSet};
+use serde::{Deserialize, Serialize};
+
+/// Slot counts at which the Shannon-entropy score is always evaluated
+/// (the paper discusses k ∈ {5, 10, 20, 100}).
+pub const SHANNON_SLOTS: [usize; 4] = [5, 10, 20, 100];
+
+/// How destinations are chosen for the trip computations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetSpec {
+    /// Every node is a destination — the paper's exact method,
+    /// `O(n²)` memory.
+    All,
+    /// A deterministic sample of destinations — bounds memory to
+    /// `O(n · size)` for very large networks; the occupancy distribution is
+    /// estimated over trips toward the sampled destinations.
+    Sample {
+        /// Number of destination nodes.
+        size: u32,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+impl TargetSpec {
+    /// Builds the concrete target set for a stream with `n` nodes.
+    pub fn build(&self, n: u32) -> TargetSet {
+        match *self {
+            TargetSpec::All => TargetSet::all(n),
+            TargetSpec::Sample { size, seed } => TargetSet::sample(n, size, seed),
+        }
+    }
+}
+
+impl Default for TargetSpec {
+    fn default() -> Self {
+        TargetSpec::All
+    }
+}
+
+/// Whether per-scale occupancy distributions are retained in the report
+/// (needed to plot the ICDs of Figures 3, 4 and 7; costs memory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KeepPolicy {
+    /// Drop distributions, keep only their scores (the default).
+    #[default]
+    ScoresOnly,
+    /// Keep the full distribution of every swept scale.
+    All,
+}
+
+/// All Section 7 uniformity scores of one occupancy distribution, computed
+/// together (each is cheap once the distribution is materialized).
+#[derive(Clone, Debug, Serialize)]
+pub struct UniformityScores {
+    /// M-K proximity `1/2 - dist_MK` (the paper's reference method).
+    pub mk_proximity: f64,
+    /// Weighted standard deviation.
+    pub std_dev: f64,
+    /// Variation coefficient `σ/µ`.
+    pub variation_coefficient: f64,
+    /// Shannon entropy at each slot count of [`SHANNON_SLOTS`].
+    pub shannon: Vec<(usize, f64)>,
+    /// Cumulative residual entropy.
+    pub cre: f64,
+}
+
+impl UniformityScores {
+    /// Scores `dist` under every metric.
+    pub fn of(dist: &WeightedDist) -> Self {
+        UniformityScores {
+            mk_proximity: saturn_distrib::mk_proximity(dist),
+            std_dev: saturn_distrib::std_dev(dist),
+            variation_coefficient: saturn_distrib::variation_coefficient(dist),
+            shannon: SHANNON_SLOTS
+                .iter()
+                .map(|&s| (s, saturn_distrib::shannon_entropy(dist, s)))
+                .collect(),
+            cre: saturn_distrib::cumulative_residual_entropy(dist),
+        }
+    }
+
+    /// The score under `metric`. Shannon slot counts outside
+    /// [`SHANNON_SLOTS`] return `NaN`.
+    pub fn get(&self, metric: SelectionMetric) -> f64 {
+        match metric {
+            SelectionMetric::MkProximity => self.mk_proximity,
+            SelectionMetric::StdDev => self.std_dev,
+            SelectionMetric::VariationCoefficient => self.variation_coefficient,
+            SelectionMetric::ShannonEntropy { slots } => self
+                .shannon
+                .iter()
+                .find(|&&(s, _)| s == slots)
+                .map(|&(_, v)| v)
+                .unwrap_or(f64::NAN),
+            SelectionMetric::Cre => self.cre,
+        }
+    }
+}
+
+/// The analysis of one aggregation scale.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeltaResult {
+    /// Window count `K`.
+    pub k: u64,
+    /// Window length `Δ = T/K` in ticks.
+    pub delta_ticks: f64,
+    /// Number of minimal trips of `G_Δ`.
+    pub trips: u64,
+    /// Number of distinct occupancy rates.
+    pub distinct_rates: usize,
+    /// Mean occupancy rate.
+    pub mean_rate: f64,
+    /// Fraction of trips with occupancy rate exactly 1.
+    pub fraction_at_one: f64,
+    /// All uniformity scores.
+    pub scores: UniformityScores,
+    /// The full distribution, under [`KeepPolicy::All`].
+    pub distribution: Option<WeightedDist>,
+}
+
+/// Configurable driver for the occupancy method.
+///
+/// The defaults reproduce the paper's setting: exact all-pairs trips,
+/// geometric `Δ` grid from the tick resolution to `T`, M-K proximity
+/// selection, local refinement around the coarse maximum, and all available
+/// cores.
+#[derive(Clone, Debug, Serialize)]
+pub struct OccupancyMethod {
+    grid: SweepGrid,
+    metric: SelectionMetric,
+    targets: TargetSpec,
+    threads: usize,
+    delta_min: i64,
+    keep: KeepPolicy,
+    refine_rounds: usize,
+    refine_points: usize,
+}
+
+impl Default for OccupancyMethod {
+    fn default() -> Self {
+        OccupancyMethod {
+            grid: SweepGrid::default(),
+            metric: SelectionMetric::MkProximity,
+            targets: TargetSpec::All,
+            threads: 0,
+            delta_min: 1,
+            keep: KeepPolicy::ScoresOnly,
+            refine_rounds: 2,
+            refine_points: 8,
+        }
+    }
+}
+
+impl OccupancyMethod {
+    /// Creates a driver with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the `Δ` grid strategy.
+    pub fn grid(mut self, grid: SweepGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Sets the selection metric (default: M-K proximity).
+    pub fn metric(mut self, metric: SelectionMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the destination policy (default: all nodes).
+    pub fn targets(mut self, targets: TargetSpec) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// Sets the worker thread count (0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the smallest aggregation period in ticks (default 1, the
+    /// resolution of integer timestamps).
+    pub fn delta_min(mut self, ticks: i64) -> Self {
+        self.delta_min = ticks.max(1);
+        self
+    }
+
+    /// Sets whether full distributions are kept in the report.
+    pub fn keep(mut self, keep: KeepPolicy) -> Self {
+        self.keep = keep;
+        self
+    }
+
+    /// Configures local refinement around the coarse-grid maximum:
+    /// `rounds` passes inserting up to `points` scales between the current
+    /// maximum's neighbors. `rounds = 0` disables refinement.
+    pub fn refine(mut self, rounds: usize, points: usize) -> Self {
+        self.refine_rounds = rounds;
+        self.refine_points = points;
+        self
+    }
+
+    /// Analyzes one scale.
+    fn eval(&self, stream: &LinkStream, targets: &TargetSet, k: u64) -> DeltaResult {
+        let hist = occupancy_histogram(stream, k, targets);
+        let dist = WeightedDist::from_pairs(hist.sorted_rates());
+        DeltaResult {
+            k,
+            delta_ticks: stream.span() as f64 / k as f64,
+            trips: hist.total_trips(),
+            distinct_rates: hist.distinct_rates(),
+            mean_rate: hist.mean(),
+            fraction_at_one: hist.fraction_at_one(),
+            scores: UniformityScores::of(&dist),
+            distribution: matches!(self.keep, KeepPolicy::All).then_some(dist),
+        }
+    }
+
+    /// Runs the method: sweeps the grid, optionally refines around the
+    /// maximum, and returns the full report. The saturation scale is
+    /// [`OccupancyReport::gamma`].
+    pub fn run(&self, stream: &LinkStream) -> OccupancyReport {
+        let targets = self.targets.build(stream.node_count() as u32);
+        let mut ks = self.grid.k_values(stream, self.delta_min);
+
+        let mut results: Vec<DeltaResult> =
+            parallel_map(&ks, self.threads, |&k| self.eval(stream, &targets, k));
+
+        for _ in 0..self.refine_rounds {
+            // current argmax under the selection metric
+            let Some(best_pos) = argmax(&results, self.metric) else { break };
+            let best_k = results[best_pos].k;
+            // neighbors of best_k in the sorted (descending) k list
+            let pos = ks.binary_search_by(|a| best_k.cmp(a)).unwrap_or_else(|p| p);
+            let k_above = if pos > 0 { ks[pos - 1] } else { best_k }; // finer (larger K)
+            let k_below = ks.get(pos + 1).copied().unwrap_or(best_k); // coarser
+            let mut extra = Vec::new();
+            if best_k < k_above {
+                extra.extend(SweepGrid::refine_between(best_k, k_above, self.refine_points));
+            }
+            if k_below < best_k {
+                extra.extend(SweepGrid::refine_between(k_below, best_k, self.refine_points));
+            }
+            extra.retain(|k| !ks.contains(k));
+            extra.sort_unstable_by(|a, b| b.cmp(a));
+            extra.dedup();
+            if extra.is_empty() {
+                break;
+            }
+            let new_results: Vec<DeltaResult> =
+                parallel_map(&extra, self.threads, |&k| self.eval(stream, &targets, k));
+            results.extend(new_results);
+            ks.extend(extra);
+            ks.sort_unstable_by(|a, b| b.cmp(a));
+        }
+
+        // Δ ascending (K descending)
+        results.sort_unstable_by(|a, b| b.k.cmp(&a.k));
+        OccupancyReport::new(self.metric, results)
+    }
+}
+
+/// Index of the maximum finite score under `metric`, scanning `Δ` ascending
+/// (ties resolved toward the smaller `Δ`, the more conservative scale).
+pub(crate) fn argmax(results: &[DeltaResult], metric: SelectionMetric) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut order: Vec<usize> = (0..results.len()).collect();
+    order.sort_unstable_by(|&a, &b| results[b].k.cmp(&results[a].k)); // Δ ascending
+    for i in order {
+        let s = results[i].scores.get(metric);
+        if s.is_finite() && best.map_or(true, |(_, b)| s > b) {
+            best = Some((i, s));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    /// A stream with one link every `gap` ticks along a ring.
+    fn ring_stream(n: u32, links: usize, gap: i64) -> LinkStream {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, n);
+        for i in 0..links {
+            let u = (i as u32) % n;
+            b.add_indexed(u, (u + 1) % n, i as i64 * gap);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_produces_sorted_results_and_gamma() {
+        let s = ring_stream(8, 80, 7);
+        let report = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 16 })
+            .threads(2)
+            .refine(1, 4)
+            .run(&s);
+        let deltas: Vec<f64> = report.results().iter().map(|r| r.delta_ticks).collect();
+        assert!(deltas.windows(2).all(|w| w[0] < w[1]), "Δ ascending");
+        let gamma = report.gamma().expect("gamma exists");
+        assert!(gamma.delta_ticks >= 1.0);
+        assert!(gamma.score.is_finite());
+        // gamma is the max of the curve
+        for r in report.results() {
+            assert!(r.scores.mk_proximity <= gamma.score + 1e-12);
+        }
+    }
+
+    #[test]
+    fn extreme_scales_have_extreme_distributions() {
+        let s = ring_stream(6, 120, 13);
+        let report = OccupancyMethod::new()
+            .grid(SweepGrid::ExplicitK(vec![1, s.span() as u64]))
+            .threads(1)
+            .refine(0, 0)
+            .keep(KeepPolicy::All)
+            .run(&s);
+        let results = report.results();
+        // Δ = T (K = 1): every trip has rate 1
+        let coarse = results.last().unwrap();
+        assert_eq!(coarse.k, 1);
+        assert_eq!(coarse.fraction_at_one, 1.0);
+        // Δ = 1 tick: low occupancy dominates; mean rate well below 1
+        let fine = results.first().unwrap();
+        assert!(fine.mean_rate < coarse.mean_rate);
+        // both kept distributions present
+        assert!(fine.distribution.is_some() && coarse.distribution.is_some());
+    }
+
+    #[test]
+    fn sampled_targets_run() {
+        let s = ring_stream(10, 60, 11);
+        let report = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 8 })
+            .targets(TargetSpec::Sample { size: 4, seed: 7 })
+            .threads(1)
+            .refine(0, 0)
+            .run(&s);
+        assert!(report.gamma().is_some());
+        assert!(report.results().iter().all(|r| r.trips > 0));
+    }
+
+    #[test]
+    fn refinement_adds_scales_around_maximum() {
+        let s = ring_stream(8, 80, 7);
+        let coarse = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 8 })
+            .threads(1)
+            .refine(0, 0)
+            .run(&s);
+        let refined = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 8 })
+            .threads(1)
+            .refine(2, 6)
+            .run(&s);
+        assert!(refined.results().len() > coarse.results().len());
+        // refinement can only improve (or keep) the best score
+        assert!(refined.gamma().unwrap().score >= coarse.gamma().unwrap().score - 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let s = ring_stream(7, 70, 5);
+        let a = OccupancyMethod::new().threads(1).grid(SweepGrid::Geometric { points: 12 }).run(&s);
+        let b = OccupancyMethod::new().threads(4).grid(SweepGrid::Geometric { points: 12 }).run(&s);
+        assert_eq!(a.results().len(), b.results().len());
+        for (x, y) in a.results().iter().zip(b.results()) {
+            assert_eq!(x.k, y.k);
+            assert_eq!(x.trips, y.trips);
+            assert_eq!(x.scores.mk_proximity.to_bits(), y.scores.mk_proximity.to_bits());
+        }
+    }
+}

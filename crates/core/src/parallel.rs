@@ -1,0 +1,103 @@
+//! Work-stealing parallel map over sweep items.
+//!
+//! Each aggregation scale is analyzed independently, so the sweep is
+//! embarrassingly parallel. The fine scales carry most of the work (the
+//! paper: "the most costly computations are the ones made for small values of
+//! Δ, as M is then large"), so items are dispatched dynamically through a
+//! shared atomic cursor rather than pre-partitioned.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using `threads` worker threads (0 = all
+/// available cores, capped by the item count). Results are returned in input
+/// order. Panics in workers propagate.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut pairs = results.into_inner();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Resolves a requested thread count: 0 means "all available cores".
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let t = if requested == 0 { avail } else { requested };
+    t.clamp(1, items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_map(&items, 0, |&x| x);
+        assert_eq!(out.len(), 100);
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(16, 4), 4); // capped by items
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        let out = parallel_map(&items, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // heavier work for early items; just checks completion & order
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(64 - x) * 1000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -1,0 +1,181 @@
+//! Reports of an occupancy-method run.
+
+use crate::method::{argmax, DeltaResult};
+use saturn_distrib::SelectionMetric;
+use serde::Serialize;
+
+/// The detected saturation scale.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GammaResult {
+    /// Window count `K` at the maximum.
+    pub k: u64,
+    /// The saturation scale `γ = T/K`, in ticks.
+    pub delta_ticks: f64,
+    /// Score of the selected distribution under the report's metric.
+    pub score: f64,
+}
+
+/// Full result of an occupancy-method sweep: one [`DeltaResult`] per scale,
+/// `Δ` ascending, plus the selected saturation scale.
+#[derive(Clone, Debug, Serialize)]
+pub struct OccupancyReport {
+    metric: SelectionMetric,
+    results: Vec<DeltaResult>,
+}
+
+impl OccupancyReport {
+    /// Assembles a report from per-scale results (must be sorted by
+    /// ascending `Δ`).
+    pub(crate) fn new(metric: SelectionMetric, results: Vec<DeltaResult>) -> Self {
+        debug_assert!(results.windows(2).all(|w| w[0].k >= w[1].k));
+        OccupancyReport { metric, results }
+    }
+
+    /// The metric the sweep was configured with.
+    pub fn metric(&self) -> SelectionMetric {
+        self.metric
+    }
+
+    /// Per-scale results, `Δ` ascending.
+    pub fn results(&self) -> &[DeltaResult] {
+        &self.results
+    }
+
+    /// The saturation scale under the configured metric, if any scale
+    /// produced a finite score.
+    pub fn gamma(&self) -> Option<GammaResult> {
+        self.gamma_for(self.metric)
+    }
+
+    /// The scale that `metric` would select on the same sweep (Section 7
+    /// comparisons come for free since all scores are computed per scale).
+    pub fn gamma_for(&self, metric: SelectionMetric) -> Option<GammaResult> {
+        argmax(&self.results, metric).map(|i| {
+            let r = &self.results[i];
+            GammaResult { k: r.k, delta_ticks: r.delta_ticks, score: r.scores.get(metric) }
+        })
+    }
+
+    /// `(Δ_ticks, score)` points of the selection curve under the
+    /// configured metric — the curves of Figures 3 (right) and 5.
+    pub fn score_curve(&self) -> Vec<(f64, f64)> {
+        self.curve_for(self.metric)
+    }
+
+    /// `(Δ_ticks, score)` points under any metric.
+    pub fn curve_for(&self, metric: SelectionMetric) -> Vec<(f64, f64)> {
+        self.results.iter().map(|r| (r.delta_ticks, r.scores.get(metric))).collect()
+    }
+
+    /// JSON serialization of the whole report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Compact human-readable table. `ticks_per_unit` converts tick counts
+    /// into the display unit named `unit` (e.g. 3600.0, "h" for 1-second
+    /// ticks shown in hours).
+    pub fn render_text(&self, ticks_per_unit: f64, unit: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let gamma = self.gamma();
+        writeln!(out, "occupancy method — metric: {}", self.metric).unwrap();
+        writeln!(
+            out,
+            "{:>14} {:>10} {:>12} {:>10} {:>10}  ",
+            format!("Δ ({unit})"),
+            "K",
+            "trips",
+            "score",
+            "P[occ=1]"
+        )
+        .unwrap();
+        for r in &self.results {
+            let mark = match gamma {
+                Some(g) if g.k == r.k => "  <= γ (saturation scale)",
+                _ => "",
+            };
+            writeln!(
+                out,
+                "{:>14.4} {:>10} {:>12} {:>10.4} {:>10.4}{mark}",
+                r.delta_ticks / ticks_per_unit,
+                r.k,
+                r.trips,
+                r.scores.get(self.metric),
+                r.fraction_at_one,
+            )
+            .unwrap();
+        }
+        if let Some(g) = gamma {
+            writeln!(
+                out,
+                "γ = {:.4} {unit} (K = {}, score = {:.4})",
+                g.delta_ticks / ticks_per_unit,
+                g.k,
+                g.score
+            )
+            .unwrap();
+        } else {
+            writeln!(out, "no finite score — degenerate stream").unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{KeepPolicy, OccupancyMethod};
+    use crate::SweepGrid;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> saturn_linkstream::LinkStream {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 6);
+        for i in 0..48i64 {
+            b.add_indexed((i % 6) as u32, ((i + 2) % 6) as u32, i * 3);
+        }
+        b.build().unwrap()
+    }
+
+    fn report() -> OccupancyReport {
+        OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 10 })
+            .threads(1)
+            .refine(0, 0)
+            .keep(KeepPolicy::ScoresOnly)
+            .run(&stream())
+    }
+
+    #[test]
+    fn json_round_trip_is_valid_json() {
+        let r = report();
+        let json = r.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.get("results").unwrap().as_array().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn text_rendering_mentions_gamma() {
+        let r = report();
+        let text = r.render_text(1.0, "ticks");
+        assert!(text.contains("saturation scale"));
+        assert!(text.contains("γ ="));
+    }
+
+    #[test]
+    fn gamma_for_all_metrics() {
+        let r = report();
+        for metric in SelectionMetric::all() {
+            let g = r.gamma_for(metric);
+            assert!(g.is_some(), "metric {metric} selected nothing");
+        }
+    }
+
+    #[test]
+    fn curves_have_one_point_per_scale() {
+        let r = report();
+        assert_eq!(r.score_curve().len(), r.results().len());
+        let c = r.curve_for(SelectionMetric::Cre);
+        assert!(c.windows(2).all(|w| w[0].0 < w[1].0), "Δ ascending");
+    }
+}

@@ -1,0 +1,141 @@
+//! Comparison of the five selection methods (Section 7, Figure 7).
+//!
+//! All uniformity scores are computed for every swept scale, so comparing
+//! which `Δ` each method selects costs nothing beyond one sweep. The paper's
+//! finding on Irvine: M-K, standard deviation, Shannon(10) and CRE agree to
+//! within a few hours, while the variation coefficient degenerates to
+//! (almost) no aggregation.
+
+use crate::report::{GammaResult, OccupancyReport};
+use crate::{KeepPolicy, OccupancyMethod, SweepGrid, TargetSpec};
+use saturn_distrib::SelectionMetric;
+use saturn_linkstream::LinkStream;
+use serde::Serialize;
+
+/// The scale each selection method picks, plus the underlying sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct SelectionComparison {
+    /// `(metric, selected scale)` for every Section 7 method.
+    pub gammas: Vec<(SelectionMetric, Option<GammaResult>)>,
+    /// The sweep all methods were evaluated on.
+    pub report: OccupancyReport,
+}
+
+impl SelectionComparison {
+    /// `(Δ_ticks, score/max_score)` — the normalized curves of Figure 7
+    /// (right). Returns an empty vector if the metric never scored finite.
+    pub fn normalized_curve(&self, metric: SelectionMetric) -> Vec<(f64, f64)> {
+        let curve = self.report.curve_for(metric);
+        let max = curve.iter().map(|&(_, s)| s).filter(|s| s.is_finite()).fold(f64::MIN, f64::max);
+        if !(max > 0.0) {
+            return Vec::new();
+        }
+        curve.into_iter().map(|(d, s)| (d, s / max)).collect()
+    }
+}
+
+/// Runs one sweep and reports the scale selected by each method.
+pub fn compare_selection_methods(
+    stream: &LinkStream,
+    grid: SweepGrid,
+    targets: TargetSpec,
+    threads: usize,
+    keep: KeepPolicy,
+) -> SelectionComparison {
+    let report = OccupancyMethod::new()
+        .grid(grid)
+        .targets(targets)
+        .threads(threads)
+        .keep(keep)
+        .run(stream);
+    let metrics = [
+        SelectionMetric::MkProximity,
+        SelectionMetric::StdDev,
+        SelectionMetric::VariationCoefficient,
+        SelectionMetric::ShannonEntropy { slots: 5 },
+        SelectionMetric::ShannonEntropy { slots: 10 },
+        SelectionMetric::ShannonEntropy { slots: 20 },
+        SelectionMetric::ShannonEntropy { slots: 100 },
+        SelectionMetric::Cre,
+    ];
+    let gammas = metrics.iter().map(|&m| (m, report.gamma_for(m))).collect();
+    SelectionComparison { gammas, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> LinkStream {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 10);
+        for i in 0..300i64 {
+            b.add_indexed((i % 10) as u32, ((i * 7 + 3) % 10) as u32, i * 11 + (i % 5));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_method_selects_something() {
+        let cmp = compare_selection_methods(
+            &stream(),
+            SweepGrid::Geometric { points: 12 },
+            TargetSpec::All,
+            2,
+            KeepPolicy::ScoresOnly,
+        );
+        assert_eq!(cmp.gammas.len(), 8);
+        for (metric, gamma) in &cmp.gammas {
+            assert!(gamma.is_some(), "{metric} selected nothing");
+        }
+    }
+
+    #[test]
+    fn reasonable_methods_roughly_agree() {
+        // M-K, std-dev, Shannon(10) and CRE should land within a factor ~8
+        // of each other on a well-behaved stream (the paper: 14.5h–18.7h on
+        // Irvine); the variation coefficient is excluded (documented
+        // failure).
+        let cmp = compare_selection_methods(
+            &stream(),
+            SweepGrid::Geometric { points: 16 },
+            TargetSpec::All,
+            2,
+            KeepPolicy::ScoresOnly,
+        );
+        let get = |m: SelectionMetric| {
+            cmp.gammas
+                .iter()
+                .find(|(mm, _)| *mm == m)
+                .and_then(|(_, g)| *g)
+                .map(|g| g.delta_ticks)
+                .unwrap()
+        };
+        let mk = get(SelectionMetric::MkProximity);
+        for m in [
+            SelectionMetric::StdDev,
+            SelectionMetric::ShannonEntropy { slots: 10 },
+            SelectionMetric::Cre,
+        ] {
+            let d = get(m);
+            let ratio = if d > mk { d / mk } else { mk / d };
+            assert!(ratio <= 8.0, "{m}: {d} vs M-K {mk} (ratio {ratio})");
+        }
+    }
+
+    #[test]
+    fn normalized_curves_peak_at_one() {
+        let cmp = compare_selection_methods(
+            &stream(),
+            SweepGrid::Geometric { points: 10 },
+            TargetSpec::All,
+            1,
+            KeepPolicy::ScoresOnly,
+        );
+        let c = cmp.normalized_curve(SelectionMetric::MkProximity);
+        assert!(!c.is_empty());
+        let max = c.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(c.iter().all(|&(_, y)| y <= 1.0 + 1e-12));
+    }
+}

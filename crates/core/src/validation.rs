@@ -1,0 +1,141 @@
+//! Information-loss validation sweeps (Section 8, Figure 8).
+//!
+//! Two direct measures of what aggregation destroys:
+//!
+//! * **lost shortest transitions** — the fraction of two-hop minimal trips of
+//!   `L` whose hops collapse into a single window of `G_Δ` (their order, and
+//!   hence the transition, is erased);
+//! * **mean elongation factor** — how much slower the minimal trips of `G_Δ`
+//!   are than the fastest corresponding trips of `L`.
+//!
+//! Both stay flat over several orders of magnitude of `Δ` and take off
+//! around the saturation scale, validating the occupancy method's choice.
+
+use crate::parallel::parallel_map;
+use crate::{SweepGrid, TargetSpec};
+use saturn_linkstream::LinkStream;
+use saturn_trips::{
+    elongation_stats, lost_transition_fraction, stream_minimal_trips, ElongationStats,
+};
+use serde::Serialize;
+
+/// Loss measures at one scale.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ValidationPoint {
+    /// Window count `K`.
+    pub k: u64,
+    /// Window length `Δ` in ticks.
+    pub delta_ticks: f64,
+    /// Fraction of shortest transitions lost (Figure 8, left).
+    pub lost_transitions: f64,
+    /// Elongation statistics (Figure 8, right).
+    pub elongation: ElongationStats,
+}
+
+/// Result of a validation sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct ValidationReport {
+    /// Per-scale measures, `Δ` ascending.
+    pub points: Vec<ValidationPoint>,
+    /// Number of minimal trips of the original stream (the elongation
+    /// reference).
+    pub reference_trips: u64,
+    /// Number of shortest transitions (weighted) of the original stream.
+    pub reference_transitions: u64,
+}
+
+/// Sweeps both loss measures over `grid`.
+///
+/// `weighted_transitions` counts each two-hop trip with its number of middle
+/// nodes (the exact multiset of Definition 6).
+pub fn validation_sweep(
+    stream: &LinkStream,
+    grid: &SweepGrid,
+    targets: TargetSpec,
+    threads: usize,
+    delta_min: i64,
+    weighted_transitions: bool,
+) -> ValidationReport {
+    let target_set = targets.build(stream.node_count() as u32);
+    let reference = stream_minimal_trips(stream, &target_set, weighted_transitions);
+    let ks = grid.k_values(stream, delta_min);
+    let mut points = parallel_map(&ks, threads, |&k| {
+        let partition = stream.partition(k).expect("grid yields valid k");
+        ValidationPoint {
+            k,
+            delta_ticks: partition.delta_ticks(),
+            lost_transitions: lost_transition_fraction(&reference.transitions, &partition),
+            elongation: elongation_stats(stream, &reference, k, &target_set),
+        }
+    });
+    points.sort_unstable_by(|a, b| b.k.cmp(&a.k));
+    ValidationReport {
+        points,
+        reference_trips: reference.total_trips(),
+        reference_transitions: reference.transitions.total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> LinkStream {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 8);
+        // chain-y activity with enough transitions
+        for i in 0..160i64 {
+            b.add_indexed((i % 8) as u32, ((i + 1) % 8) as u32, i * 7 + (i % 3));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loss_is_monotone_in_delta_extremes() {
+        let s = stream();
+        let report = validation_sweep(
+            &s,
+            &SweepGrid::Geometric { points: 10 },
+            TargetSpec::All,
+            2,
+            1,
+            true,
+        );
+        assert!(report.reference_trips > 0);
+        assert!(report.reference_transitions > 0);
+        let first = report.points.first().unwrap();
+        let last = report.points.last().unwrap();
+        // finest scale: every timestamp its own window (almost) — low loss
+        assert!(first.lost_transitions <= 0.2, "fine loss {}", first.lost_transitions);
+        // Δ = T: everything collapses — total loss
+        assert_eq!(last.k, 1);
+        assert!((last.lost_transitions - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elongation_starts_near_one() {
+        let s = stream();
+        let report = validation_sweep(
+            &s,
+            &SweepGrid::Geometric { points: 8 },
+            TargetSpec::All,
+            1,
+            1,
+            false,
+        );
+        let fine = report.points.first().unwrap();
+        if fine.elongation.count > 0 {
+            assert!(
+                (fine.elongation.mean - 1.0).abs() < 0.5,
+                "fine-scale elongation should be near 1, got {}",
+                fine.elongation.mean
+            );
+        }
+        // every finite elongation mean is >= 1
+        for p in &report.points {
+            if p.elongation.count > 0 {
+                assert!(p.elongation.mean >= 1.0 - 1e-9, "k={} mean={}", p.k, p.elongation.mean);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Weighted empirical distributions on `[0, 1]`.
+
+use serde::Serialize;
+
+/// A weighted empirical distribution with support in `[0, 1]`.
+///
+/// Stored as sorted distinct values with positive integer weights; all
+/// derived quantities (survival function, moments, distances) are exact up to
+/// floating-point arithmetic — no binning is involved unless explicitly
+/// requested (Shannon entropy).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct WeightedDist {
+    /// Sorted distinct values.
+    values: Vec<f64>,
+    /// Weight of each value (same length).
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl WeightedDist {
+    /// Builds a distribution from arbitrary `(value, weight)` pairs; values
+    /// are sorted and duplicates merged. Pairs with zero weight are dropped.
+    ///
+    /// # Panics
+    /// Panics if a value is not finite or lies outside `[0, 1]`.
+    pub fn from_pairs(mut pairs: Vec<(f64, u64)>) -> Self {
+        pairs.retain(|&(_, w)| w > 0);
+        for &(v, _) in &pairs {
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "value {v} outside [0, 1]");
+        }
+        pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut weights: Vec<u64> = Vec::with_capacity(pairs.len());
+        let mut total = 0u64;
+        for (v, w) in pairs {
+            total += w;
+            if values.last() == Some(&v) {
+                *weights.last_mut().expect("non-empty") += w;
+            } else {
+                values.push(v);
+                weights.push(w);
+            }
+        }
+        WeightedDist { values, weights, total }
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the distribution carries no mass.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct values.
+    pub fn support_size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The sorted distinct values with their weights.
+    pub fn pairs(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.values.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // weight of values <= x
+        let idx = self.values.partition_point(|&v| v <= x);
+        let below: u64 = self.weights[..idx].iter().sum();
+        (self.total - below) as f64 / self.total as f64
+    }
+
+    /// Points `(v_i, P(X >= v_i))` of the inverse cumulative distribution,
+    /// one per distinct value, descending in `y` — the curves of Figures 3
+    /// and 4 of the paper.
+    pub fn icd_points(&self) -> Vec<(f64, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.values.len());
+        let mut below = 0u64;
+        for (v, w) in self.pairs() {
+            out.push((v, (self.total - below) as f64 / self.total as f64));
+            below += w;
+        }
+        out
+    }
+
+    /// The constant segments of the survival function: `(lo, hi, s)` such
+    /// that `P(X > λ) = s` for `λ ∈ [lo, hi)`, covering `[0, 1]` exactly.
+    /// Used by the closed-form integrals (M-K distance, CRE).
+    pub fn survival_segments(&self) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::with_capacity(self.values.len() + 1);
+        if self.total == 0 {
+            return out;
+        }
+        let total = self.total as f64;
+        let mut prev = 0.0f64;
+        let mut below = 0u64;
+        for (v, w) in self.pairs() {
+            if v > prev {
+                out.push((prev, v, (self.total - below) as f64 / total));
+                prev = v;
+            }
+            below += w;
+        }
+        if prev < 1.0 {
+            out.push((prev, 1.0, (self.total - below) as f64 / total));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_and_sorting() {
+        let d = WeightedDist::from_pairs(vec![(0.5, 2), (0.25, 1), (0.5, 3), (1.0, 1), (0.1, 0)]);
+        assert_eq!(d.total_weight(), 7);
+        assert_eq!(d.support_size(), 3);
+        let pairs: Vec<_> = d.pairs().collect();
+        assert_eq!(pairs, vec![(0.25, 1), (0.5, 5), (1.0, 1)]);
+    }
+
+    #[test]
+    fn survival_function_steps() {
+        let d = WeightedDist::from_pairs(vec![(0.25, 1), (0.5, 2), (1.0, 1)]);
+        assert_eq!(d.survival(0.0), 1.0);
+        assert_eq!(d.survival(0.25), 0.75);
+        assert_eq!(d.survival(0.3), 0.75);
+        assert_eq!(d.survival(0.5), 0.25);
+        assert_eq!(d.survival(1.0), 0.0);
+    }
+
+    #[test]
+    fn icd_points_descend() {
+        let d = WeightedDist::from_pairs(vec![(0.2, 1), (0.6, 1), (0.9, 2)]);
+        let icd = d.icd_points();
+        assert_eq!(icd.len(), 3);
+        assert_eq!(icd[0], (0.2, 1.0));
+        assert_eq!(icd[1], (0.6, 0.75));
+        assert_eq!(icd[2], (0.9, 0.5));
+    }
+
+    #[test]
+    fn segments_partition_unit_interval() {
+        let d = WeightedDist::from_pairs(vec![(0.25, 1), (0.5, 1)]);
+        let segs = d.survival_segments();
+        assert_eq!(segs, vec![(0.0, 0.25, 1.0), (0.25, 0.5, 0.5), (0.5, 1.0, 0.0)]);
+        // coverage: contiguous, starts at 0, ends at 1
+        assert_eq!(segs.first().unwrap().0, 0.0);
+        assert_eq!(segs.last().unwrap().1, 1.0);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn value_at_zero_is_allowed_and_at_one_closes() {
+        let d = WeightedDist::from_pairs(vec![(0.0, 1), (1.0, 1)]);
+        let segs = d.survival_segments();
+        // [0,1) with S = 0.5 (the 0-value never counts as "X > λ" for λ>=0)
+        assert_eq!(segs, vec![(0.0, 1.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_out_of_range() {
+        WeightedDist::from_pairs(vec![(1.5, 1)]);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = WeightedDist::from_pairs(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.survival(0.5), 0.0);
+        assert!(d.icd_points().is_empty());
+        assert!(d.survival_segments().is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! The five selection methods of Section 7 behind one interface.
+
+use crate::{
+    cumulative_residual_entropy, mk_proximity, shannon_entropy, std_dev, variation_coefficient,
+    WeightedDist,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A method for scoring how uniformly a distribution is spread over `[0, 1]`.
+/// Higher score = more uniformly spread; the occupancy method selects the
+/// aggregation period maximizing the score.
+///
+/// The paper retains [`MkProximity`](SelectionMetric::MkProximity) as its
+/// reference method ("conceptually simple and gives very satisfactory
+/// results"); the others are provided for the Section 7 comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionMetric {
+    /// M-K proximity `1/2 - dist_MK` to the uniform density (the default).
+    MkProximity,
+    /// Standard deviation (selects slightly larger periods than M-K).
+    StdDev,
+    /// Variation coefficient (documented failure mode: selects ~no
+    /// aggregation).
+    VariationCoefficient,
+    /// Shannon entropy over `slots` equal bins of `[0, 1]`.
+    ShannonEntropy {
+        /// Number of discretization slots (the paper uses 10).
+        slots: usize,
+    },
+    /// Cumulative residual entropy.
+    Cre,
+}
+
+impl SelectionMetric {
+    /// All metrics compared in Section 7, with the paper's slot count.
+    pub fn all() -> Vec<SelectionMetric> {
+        vec![
+            SelectionMetric::MkProximity,
+            SelectionMetric::StdDev,
+            SelectionMetric::VariationCoefficient,
+            SelectionMetric::ShannonEntropy { slots: 10 },
+            SelectionMetric::Cre,
+        ]
+    }
+
+    /// Scores `dist`; `NaN` for empty distributions.
+    pub fn score(&self, dist: &WeightedDist) -> f64 {
+        match *self {
+            SelectionMetric::MkProximity => mk_proximity(dist),
+            SelectionMetric::StdDev => std_dev(dist),
+            SelectionMetric::VariationCoefficient => variation_coefficient(dist),
+            SelectionMetric::ShannonEntropy { slots } => shannon_entropy(dist, slots),
+            SelectionMetric::Cre => cumulative_residual_entropy(dist),
+        }
+    }
+}
+
+impl Default for SelectionMetric {
+    fn default() -> Self {
+        SelectionMetric::MkProximity
+    }
+}
+
+impl fmt::Display for SelectionMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionMetric::MkProximity => write!(f, "M-K proximity"),
+            SelectionMetric::StdDev => write!(f, "standard deviation"),
+            SelectionMetric::VariationCoefficient => write!(f, "variation coefficient"),
+            SelectionMetric::ShannonEntropy { slots } => {
+                write!(f, "Shannon entropy ({slots} slots)")
+            }
+            SelectionMetric::Cre => write!(f, "cumulative residual entropy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spread() -> WeightedDist {
+        WeightedDist::from_pairs((1..=20).map(|i| (i as f64 / 20.0, 1)).collect())
+    }
+
+    fn concentrated() -> WeightedDist {
+        WeightedDist::from_pairs(vec![(1.0, 19), (0.95, 1)])
+    }
+
+    #[test]
+    fn all_metrics_except_cv_prefer_the_spread_distribution() {
+        for metric in SelectionMetric::all() {
+            if metric == SelectionMetric::VariationCoefficient {
+                continue; // documented failure mode
+            }
+            let s = metric.score(&spread());
+            let c = metric.score(&concentrated());
+            assert!(s > c, "{metric}: spread {s} <= concentrated {c}");
+        }
+    }
+
+    #[test]
+    fn cv_prefers_small_means() {
+        // The paper's criticism: c_v favors distributions with tiny means.
+        let tiny = WeightedDist::from_pairs(vec![(0.001, 10), (0.01, 1)]);
+        let cv = SelectionMetric::VariationCoefficient;
+        assert!(cv.score(&tiny) > cv.score(&spread()));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SelectionMetric::MkProximity.to_string(), "M-K proximity");
+        assert_eq!(
+            SelectionMetric::ShannonEntropy { slots: 10 }.to_string(),
+            "Shannon entropy (10 slots)"
+        );
+    }
+
+    #[test]
+    fn default_is_mk() {
+        assert_eq!(SelectionMetric::default(), SelectionMetric::MkProximity);
+    }
+}

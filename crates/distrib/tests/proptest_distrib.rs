@@ -1,0 +1,133 @@
+//! Property-based validation of the distribution substrate: closed-form
+//! integrals against numerical quadrature, and structural invariants.
+
+use proptest::prelude::*;
+use saturn_distrib::{
+    cumulative_residual_entropy, mk_distance_to_uniform, shannon_entropy, std_dev,
+    SelectionMetric, WeightedDist,
+};
+
+fn arb_dist() -> impl Strategy<Value = WeightedDist> {
+    proptest::collection::vec((0u32..=1000, 1u64..50), 1..60)
+        .prop_map(|pairs| {
+            WeightedDist::from_pairs(
+                pairs.into_iter().map(|(v, w)| (v as f64 / 1000.0, w)).collect(),
+            )
+        })
+}
+
+/// Mid-point quadrature of `f` over [0, 1].
+fn quad(f: impl Fn(f64) -> f64, steps: usize) -> f64 {
+    (0..steps).map(|i| f((i as f64 + 0.5) / steps as f64)).sum::<f64>() / steps as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// The closed-form M-K distance equals numerical integration of its
+    /// defining integral.
+    #[test]
+    fn mk_matches_quadrature(dist in arb_dist()) {
+        let exact = mk_distance_to_uniform(&dist);
+        let numeric = quad(|lam| (dist.survival(lam) - (1.0 - lam)).abs(), 40_000);
+        prop_assert!((exact - numeric).abs() < 5e-4, "exact {exact} vs numeric {numeric}");
+    }
+
+    /// Same for the cumulative residual entropy.
+    #[test]
+    fn cre_matches_quadrature(dist in arb_dist()) {
+        let exact = cumulative_residual_entropy(&dist);
+        let numeric = quad(
+            |lam| {
+                let s = dist.survival(lam);
+                if s > 0.0 { -s * s.ln() } else { 0.0 }
+            },
+            40_000,
+        );
+        prop_assert!((exact - numeric).abs() < 5e-4, "exact {exact} vs numeric {numeric}");
+    }
+
+    /// Survival segments tile [0, 1] with non-increasing levels.
+    #[test]
+    fn survival_segments_are_a_tiling(dist in arb_dist()) {
+        let segs = dist.survival_segments();
+        prop_assert!(!segs.is_empty());
+        prop_assert_eq!(segs.first().unwrap().0, 0.0);
+        prop_assert_eq!(segs.last().unwrap().1, 1.0);
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "contiguous");
+            prop_assert!(w[0].2 >= w[1].2, "survival decreases");
+        }
+        for &(lo, hi, s) in &segs {
+            prop_assert!(lo < hi);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    /// ICD points descend in y and ascend in x.
+    #[test]
+    fn icd_is_monotone(dist in arb_dist()) {
+        let icd = dist.icd_points();
+        for w in icd.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        if let Some(&(_, y0)) = icd.first() {
+            prop_assert!((y0 - 1.0).abs() < 1e-12, "first ICD point has full mass");
+        }
+    }
+
+    /// Bounds: M-K distance in [0, 1/2]; entropy scores non-negative; the
+    /// standard deviation of a [0,1] variable is at most 1/2.
+    #[test]
+    fn score_bounds(dist in arb_dist()) {
+        let d = mk_distance_to_uniform(&dist);
+        prop_assert!((0.0..=0.5 + 1e-12).contains(&d));
+        prop_assert!(std_dev(&dist) <= 0.5 + 1e-12);
+        prop_assert!(shannon_entropy(&dist, 10) >= -1e-12);
+        prop_assert!(cumulative_residual_entropy(&dist) >= -1e-12);
+    }
+
+    /// Every metric is invariant under weight rescaling (weights are
+    /// multiplicities, not probabilities).
+    #[test]
+    fn metrics_are_scale_invariant(
+        pairs in proptest::collection::vec((0u32..=100, 1u64..20), 1..30),
+        factor in 2u64..9,
+    ) {
+        let base: Vec<(f64, u64)> =
+            pairs.iter().map(|&(v, w)| (v as f64 / 100.0, w)).collect();
+        let scaled: Vec<(f64, u64)> =
+            pairs.iter().map(|&(v, w)| (v as f64 / 100.0, w * factor)).collect();
+        let a = WeightedDist::from_pairs(base);
+        let b = WeightedDist::from_pairs(scaled);
+        for metric in SelectionMetric::all() {
+            let (sa, sb) = (metric.score(&a), metric.score(&b));
+            if sa.is_finite() || sb.is_finite() {
+                prop_assert!((sa - sb).abs() < 1e-9, "{metric}: {sa} vs {sb}");
+            }
+        }
+    }
+
+    /// Merging duplicates never changes any score.
+    #[test]
+    fn duplicate_merging_is_transparent(
+        pairs in proptest::collection::vec((0u32..=50, 1u64..10), 1..20),
+    ) {
+        let once: Vec<(f64, u64)> =
+            pairs.iter().map(|&(v, w)| (v as f64 / 50.0, w)).collect();
+        // split each weight into two identical entries
+        let twice: Vec<(f64, u64)> = pairs
+            .iter()
+            .flat_map(|&(v, w)| {
+                let x = v as f64 / 50.0;
+                [(x, w), (x, w)]
+            })
+            .collect();
+        let a = WeightedDist::from_pairs(once);
+        let b = WeightedDist::from_pairs(twice);
+        prop_assert_eq!(a.support_size(), b.support_size());
+        prop_assert_eq!(b.total_weight(), 2 * a.total_weight());
+        prop_assert!((mk_distance_to_uniform(&a) - mk_distance_to_uniform(&b)).abs() < 1e-12);
+    }
+}

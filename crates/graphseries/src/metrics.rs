@@ -1,0 +1,195 @@
+//! Classical per-snapshot statistics of an aggregated series (Figure 2).
+//!
+//! The paper's Section 3 shows that these quantities vary smoothly with the
+//! aggregation period and therefore cannot reveal the saturation scale — they
+//! are reproduced here both as the baseline the occupancy method is compared
+//! against and as generally useful series descriptors.
+//!
+//! Means are taken over the **non-empty** snapshots of the series (at fine
+//! scales almost all windows are empty and would otherwise drown the
+//! statistics; the paper's reported minima — e.g. a largest component of 2.3
+//! nodes for Irvine at Δ = 1s — are only consistent with this convention).
+
+use crate::UnionFind;
+use saturn_linkstream::LinkStream;
+use serde::Serialize;
+
+/// Mean per-snapshot statistics of an aggregated series at one scale `Δ`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SnapshotMeans {
+    /// Number of windows `K` of the series.
+    pub k: u64,
+    /// Window length `Δ` in ticks.
+    pub delta_ticks: f64,
+    /// Number of non-empty snapshots the means are taken over.
+    pub non_empty: usize,
+    /// Total number of distinct edges `M` over the series.
+    pub total_edges: usize,
+    /// Mean snapshot density.
+    pub mean_density: f64,
+    /// Mean snapshot degree (over all `n` nodes).
+    pub mean_degree: f64,
+    /// Mean number of non-isolated vertices per snapshot.
+    pub mean_non_isolated: f64,
+    /// Mean size of the largest connected component per snapshot.
+    pub mean_largest_component: f64,
+}
+
+/// Computes [`SnapshotMeans`] for `stream` aggregated over `k` windows,
+/// streaming over the windows without materializing the series.
+///
+/// # Panics
+/// Panics if `k` is invalid for the stream's study period.
+pub fn snapshot_means(stream: &LinkStream, k: u64) -> SnapshotMeans {
+    let partition = stream.partition(k).expect("invalid window count");
+    let n = stream.node_count() as u32;
+    let mut uf = UnionFind::new(n as usize);
+
+    let mut non_empty = 0usize;
+    let mut total_edges = 0usize;
+    let mut sum_density = 0.0f64;
+    let mut sum_degree = 0.0f64;
+    let mut sum_non_isolated = 0.0f64;
+    let mut sum_lcc = 0.0f64;
+
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    for (_w, links) in partition.window_slices(stream) {
+        scratch.clear();
+        scratch.extend(links.iter().map(|l| (l.u.raw(), l.v.raw())));
+        scratch.sort_unstable();
+        scratch.dedup();
+
+        let m = scratch.len();
+        non_empty += 1;
+        total_edges += m;
+
+        // density & degree straight from the edge count
+        let snap_density = {
+            // reuse Snapshot's conventions without building one
+            let nf = n as f64;
+            if n < 2 {
+                0.0
+            } else {
+                match stream.directedness() {
+                    saturn_linkstream::Directedness::Directed => m as f64 / (nf * (nf - 1.0)),
+                    saturn_linkstream::Directedness::Undirected => {
+                        2.0 * m as f64 / (nf * (nf - 1.0))
+                    }
+                }
+            }
+        };
+        sum_density += snap_density;
+        sum_degree += if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+
+        // connectivity via the versioned union-find
+        uf.reset();
+        let mut lcc = 1u32;
+        let mut touched: Vec<u32> = Vec::with_capacity(m * 2);
+        for &(u, v) in scratch.iter() {
+            uf.union(u, v);
+            lcc = lcc.max(uf.component_size(u));
+            touched.push(u);
+            touched.push(v);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        sum_non_isolated += touched.len() as f64;
+        sum_lcc += lcc as f64;
+    }
+
+    let d = non_empty.max(1) as f64;
+    SnapshotMeans {
+        k,
+        delta_ticks: partition.delta_ticks(),
+        non_empty,
+        total_edges,
+        mean_density: sum_density / d,
+        mean_degree: sum_degree / d,
+        mean_non_isolated: sum_non_isolated / d,
+        mean_largest_component: sum_lcc / d,
+    }
+}
+
+/// Convenience: the same statistics computed from an already materialized
+/// [`crate::GraphSeries`].
+pub fn snapshot_means_of_series(series: &crate::GraphSeries) -> SnapshotMeans {
+    let mut non_empty = 0usize;
+    let mut total_edges = 0usize;
+    let (mut sd, mut sg, mut sni, mut slcc) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (_, snap) in series.snapshots() {
+        non_empty += 1;
+        total_edges += snap.edge_count();
+        sd += snap.density();
+        sg += snap.mean_degree();
+        sni += snap.non_isolated() as f64;
+        slcc += snap.largest_component() as f64;
+    }
+    let d = non_empty.max(1) as f64;
+    SnapshotMeans {
+        k: series.k(),
+        delta_ticks: series.delta_ticks(),
+        non_empty,
+        total_edges,
+        mean_density: sd / d,
+        mean_degree: sg / d,
+        mean_non_isolated: sni / d,
+        mean_largest_component: slcc / d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphSeries;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> LinkStream {
+        let mut b = LinkStreamBuilder::new(Directedness::Undirected);
+        b.add("a", "b", 0);
+        b.add("b", "c", 1);
+        b.add("c", "d", 6);
+        b.add("d", "e", 8);
+        b.add("a", "e", 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let s = stream();
+        for k in [1u64, 2, 3, 5, 10] {
+            let a = snapshot_means(&s, k);
+            let series = GraphSeries::aggregate(&s, k);
+            let b = snapshot_means_of_series(&series);
+            assert_eq!(a.non_empty, b.non_empty, "k={k}");
+            assert_eq!(a.total_edges, b.total_edges, "k={k}");
+            assert!((a.mean_density - b.mean_density).abs() < 1e-12, "k={k}");
+            assert!((a.mean_degree - b.mean_degree).abs() < 1e-12, "k={k}");
+            assert!((a.mean_non_isolated - b.mean_non_isolated).abs() < 1e-12, "k={k}");
+            assert!(
+                (a.mean_largest_component - b.mean_largest_component).abs() < 1e-12,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_aggregation_values() {
+        let s = stream();
+        let m = snapshot_means(&s, 1);
+        assert_eq!(m.non_empty, 1);
+        // one pentagon over 5 nodes: density 5/10, degree 2, all 5 non-isolated, lcc 5
+        assert!((m.mean_density - 0.5).abs() < 1e-12);
+        assert!((m.mean_degree - 2.0).abs() < 1e-12);
+        assert_eq!(m.mean_non_isolated, 5.0);
+        assert_eq!(m.mean_largest_component, 5.0);
+    }
+
+    #[test]
+    fn density_grows_with_delta() {
+        let s = stream();
+        let fine = snapshot_means(&s, 10);
+        let coarse = snapshot_means(&s, 1);
+        assert!(fine.mean_density < coarse.mean_density);
+        assert!(fine.mean_largest_component < coarse.mean_largest_component);
+    }
+}

@@ -1,0 +1,216 @@
+//! One aggregated graph `G_k = (V, E_k)`.
+
+use saturn_linkstream::{Directedness, Link};
+use serde::Serialize;
+
+use crate::UnionFind;
+
+/// A static graph over the fixed node set `V = 0..n`, holding the distinct
+/// edges observed in one aggregation window.
+///
+/// Edges are stored sorted and deduplicated; in an undirected snapshot every
+/// edge satisfies `u <= v`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Snapshot {
+    n: u32,
+    directedness: Directedness,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from the raw link events of one window, removing
+    /// duplicate pairs (Definition 1 keeps each pair at most once).
+    pub fn from_links(n: u32, directedness: Directedness, links: &[Link]) -> Self {
+        let mut edges: Vec<(u32, u32)> =
+            links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Snapshot { n, directedness, edges }
+    }
+
+    /// Builds a snapshot directly from deduplicated edge pairs.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the pairs are not sorted/deduplicated or
+    /// contain an endpoint `>= n`.
+    pub fn from_edges(n: u32, directedness: Directedness, edges: Vec<(u32, u32)>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        debug_assert!(edges.iter().all(|&(u, v)| u < n && v < n), "endpoint out of range");
+        Snapshot { n, directedness, edges }
+    }
+
+    /// Number of nodes `n` (the fixed node set of the series).
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Orientation inherited from the stream.
+    pub fn directedness(&self) -> Directedness {
+        self.directedness
+    }
+
+    /// The distinct edges, sorted.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Number of distinct edges `|E_k|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Graph density: `m / (n(n-1))` if directed, `2m / (n(n-1))` if
+    /// undirected. Zero for graphs with fewer than two nodes.
+    pub fn density(&self) -> f64 {
+        let n = self.n as f64;
+        if self.n < 2 {
+            return 0.0;
+        }
+        let pairs = match self.directedness {
+            Directedness::Directed => n * (n - 1.0),
+            Directedness::Undirected => n * (n - 1.0) / 2.0,
+        };
+        self.edge_count() as f64 / pairs
+    }
+
+    /// Mean degree over **all** `n` nodes (isolated ones included). Each edge
+    /// contributes to both endpoints, so this is `2m/n` — the paper notes it
+    /// equals density up to the factor `n - 1`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.n as f64
+    }
+
+    /// Number of nodes incident to at least one edge.
+    pub fn non_isolated(&self) -> usize {
+        let mut touched: Vec<u32> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            touched.push(u);
+            touched.push(v);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched.len()
+    }
+
+    /// Size (node count) of the largest connected component, using weak
+    /// connectivity for directed snapshots. An empty snapshot has a largest
+    /// component of size 1 when `n > 0` (an isolated vertex), 0 otherwise.
+    pub fn largest_component(&self) -> usize {
+        if self.edges.is_empty() {
+            return usize::from(self.n > 0);
+        }
+        let mut uf = UnionFind::new(self.n as usize);
+        let mut best = 1u32;
+        for &(u, v) in &self.edges {
+            uf.union(u, v);
+            best = best.max(uf.component_size(u));
+        }
+        best as usize
+    }
+
+    /// Out-adjacency lists (or plain adjacency if undirected, with each edge
+    /// listed from both endpoints), indexed by node.
+    pub fn adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.n as usize];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            if !self.directedness.is_directed() {
+                adj[v as usize].push(u);
+            }
+        }
+        adj
+    }
+
+    /// Whether the given (oriented as stored) edge is present.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        let key = if self.directedness.is_directed() || u <= v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&key).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{NodeId, Time};
+
+    fn link(u: u32, v: u32) -> Link {
+        Link::new(NodeId(u), NodeId(v), Time::new(0))
+    }
+
+    #[test]
+    fn from_links_dedups() {
+        let s = Snapshot::from_links(
+            4,
+            Directedness::Undirected,
+            &[link(0, 1), link(0, 1), link(2, 3)],
+        );
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.edges(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn density_undirected_and_directed() {
+        // 4 nodes, 3 edges
+        let e = vec![(0, 1), (1, 2), (2, 3)];
+        let und = Snapshot::from_edges(4, Directedness::Undirected, e.clone());
+        assert!((und.density() - 3.0 / 6.0).abs() < 1e-12);
+        let dir = Snapshot::from_edges(4, Directedness::Directed, e);
+        assert!((dir.density() - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let s = Snapshot::from_edges(0, Directedness::Undirected, vec![]);
+        assert_eq!(s.density(), 0.0);
+        assert_eq!(s.mean_degree(), 0.0);
+        assert_eq!(s.largest_component(), 0);
+        let s1 = Snapshot::from_edges(1, Directedness::Undirected, vec![]);
+        assert_eq!(s1.largest_component(), 1);
+    }
+
+    #[test]
+    fn connectivity_metrics() {
+        // components: {0,1,2}, {3,4}, {5} isolated; n = 6
+        let s = Snapshot::from_edges(
+            6,
+            Directedness::Undirected,
+            vec![(0, 1), (1, 2), (3, 4)],
+        );
+        assert_eq!(s.non_isolated(), 5);
+        assert_eq!(s.largest_component(), 3);
+        assert!((s.mean_degree() - 6.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_uses_weak_connectivity() {
+        let s = Snapshot::from_edges(3, Directedness::Directed, vec![(0, 1), (2, 1)]);
+        assert_eq!(s.largest_component(), 3); // 0 -> 1 <- 2 weakly connected
+    }
+
+    #[test]
+    fn adjacency_mirrors_undirected_edges() {
+        let s = Snapshot::from_edges(3, Directedness::Undirected, vec![(0, 1), (1, 2)]);
+        let adj = s.adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+
+        let d = Snapshot::from_edges(3, Directedness::Directed, vec![(0, 1), (1, 2)]);
+        let adj = d.adjacency();
+        assert_eq!(adj[1], vec![2]);
+        assert!(adj[2].is_empty());
+    }
+
+    #[test]
+    fn has_edge_handles_orientation() {
+        let und = Snapshot::from_edges(3, Directedness::Undirected, vec![(0, 2)]);
+        assert!(und.has_edge(0, 2));
+        assert!(und.has_edge(2, 0));
+        let dir = Snapshot::from_edges(3, Directedness::Directed, vec![(0, 2)]);
+        assert!(dir.has_edge(0, 2));
+        assert!(!dir.has_edge(2, 0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Alternative window schemes: sliding (overlapping) and cumulative windows.
+//!
+//! The paper's introduction surveys three families of aggregation windows:
+//! disjoint equal-length ones (Definition 1, the main object of study),
+//! *overlapping* windows, and windows *all starting at the beginning of the
+//! study period* (cumulative). This module implements the two variants so a
+//! series built either way can be inspected with the same snapshot metrics —
+//! and so the sensitivity of downstream analyses to the window type (ref 37 in
+//! the paper) can be measured.
+
+use crate::Snapshot;
+use saturn_linkstream::{LinkStream, Time};
+use serde::{Deserialize, Serialize};
+
+/// A window scheme over the study period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowScheme {
+    /// `K` disjoint windows of length `T/K` — Definition 1, equivalent to
+    /// [`GraphSeries::aggregate`](crate::GraphSeries::aggregate).
+    Disjoint {
+        /// Number of windows.
+        k: u64,
+    },
+    /// Overlapping windows `[t0 + i·stride, t0 + i·stride + width)`, `i`
+    /// ranging while the window intersects the study period.
+    Sliding {
+        /// Window length in ticks.
+        width: i64,
+        /// Offset between consecutive window starts, `0 < stride <= width`
+        /// for actual overlap (larger strides leave gaps and are allowed).
+        stride: i64,
+    },
+    /// Growing windows `[t0, t0 + i·(T/k)]` for `i = 1..=k` — every window
+    /// starts at the beginning of the study period.
+    Cumulative {
+        /// Number of windows.
+        k: u64,
+    },
+}
+
+/// One aggregated window of a variant series: its real bounds and snapshot.
+#[derive(Clone, Debug, Serialize)]
+pub struct VariantWindow {
+    /// Window start (inclusive), in ticks.
+    pub start: i64,
+    /// Window end (exclusive), in ticks.
+    pub end: i64,
+    /// The aggregated graph of the window.
+    pub snapshot: Snapshot,
+}
+
+/// Aggregates `stream` under `scheme`, returning one entry per window
+/// (including empty windows for the sliding/cumulative variants, whose
+/// indices are meaningful positions in time).
+///
+/// # Panics
+/// Panics on degenerate parameters (`k == 0`, `width < 1`, `stride < 1`).
+pub fn aggregate_with(stream: &LinkStream, scheme: WindowScheme) -> Vec<VariantWindow> {
+    let n = stream.node_count() as u32;
+    let d = stream.directedness();
+    let t0 = stream.t_begin().ticks();
+    let t1 = stream.t_end().ticks();
+    let events = stream.events();
+
+    let snapshot_of = |lo: i64, hi: i64| -> Snapshot {
+        // events with lo <= t < hi (hi exclusive; final window is widened by
+        // one tick by the callers so the last instant is included)
+        let a = events.partition_point(|l| l.t < Time::new(lo));
+        let b = events.partition_point(|l| l.t < Time::new(hi));
+        Snapshot::from_links(n, d, &events[a..b])
+    };
+
+    match scheme {
+        WindowScheme::Disjoint { k } => {
+            assert!(k >= 1, "k must be >= 1");
+            let partition = stream.partition(k).expect("valid disjoint partition");
+            partition
+                .window_slices(stream)
+                .map(|(w, links)| {
+                    let (lo, hi) = partition.window_bounds(w);
+                    VariantWindow {
+                        start: lo.floor() as i64,
+                        end: hi.ceil() as i64,
+                        snapshot: Snapshot::from_links(n, d, links),
+                    }
+                })
+                .collect()
+        }
+        WindowScheme::Sliding { width, stride } => {
+            assert!(width >= 1 && stride >= 1, "width and stride must be >= 1");
+            let mut out = Vec::new();
+            let mut start = t0;
+            loop {
+                let end = start + width;
+                // widen the very last read so t_end is captured (closed period)
+                let hi = if end > t1 { t1 + 1 } else { end };
+                out.push(VariantWindow { start, end, snapshot: snapshot_of(start, hi) });
+                if end > t1 {
+                    break;
+                }
+                start += stride;
+            }
+            out
+        }
+        WindowScheme::Cumulative { k } => {
+            assert!(k >= 1, "k must be >= 1");
+            let span = (t1 - t0).max(1);
+            (1..=k)
+                .map(|i| {
+                    // exact rational bound t0 + i·span/k, inclusive at i = k
+                    let end = t0 + ((i as i128 * span as i128) / k as i128) as i64;
+                    let hi = if i == k { t1 + 1 } else { end };
+                    VariantWindow { start: t0, end, snapshot: snapshot_of(t0, hi) }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphSeries;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> LinkStream {
+        let mut b = LinkStreamBuilder::new(Directedness::Undirected);
+        b.add("a", "b", 0);
+        b.add("b", "c", 3);
+        b.add("c", "d", 6);
+        b.add("d", "e", 9);
+        b.add("a", "e", 12);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disjoint_matches_graph_series() {
+        let s = stream();
+        for k in [1u64, 2, 3, 6, 12] {
+            let variant = aggregate_with(&s, WindowScheme::Disjoint { k });
+            let series = GraphSeries::aggregate(&s, k);
+            let via_series: Vec<usize> =
+                series.snapshots().map(|(_, snap)| snap.edge_count()).collect();
+            let via_variant: Vec<usize> =
+                variant.iter().map(|w| w.snapshot.edge_count()).collect();
+            assert_eq!(via_series, via_variant, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sliding_with_stride_equal_width_partitions() {
+        let s = stream();
+        let windows = aggregate_with(&s, WindowScheme::Sliding { width: 4, stride: 4 });
+        let total: usize = windows.iter().map(|w| w.snapshot.edge_count()).sum();
+        assert_eq!(total, s.len(), "non-overlapping sliding covers each event once");
+    }
+
+    #[test]
+    fn overlapping_windows_duplicate_events() {
+        let s = stream();
+        let windows = aggregate_with(&s, WindowScheme::Sliding { width: 6, stride: 3 });
+        let total: usize = windows.iter().map(|w| w.snapshot.edge_count()).sum();
+        assert!(total > s.len(), "overlap must count events in several windows");
+        // each window's start advances by stride
+        for pair in windows.windows(2) {
+            assert_eq!(pair[1].start - pair[0].start, 3);
+        }
+    }
+
+    #[test]
+    fn cumulative_grows_to_total_aggregation() {
+        let s = stream();
+        let windows = aggregate_with(&s, WindowScheme::Cumulative { k: 4 });
+        assert_eq!(windows.len(), 4);
+        let counts: Vec<usize> = windows.iter().map(|w| w.snapshot.edge_count()).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "monotone growth: {counts:?}");
+        assert_eq!(*counts.last().unwrap(), 5, "final window = total aggregation");
+        assert!(windows.iter().all(|w| w.start == 0));
+    }
+
+    #[test]
+    fn sliding_gaps_are_allowed() {
+        let s = stream();
+        // width 2, stride 5: gaps between windows; some events never counted
+        let windows = aggregate_with(&s, WindowScheme::Sliding { width: 2, stride: 5 });
+        let total: usize = windows.iter().map(|w| w.snapshot.edge_count()).sum();
+        assert!(total <= s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "width and stride")]
+    fn rejects_zero_stride() {
+        aggregate_with(&stream(), WindowScheme::Sliding { width: 4, stride: 0 });
+    }
+}

@@ -1,0 +1,62 @@
+//! The `(u, v, t)` triplet.
+
+use crate::{NodeId, Time};
+use serde::{Deserialize, Serialize};
+
+/// One link event: nodes `u` and `v` interact at instant `t`.
+///
+/// In an undirected stream the endpoints are stored in normalized order
+/// (`u <= v`); in a directed stream `u` is the source and `v` the target.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint (source, if directed).
+    pub u: NodeId,
+    /// Second endpoint (target, if directed).
+    pub v: NodeId,
+    /// Instant at which the link occurs.
+    pub t: Time,
+}
+
+impl Link {
+    /// Creates a new link event.
+    pub const fn new(u: NodeId, v: NodeId, t: Time) -> Self {
+        Link { u, v, t }
+    }
+
+    /// Returns the link with endpoints swapped (same instant).
+    pub const fn reversed(self) -> Self {
+        Link { u: self.v, v: self.u, t: self.t }
+    }
+
+    /// Whether both endpoints are the same node.
+    pub const fn is_self_loop(self) -> bool {
+        self.u.0 == self.v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let l = Link::new(NodeId(1), NodeId(2), Time::new(5));
+        let r = l.reversed();
+        assert_eq!(r.u, NodeId(2));
+        assert_eq!(r.v, NodeId(1));
+        assert_eq!(r.t, l.t);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Link::new(NodeId(3), NodeId(3), Time::new(0)).is_self_loop());
+        assert!(!Link::new(NodeId(3), NodeId(4), Time::new(0)).is_self_loop());
+    }
+
+    #[test]
+    fn ordering_is_by_fields() {
+        let a = Link::new(NodeId(0), NodeId(1), Time::new(1));
+        let b = Link::new(NodeId(0), NodeId(2), Time::new(1));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text link-stream readers and writers.
+//!
+//! Two widely used layouts are accepted by the single lenient parser:
+//!
+//! * **plain** — one event per line, `u v t` (whitespace-separated);
+//! * **KONECT-style** — `u v w t` where the third column is an ignored
+//!   weight. This is the `out.*` layout of the KONECT repository hosting the
+//!   four datasets evaluated in the paper (UC Irvine, Facebook wall posts,
+//!   Enron, Manufacturing), so the genuine traces can be dropped in directly.
+//!
+//! Lines that are empty or start with `%` or `#` are skipped. Timestamps must
+//! be integers (ticks); node names are arbitrary whitespace-free tokens.
+
+use crate::{Directedness, LinkStream, LinkStreamBuilder, ParseError};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Parses a link stream from any buffered reader.
+///
+/// ```
+/// use saturn_linkstream::{io, Directedness};
+/// let text = "% a comment\n\
+///             alice bob 10\n\
+///             bob carol 1 25\n"; // KONECT row: weight 1, time 25
+/// let s = io::read_stream(text.as_bytes(), Directedness::Directed).unwrap();
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.span(), 15);
+/// ```
+pub fn read_stream<R: std::io::Read>(
+    reader: R,
+    directedness: Directedness,
+) -> Result<LinkStream, ParseError> {
+    let mut builder = LinkStreamBuilder::new(directedness);
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        let (u, v, t_tok) = match tokens.as_slice() {
+            [u, v, t] => (*u, *v, *t),
+            [u, v, _w, t] => (*u, *v, *t),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: lineno,
+                    reason: format!(
+                        "expected 3 (u v t) or 4 (u v w t) columns, found {}",
+                        tokens.len()
+                    ),
+                })
+            }
+        };
+        let t: i64 = t_tok.parse().map_err(|_| ParseError::Malformed {
+            line: lineno,
+            reason: format!("timestamp `{t_tok}` is not an integer tick count"),
+        })?;
+        builder.add(u, v, t);
+    }
+    Ok(builder.build()?)
+}
+
+/// Parses a link stream from a file path.
+pub fn read_path(
+    path: impl AsRef<Path>,
+    directedness: Directedness,
+) -> Result<LinkStream, ParseError> {
+    read_stream(File::open(path)?, directedness)
+}
+
+/// Parses a link stream from an in-memory string.
+pub fn read_str(text: &str, directedness: Directedness) -> Result<LinkStream, ParseError> {
+    read_stream(text.as_bytes(), directedness)
+}
+
+/// Writes a stream in plain `u v t` layout (one event per line, labels as
+/// stored). The output round-trips through [`read_str`].
+pub fn write_stream<W: Write>(stream: &LinkStream, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for link in stream.events() {
+        writeln!(w, "{} {} {}", stream.label(link.u), stream.label(link.v), link.t)?;
+    }
+    w.flush()
+}
+
+/// Writes a stream to a file in plain `u v t` layout.
+pub fn write_path(stream: &LinkStream, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_stream(stream, File::create(path)?)
+}
+
+/// Serializes a stream to a `String` in plain `u v t` layout.
+pub fn to_string(stream: &LinkStream) -> String {
+    let mut out = Vec::new();
+    write_stream(stream, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("labels and integers are valid UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_konect_rows() {
+        let text = "# header\n a b 3 \n\n% note\nb c 7 12\n";
+        let s = read_str(text, Directedness::Directed).unwrap();
+        assert_eq!(s.len(), 2);
+        let ts: Vec<i64> = s.events().iter().map(|l| l.t.ticks()).collect();
+        assert_eq!(ts, vec![3, 12]);
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let err = read_str("a b\n", Directedness::Directed).unwrap_err();
+        match err {
+            ParseError::Malformed { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("columns"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_integer_timestamp() {
+        let err = read_str("a b 3.5\n", Directedness::Directed).unwrap_err();
+        match err {
+            ParseError::Malformed { line: 1, reason } => {
+                assert!(reason.contains("3.5"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = read_str("% nothing\n", Directedness::Directed).unwrap_err();
+        assert!(matches!(err, ParseError::Build(crate::BuildError::Empty)));
+    }
+
+    #[test]
+    fn negative_timestamps_are_allowed() {
+        let s = read_str("a b -5\na c 5\n", Directedness::Directed).unwrap();
+        assert_eq!(s.t_begin().ticks(), -5);
+        assert_eq!(s.span(), 10);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "u1 u2 0\nu2 u3 4\nu1 u3 9\n";
+        let s = read_str(text, Directedness::Directed).unwrap();
+        let serialized = to_string(&s);
+        let s2 = read_str(&serialized, Directedness::Directed).unwrap();
+        assert_eq!(s.events(), s2.events());
+        assert_eq!(s.labels(), s2.labels());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("saturn-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.txt");
+        let s = read_str("a b 1\nb c 2\n", Directedness::Undirected).unwrap();
+        write_path(&s, &path).unwrap();
+        let s2 = read_path(&path, Directedness::Undirected).unwrap();
+        assert_eq!(s.events(), s2.events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_path("/nonexistent/saturn/file.txt", Directedness::Directed)
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+    }
+}

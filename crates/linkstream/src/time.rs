@@ -1,0 +1,125 @@
+//! Integer-tick timestamps.
+//!
+//! The paper's method works for both discrete and continuous time. We model
+//! time as signed 64-bit *ticks* at an arbitrary resolution chosen by the
+//! data producer (the four datasets of the paper use 1-second resolution).
+//! Continuous time is supported by picking a resolution finer than any
+//! meaningful gap; every algorithm in the workspace only relies on order and
+//! differences of ticks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time, measured in integer ticks.
+///
+/// `Time` is a transparent newtype over `i64`; arithmetic with tick counts is
+/// provided through `Add<i64>`/`Sub<i64>`, and `Sub<Time>` yields the signed
+/// tick distance between two instants.
+///
+/// ```
+/// use saturn_linkstream::Time;
+/// let a = Time::new(10);
+/// let b = a + 5;
+/// assert_eq!(b - a, 5);
+/// assert_eq!(b.ticks(), 15);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(i64);
+
+impl Time {
+    /// The smallest representable instant.
+    pub const MIN: Time = Time(i64::MIN);
+    /// The largest representable instant.
+    pub const MAX: Time = Time(i64::MAX);
+
+    /// Creates a timestamp from a raw tick count.
+    pub const fn new(ticks: i64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Time {
+    fn from(t: i64) -> Self {
+        Time(t)
+    }
+}
+
+impl From<Time> for i64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add<i64> for Time {
+    type Output = Time;
+    fn add(self, rhs: i64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<i64> for Time {
+    fn add_assign(&mut self, rhs: i64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<i64> for Time {
+    type Output = Time;
+    fn sub(self, rhs: i64) -> Time {
+        Time(self.0 - rhs)
+    }
+}
+
+impl Sub<Time> for Time {
+    /// Signed distance in ticks between two instants.
+    type Output = i64;
+    fn sub(self, rhs: Time) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::new(100);
+        assert_eq!((t + 20).ticks(), 120);
+        assert_eq!((t - 20).ticks(), 80);
+        assert_eq!(Time::new(120) - t, 20);
+        assert_eq!(t - Time::new(120), -20);
+    }
+
+    #[test]
+    fn ordering_follows_ticks() {
+        assert!(Time::new(-5) < Time::new(0));
+        assert!(Time::new(3) < Time::new(4));
+        assert_eq!(Time::new(7), Time::from(7));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Time::new(42).to_string(), "42");
+        assert_eq!(format!("{:?}", Time::new(42)), "t42");
+    }
+}

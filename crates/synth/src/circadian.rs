@@ -1,0 +1,117 @@
+//! Circadian and weekly activity modulation.
+//!
+//! Human communication networks "often exhibit circadian rhythms" (Section 6
+//! of the paper): most activity happens during waking hours on weekdays. The
+//! profile below is the rate modulator used by the dataset stand-ins.
+
+use serde::Serialize;
+
+/// A day/week activity envelope, returning a rate multiplier in `(0, 1]`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CircadianProfile {
+    /// Ticks per day (86 400 for 1-second ticks).
+    pub day_ticks: i64,
+    /// Start of the active window, as a fraction of the day (e.g. 8h = 1/3).
+    pub active_start: f64,
+    /// End of the active window, as a fraction of the day (e.g. 22h ≈ 0.917).
+    pub active_end: f64,
+    /// Rate multiplier outside the active window, in `(0, 1]`.
+    pub night_level: f64,
+    /// Rate multiplier applied on the last `weekend_days` of each week.
+    pub weekend_level: f64,
+    /// Number of weekend days per 7-day week (0 disables weekly modulation).
+    pub weekend_days: u32,
+}
+
+impl CircadianProfile {
+    /// A typical office-hours profile: active 8h–20h, quiet nights, damped
+    /// week-ends.
+    pub fn office(day_ticks: i64) -> Self {
+        CircadianProfile {
+            day_ticks,
+            active_start: 8.0 / 24.0,
+            active_end: 20.0 / 24.0,
+            night_level: 0.05,
+            weekend_level: 0.15,
+            weekend_days: 2,
+        }
+    }
+
+    /// An online-community profile: active 10h–24h, some night activity, no
+    /// weekday/weekend distinction.
+    pub fn online(day_ticks: i64) -> Self {
+        CircadianProfile {
+            day_ticks,
+            active_start: 10.0 / 24.0,
+            active_end: 24.0 / 24.0,
+            night_level: 0.15,
+            weekend_level: 1.0,
+            weekend_days: 0,
+        }
+    }
+
+    /// The rate multiplier at tick `t` (t = 0 is midnight starting a Monday).
+    pub fn rate(&self, t: f64) -> f64 {
+        let day = self.day_ticks as f64;
+        let day_frac = (t / day).fract();
+        let daily = if day_frac >= self.active_start && day_frac < self.active_end {
+            1.0
+        } else {
+            self.night_level
+        };
+        let weekly = if self.weekend_days > 0 {
+            let day_of_week = ((t / day) as i64).rem_euclid(7) as u32;
+            if day_of_week >= 7 - self.weekend_days {
+                self.weekend_level
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        (daily * weekly).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: i64 = 86_400;
+
+    #[test]
+    fn office_day_night_contrast() {
+        let p = CircadianProfile::office(DAY);
+        let noon = p.rate(12.0 / 24.0 * DAY as f64);
+        let night = p.rate(3.0 / 24.0 * DAY as f64);
+        assert_eq!(noon, 1.0);
+        assert!(night < 0.1);
+    }
+
+    #[test]
+    fn weekend_damping() {
+        let p = CircadianProfile::office(DAY);
+        // Saturday noon (day 5, 0-based from Monday)
+        let sat_noon = p.rate((5.0 + 0.5) * DAY as f64);
+        let wed_noon = p.rate((2.0 + 0.5) * DAY as f64);
+        assert!(sat_noon < wed_noon);
+        assert!((sat_noon - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_profile_has_no_weekend_dip() {
+        let p = CircadianProfile::online(DAY);
+        let sat = p.rate((5.0 + 0.6) * DAY as f64);
+        let wed = p.rate((2.0 + 0.6) * DAY as f64);
+        assert_eq!(sat, wed);
+    }
+
+    #[test]
+    fn rate_is_always_positive_and_bounded() {
+        let p = CircadianProfile::office(DAY);
+        for i in 0..1_000 {
+            let r = p.rate(i as f64 * 997.0);
+            assert!(r > 0.0 && r <= 1.0, "rate {r} at i={i}");
+        }
+    }
+}

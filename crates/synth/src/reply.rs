@@ -1,0 +1,229 @@
+//! The message-network model behind the dataset stand-ins.
+//!
+//! Emulates the statistical fingerprints of email / message traces that the
+//! occupancy method's evaluation relies on:
+//!
+//! * **heavy-tailed node activity** — a few prolific senders, many quiet
+//!   ones (Pareto-distributed node weights);
+//! * **repeated ties** — most messages go to already-contacted peers
+//!   (preferential re-selection of past contacts);
+//! * **circadian + weekly rhythm** — base traffic follows a
+//!   [`crate::CircadianProfile`];
+//! * **reply bursts** — "most of people only send some emails a day and
+//!   frequently wait for some hours or some days before getting a reply"
+//!   (Section 5): each message triggers a reply with some probability after
+//!   an exponential delay.
+
+use crate::poisson::{sample_cumulative, sample_exponential, sample_fixed_count};
+use crate::CircadianProfile;
+use rand::{Rng, SeedableRng};
+use saturn_linkstream::{Directedness, LinkStream, LinkStreamBuilder};
+
+/// Configuration of the message-network generator.
+#[derive(Clone, Debug)]
+pub struct MessageModel {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Target number of messages (the output lands within a few per mille,
+    /// duplicates removed by the builder).
+    pub events: usize,
+    /// Study period length in ticks.
+    pub span: i64,
+    /// Pareto shape of the node-activity weights (smaller = heavier tail;
+    /// typical 1.2–2.0).
+    pub activity_shape: f64,
+    /// Probability that a message goes to a previously contacted peer.
+    pub repeat_contact: f64,
+    /// Probability that a message triggers a reply.
+    pub reply_probability: f64,
+    /// Mean reply delay in ticks.
+    pub reply_delay_mean: f64,
+    /// Day/week activity envelope.
+    pub circadian: CircadianProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MessageModel {
+    /// Generates the (directed) message stream.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (`nodes < 2`, `events == 0`,
+    /// `span < 1`, probabilities outside `[0, 1]`).
+    pub fn generate(&self) -> LinkStream {
+        assert!(self.nodes >= 2 && self.events > 0 && self.span >= 1);
+        assert!((0.0..=1.0).contains(&self.repeat_contact));
+        assert!((0.0..=1.0).contains(&self.reply_probability));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        // Heavy-tailed node weights (Pareto via inverse transform), as a
+        // cumulative table for O(log n) sampling.
+        let mut cumulative = Vec::with_capacity(self.nodes as usize);
+        let mut acc = 0.0f64;
+        for _ in 0..self.nodes {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            acc += u.powf(-1.0 / self.activity_shape);
+            cumulative.push(acc);
+        }
+
+        // Base (non-reply) message instants follow the circadian envelope.
+        let expected_replies = self.events as f64 * self.reply_probability
+            / (1.0 + self.reply_probability);
+        let base_count = (self.events as f64 - expected_replies).round().max(1.0) as usize;
+        let circadian = self.circadian;
+        let base_times =
+            sample_fixed_count(&mut rng, |t| circadian.rate(t), 1.0, 0, self.span, base_count);
+
+        let mut contacts: Vec<Vec<u32>> = vec![Vec::new(); self.nodes as usize];
+        let mut b = LinkStreamBuilder::indexed(Directedness::Directed, self.nodes);
+        b.period(0, self.span);
+
+        // (time, sender, receiver) reply queue, processed interleaved with
+        // base messages so chains stay within the period.
+        let mut emitted = 0usize;
+        let mut pending: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u32)>> =
+            std::collections::BinaryHeap::new();
+
+        let emit = |b: &mut LinkStreamBuilder,
+                        contacts: &mut Vec<Vec<u32>>,
+                        rng: &mut rand::rngs::StdRng,
+                        pending: &mut std::collections::BinaryHeap<
+            std::cmp::Reverse<(i64, u32, u32)>,
+        >,
+                        s: u32,
+                        r: u32,
+                        t: i64,
+                        emitted: &mut usize| {
+            b.add_indexed(s, r, t);
+            *emitted += 1;
+            if !contacts[s as usize].contains(&r) {
+                contacts[s as usize].push(r);
+            }
+            if rng.gen::<f64>() < self.reply_probability {
+                let delay = sample_exponential(rng, self.reply_delay_mean).ceil() as i64;
+                let rt = t + delay.max(1);
+                if rt <= self.span {
+                    pending.push(std::cmp::Reverse((rt, r, s)));
+                }
+            }
+        };
+
+        for &t in &base_times {
+            // flush due replies first (keeps global time order irrelevant for
+            // correctness — the builder sorts — but bounds the queue)
+            while let Some(&std::cmp::Reverse((rt, s, r))) = pending.peek() {
+                if rt > t || emitted >= self.events {
+                    break;
+                }
+                pending.pop();
+                emit(&mut b, &mut contacts, &mut rng, &mut pending, s, r, rt, &mut emitted);
+            }
+            if emitted >= self.events {
+                break;
+            }
+            let s = sample_cumulative(&mut rng, &cumulative) as u32;
+            let r = if !contacts[s as usize].is_empty()
+                && rng.gen::<f64>() < self.repeat_contact
+            {
+                contacts[s as usize][rng.gen_range(0..contacts[s as usize].len())]
+            } else {
+                // fresh contact, weight-biased, not the sender
+                loop {
+                    let r = sample_cumulative(&mut rng, &cumulative) as u32;
+                    if r != s {
+                        break r;
+                    }
+                }
+            };
+            emit(&mut b, &mut contacts, &mut rng, &mut pending, s, r, t, &mut emitted);
+        }
+        // drain remaining replies up to the target
+        while emitted < self.events {
+            let Some(std::cmp::Reverse((rt, s, r))) = pending.pop() else { break };
+            emit(&mut b, &mut contacts, &mut rng, &mut pending, s, r, rt, &mut emitted);
+        }
+
+        b.build().expect("events >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MessageModel {
+        MessageModel {
+            nodes: 60,
+            events: 3_000,
+            span: 30 * 86_400,
+            activity_shape: 1.5,
+            repeat_contact: 0.7,
+            reply_probability: 0.4,
+            reply_delay_mean: 4.0 * 3_600.0,
+            circadian: CircadianProfile::office(86_400),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn hits_event_target_closely() {
+        let s = model().generate();
+        let target = 3_000f64;
+        assert!(
+            (s.len() as f64 - target).abs() / target < 0.05,
+            "{} events vs target {target}",
+            s.len()
+        );
+        assert!(s.is_directed());
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let s = model().generate();
+        let mut out_deg = vec![0usize; 60];
+        for l in s.events() {
+            out_deg[l.u.index()] += 1;
+        }
+        out_deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = out_deg[..5].iter().sum();
+        let share = top5 as f64 / s.len() as f64;
+        assert!(share > 0.25, "top-5 senders carry {share} of messages");
+    }
+
+    #[test]
+    fn circadian_rhythm_is_visible() {
+        let s = model().generate();
+        let day = 86_400i64;
+        let active = s
+            .events()
+            .iter()
+            .filter(|l| {
+                let frac = (l.t.ticks() % day) as f64 / day as f64;
+                (8.0 / 24.0..20.0 / 24.0).contains(&frac)
+            })
+            .count();
+        let share = active as f64 / s.len() as f64;
+        assert!(share > 0.75, "daytime share {share}");
+    }
+
+    #[test]
+    fn repeated_ties_dominate() {
+        let s = model().generate();
+        let mut pairs = std::collections::HashMap::new();
+        for l in s.events() {
+            *pairs.entry((l.u, l.v)).or_insert(0usize) += 1;
+        }
+        let repeated: usize = pairs.values().filter(|&&c| c > 1).map(|&c| c).sum();
+        assert!(
+            repeated as f64 / s.len() as f64 > 0.3,
+            "repeated-tie share too low"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = model().generate();
+        let b = model().generate();
+        assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,489 @@
+//! The backward earliest-arrival dynamic program.
+//!
+//! This is the algorithm sketched in Section 5 of the paper: *"a dynamic
+//! programming scheme going backward in time: at one step, knowing all the
+//! minimal trips of the series starting not before time k+1, the algorithm
+//! computes the minimal trips starting exactly at time k, their duration and
+//! their minimum number of hops"*, with total complexity `O(nM)`.
+//!
+//! # State
+//!
+//! For every ordered pair `(u, v)` (with `v` restricted to the
+//! [`TargetSet`]), the engine maintains while sweeping steps `k = K-1 .. 0`:
+//!
+//! * `ea[u][v]` — earliest arrival step among temporal paths departing at a
+//!   step `>= k`,
+//! * `hops[u][v]` — minimum hop count among paths achieving that arrival,
+//! * `set_at[u][v]` — the step at which the current `(ea, hops)` value was
+//!   installed (used both to deduplicate work inside a step and to flush
+//!   distance sums over the departure-time ranges where the value was valid).
+//!
+//! # Recurrence at step `k`
+//!
+//! For every edge `(u, w)` of step `k` (plus the reverse traversal when
+//! undirected): the single hop yields candidate `(arrival = k, hops = 1)` for
+//! target `w`, and chaining through `w` yields, for every target `v`,
+//! candidate `(arrival = ea'[w][v], hops = 1 + hops'[w][v])` — where primed
+//! values are **pre-step** values (rows read as continuations are snapshotted
+//! first), so two edges of the same step can never chain, enforcing the
+//! strict inequality of Remark 1.
+//!
+//! # Minimal trips
+//!
+//! A minimal trip is exactly a strict improvement of `ea`: `(u, v, k, a)` is
+//! a minimal trip iff `a = ea_k[u][v] < ea_{k+1}[u][v]`. *Proof.* If
+//! `ea_{k+1} = ea_k` then the same trip fits in `[k+1, a] ⊊ [k, a]`, so
+//! `[k, a]` is not minimal; conversely if `ea_k < ea_{k+1}` then no trip fits
+//! in `[k+1, a'] ⊆ [k, a]` with `a' <= a` (it would force
+//! `ea_{k+1} <= a < ea_{k+1}`), and no trip fits in `[k, a']` with `a' < a`
+//! (it would contradict `ea_k = a`); hence `[k, a]` is minimal. Trips are
+//! reported once per step, after all its edges are processed, so the sink
+//! always sees final values.
+
+use crate::{TargetSet, Timeline};
+
+/// Sentinel for "no path".
+const NONE_EA: u32 = u32::MAX;
+/// Sentinel for "value never set".
+const NEVER: u32 = u32::MAX;
+
+/// Receives every minimal trip discovered by the engine.
+///
+/// `dep` and `arr` are *step indices* of the timeline (window indices for
+/// aggregated timelines, timestamp ranks for exact ones); `hops` is the
+/// minimum hop count among temporal paths departing exactly at `dep` and
+/// arriving exactly at `arr`.
+pub trait TripSink {
+    /// Called once per minimal trip, in non-increasing `dep` order.
+    fn minimal_trip(&mut self, u: u32, v: u32, dep: u32, arr: u32, hops: u32);
+}
+
+/// A sink that discards trips (useful when only distances are wanted).
+pub struct NullSink;
+
+impl TripSink for NullSink {
+    fn minimal_trip(&mut self, _: u32, _: u32, _: u32, _: u32, _: u32) {}
+}
+
+impl<F: FnMut(u32, u32, u32, u32, u32)> TripSink for F {
+    fn minimal_trip(&mut self, u: u32, v: u32, dep: u32, arr: u32, hops: u32) {
+        self(u, v, dep, arr, hops)
+    }
+}
+
+/// Engine options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DpOptions {
+    /// Accumulate the exact sums needed for mean `d_time` / `d_hops` over all
+    /// departure steps (Figure 2, bottom row). Costs one extra `u32` table.
+    pub collect_distances: bool,
+}
+
+/// Raw distance sums over every `(u, v, departure step)` triple with a finite
+/// distance. Durations are counted in *steps* (`arr - dep + 1`), matching the
+/// paper's graph-series definition of `d_time`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistanceSums {
+    /// `Σ (arr - dep + 1)` over finite triples.
+    pub sum_dtime_steps: i128,
+    /// `Σ hops` over the same triples.
+    pub sum_dhops: i128,
+    /// Number of finite `(u, v, dep)` triples.
+    pub finite_triples: i128,
+}
+
+/// Summary of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DpStats {
+    /// Number of minimal trips reported.
+    pub trips: u64,
+    /// Total edge traversals processed (`M`, doubled for undirected).
+    pub traversals: u64,
+    /// Distance sums, if requested.
+    pub distances: Option<DistanceSums>,
+}
+
+/// Runs the backward DP over `timeline`, reporting every minimal trip whose
+/// destination lies in `targets` to `sink`.
+///
+/// Complexity: `O(|targets| · M)` time and `O(n · |targets|)` memory, where
+/// `M` is the total edge count of the timeline.
+pub fn earliest_arrival_dp(
+    timeline: &Timeline,
+    targets: &TargetSet,
+    sink: &mut impl TripSink,
+    options: DpOptions,
+) -> DpStats {
+    Engine::new(timeline, targets, options).run(timeline, sink)
+}
+
+struct Engine<'a> {
+    targets: &'a TargetSet,
+    ncols: usize,
+    /// Earliest arrival per (row, col); `NONE_EA` = unreachable.
+    ea: Vec<u32>,
+    /// Min hops at the earliest arrival.
+    hops: Vec<u32>,
+    /// Step at which the current (ea, hops) was installed; `NEVER` initially.
+    set_at: Vec<u32>,
+    /// Scratch: pre-step copies of rows read as continuations.
+    scratch_ea: Vec<u32>,
+    scratch_hops: Vec<u32>,
+    /// node -> scratch slot (NEVER = none), plus the list of slotted nodes.
+    slot_of: Vec<u32>,
+    slotted: Vec<u32>,
+    /// (pair index, pre-step ea) of pairs first touched in the current step.
+    dirty: Vec<(usize, u32)>,
+    collect_distances: bool,
+    sums: DistanceSums,
+}
+
+impl<'a> Engine<'a> {
+    fn new(timeline: &Timeline, targets: &'a TargetSet, options: DpOptions) -> Self {
+        let n = timeline.n() as usize;
+        let ncols = targets.len();
+        let cells = n.checked_mul(ncols).expect("state table size overflow");
+        Engine {
+            targets,
+            ncols,
+            ea: vec![NONE_EA; cells],
+            hops: vec![0; cells],
+            set_at: vec![NEVER; cells],
+            scratch_ea: Vec::new(),
+            scratch_hops: Vec::new(),
+            slot_of: vec![NEVER; n],
+            slotted: Vec::new(),
+            dirty: Vec::new(),
+            collect_distances: options.collect_distances,
+            sums: DistanceSums::default(),
+        }
+    }
+
+    /// Flushes the distance contribution of the value currently stored for
+    /// `idx`, valid for departure steps `[new_k + 1, set_at]`, before it is
+    /// replaced by a value installed at `new_k`.
+    #[inline]
+    fn flush_distances(&mut self, idx: usize, new_k: u32) {
+        if !self.collect_distances {
+            return;
+        }
+        let a = self.ea[idx];
+        if a == NONE_EA {
+            return;
+        }
+        let hi = self.set_at[idx] as i128; // inclusive
+        let lo = new_k as i128 + 1; // inclusive
+        if hi < lo {
+            return;
+        }
+        let cnt = hi - lo + 1;
+        // Σ_{t=lo..hi} (a - t + 1) = cnt·(a + 1) - Σ t
+        let sum_t = (lo + hi) * cnt / 2;
+        self.sums.sum_dtime_steps += cnt * (a as i128 + 1) - sum_t;
+        self.sums.sum_dhops += cnt * self.hops[idx] as i128;
+        self.sums.finite_triples += cnt;
+    }
+
+    /// Offers candidate `(arrival, hop count)` for pair index `idx` at step
+    /// `k`. Returns nothing; bookkeeping records first-touches for the
+    /// post-step trip report.
+    #[inline]
+    fn offer(&mut self, idx: usize, k: u32, arr: u32, h: u32) {
+        let cur = self.ea[idx];
+        if arr < cur {
+            if self.set_at[idx] != k {
+                self.flush_distances(idx, k);
+                self.dirty.push((idx, cur));
+                self.set_at[idx] = k;
+            }
+            self.ea[idx] = arr;
+            self.hops[idx] = h;
+        } else if arr == cur && arr != NONE_EA && h < self.hops[idx] {
+            if self.set_at[idx] != k {
+                self.flush_distances(idx, k);
+                self.dirty.push((idx, cur));
+                self.set_at[idx] = k;
+            }
+            self.hops[idx] = h;
+        }
+    }
+
+    fn run(mut self, timeline: &Timeline, sink: &mut impl TripSink) -> DpStats {
+        let undirected = !timeline.is_directed();
+        let ncols = self.ncols;
+        let mut trips = 0u64;
+        let mut traversals = 0u64;
+
+        for step in timeline.steps_desc() {
+            let k = step.index;
+
+            // 1. Snapshot the pre-step profile of every row that can be read
+            //    as a continuation. Reads go through edge heads, but in a
+            //    directed timeline a tail `u` can be the head of another edge
+            //    of the same step, so both endpoints are snapshotted
+            //    uniformly — only pre-step values are ever read, which is
+            //    exactly the strict inequality of Remark 1.
+            debug_assert!(self.slotted.is_empty());
+            for &(u, w) in &step.edges {
+                for node in [u, w] {
+                    if self.slot_of[node as usize] == NEVER {
+                        let slot = self.slotted.len();
+                        self.slot_of[node as usize] = slot as u32;
+                        self.slotted.push(node);
+                        let need = (slot + 1) * ncols;
+                        if self.scratch_ea.len() < need {
+                            self.scratch_ea.resize(need, NONE_EA);
+                            self.scratch_hops.resize(need, 0);
+                        }
+                        let src = node as usize * ncols;
+                        self.scratch_ea[slot * ncols..need]
+                            .copy_from_slice(&self.ea[src..src + ncols]);
+                        self.scratch_hops[slot * ncols..need]
+                            .copy_from_slice(&self.hops[src..src + ncols]);
+                    }
+                }
+            }
+
+            // 2. Process every traversal of the step against the snapshots.
+            for &(eu, ew) in &step.edges {
+                let dirs: [(u32, u32); 2] = [(eu, ew), (ew, eu)];
+                let ndirs = if undirected { 2 } else { 1 };
+                for &(u, w) in &dirs[..ndirs] {
+                    traversals += 1;
+                    let row = u as usize * ncols;
+                    // single hop: u -> w at step k
+                    if let Some(c) = self.targets.col_of(w) {
+                        self.offer(row + c as usize, k, k, 1);
+                    }
+                    // chain: u -(k)-> w, then w's pre-step profile
+                    let slot = self.slot_of[w as usize] as usize;
+                    let su_col = self.targets.col_of(u); // diagonal to skip
+                    let base = slot * ncols;
+                    for c in 0..ncols {
+                        let a = self.scratch_ea[base + c];
+                        if a == NONE_EA {
+                            continue;
+                        }
+                        if su_col == Some(c as u32) {
+                            continue; // no u -> u trips
+                        }
+                        let h = 1 + self.scratch_hops[base + c];
+                        self.offer(row + c, k, a, h);
+                    }
+                }
+            }
+
+            // 3. Report the minimal trips of this step with final values.
+            for &(idx, pre_ea) in &self.dirty {
+                let a = self.ea[idx];
+                if a < pre_ea {
+                    let u = (idx / ncols) as u32;
+                    let v = self.targets.node_of((idx % ncols) as u32);
+                    sink.minimal_trip(u, v, k, a, self.hops[idx]);
+                    trips += 1;
+                }
+            }
+            self.dirty.clear();
+
+            // 4. Release scratch slots.
+            for &node in &self.slotted {
+                self.slot_of[node as usize] = NEVER;
+            }
+            self.slotted.clear();
+        }
+
+        // Final distance flush: each surviving value is valid for departure
+        // steps [0, set_at].
+        let distances = if self.collect_distances {
+            for idx in 0..self.ea.len() {
+                let a = self.ea[idx];
+                if a == NONE_EA {
+                    continue;
+                }
+                let hi = self.set_at[idx] as i128;
+                let cnt = hi + 1; // steps 0..=hi
+                let sum_t = hi * (hi + 1) / 2;
+                self.sums.sum_dtime_steps += cnt * (a as i128 + 1) - sum_t;
+                self.sums.sum_dhops += cnt * self.hops[idx] as i128;
+                self.sums.finite_triples += cnt;
+            }
+            Some(self.sums)
+        } else {
+            None
+        };
+
+        DpStats { trips, traversals, distances }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::Directedness;
+
+    /// Collects trips into a vector for inspection.
+    #[derive(Default)]
+    struct Collect(Vec<(u32, u32, u32, u32, u32)>);
+
+    impl TripSink for Collect {
+        fn minimal_trip(&mut self, u: u32, v: u32, dep: u32, arr: u32, hops: u32) {
+            self.0.push((u, v, dep, arr, hops));
+        }
+    }
+
+    fn run(stream_text: &str, directedness: Directedness, k: u64) -> Vec<(u32, u32, u32, u32, u32)> {
+        let s = saturn_linkstream::io::read_str(stream_text, directedness).unwrap();
+        let t = Timeline::aggregated(&s, k);
+        let mut sink = Collect::default();
+        earliest_arrival_dp(&t, &TargetSet::all(t.n()), &mut sink, DpOptions::default());
+        let mut out = sink.0;
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn single_link_single_trip() {
+        // a-b at t=0; span 0 -> K must be 1
+        let trips = run("a b 0\na c 5\n", Directedness::Undirected, 5);
+        // Δ = 1: a-b in window 0 (both directions), a-c in window 4 (clamped? t=5 -> w4)
+        // trips: (a,b,0,0,1), (b,a,0,0,1), (a,c,4,4,1), (c,a,4,4,1), and
+        // b -> c via a: edge ab at w0, ac at w4: b dep 0 arr 4 hops 2
+        // c -> b: needs ca before ab: impossible.
+        assert!(trips.contains(&(0, 1, 0, 0, 1)));
+        assert!(trips.contains(&(1, 0, 0, 0, 1)));
+        assert!(trips.contains(&(0, 2, 4, 4, 1)));
+        assert!(trips.contains(&(1, 2, 0, 4, 2)));
+        assert!(!trips.iter().any(|&(u, v, ..)| u == 2 && v == 1));
+    }
+
+    #[test]
+    fn same_window_links_cannot_chain() {
+        // Both links in one window (K = 1): no two-hop path (Remark 1 / Fig 1).
+        let trips = run("a b 0\nb c 5\n", Directedness::Undirected, 1);
+        // only the four single-link trips inside window 0
+        assert_eq!(trips.len(), 4);
+        assert!(trips.iter().all(|&(.., hops)| hops == 1));
+        assert!(!trips.iter().any(|&(u, v, ..)| (u, v) == (0, 2)));
+    }
+
+    #[test]
+    fn two_window_chain_exists() {
+        let trips = run("a b 0\nb c 5\n", Directedness::Undirected, 2);
+        // windows: ab in w0, bc in w1; a->c = (0, 2, dep 0, arr 1, hops 2)
+        assert!(trips.contains(&(0, 2, 0, 1, 2)));
+        // c->a would need cb then ba: cb is in w1, ba would need w>1: absent
+        assert!(!trips.iter().any(|&(u, v, ..)| (u, v) == (2, 0)));
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let s = saturn_linkstream::io::read_str("a b 0\nb c 5\n", Directedness::Directed).unwrap();
+        let t = Timeline::aggregated(&s, 2);
+        let mut sink = Collect::default();
+        earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
+        let trips = sink.0;
+        assert!(trips.contains(&(0, 2, 0, 1, 2)));
+        assert!(!trips.iter().any(|&(u, v, ..)| (u, v) == (1, 0))); // no b->a
+        assert!(!trips.iter().any(|&(u, v, ..)| (u, v) == (2, 1)));
+    }
+
+    #[test]
+    fn minimality_no_nested_trip() {
+        // a-b at w0 and w2; b-c at w3.
+        // a->c trips: dep 0: ab@0 then bc@3 -> arr 3. But ab@2 then bc@3 is
+        // strictly inside: the minimal trips must be (2,3), not (0,3).
+        let text = "a b 0\na b 20\nb c 30\n";
+        let s = saturn_linkstream::io::read_str(text, Directedness::Undirected).unwrap();
+        let t = Timeline::aggregated(&s, 4); // Δ=7.5: t=0->w0, 20->w2, 30->w3
+        let mut sink = Collect::default();
+        earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
+        let ac: Vec<_> = sink.0.iter().filter(|&&(u, v, ..)| (u, v) == (0, 2)).collect();
+        assert_eq!(ac.len(), 1);
+        assert_eq!(*ac[0], (0, 2, 2, 3, 2));
+    }
+
+    #[test]
+    fn hops_are_minimum_at_earliest_arrival() {
+        // Two routes a->d arriving at the same window 2:
+        //   long: a-b@0, b-c@1, c-d@2 (3 hops)
+        //   short: a-d'.. direct a-d@2 (1 hop)
+        let text = "a b 0\nb c 10\nc d 20\na d 20\n";
+        let s = saturn_linkstream::io::read_str(text, Directedness::Undirected).unwrap();
+        let t = Timeline::aggregated(&s, 3); // windows of 20/3: w0={ab}, w1={bc}, w2={cd, ad}
+        let mut sink = Collect::default();
+        earliest_arrival_dp(&t, &TargetSet::all(4), &mut sink, DpOptions::default());
+        let ad: Vec<_> = sink.0.iter().filter(|&&(u, v, ..)| (u, v) == (0, 3)).collect();
+        // minimal trip dep 0..: earliest arrival w2 via either route; but the
+        // direct link at w2 gives trip (2,2) which dominates (0,2): minimal
+        // trips are (2,2,1 hop). Dep 0 and dep 2 have the same arrival 2 so
+        // only the (2,2) trip is minimal.
+        assert_eq!(ad.len(), 1);
+        assert_eq!(*ad[0], (0, 3, 2, 2, 1));
+    }
+
+    #[test]
+    fn same_step_improvement_keeps_min_hops() {
+        // Two paths arriving at the same step, both departing at step 0:
+        // a-b@w0,b-d@w1 (2 hops) and a-c@w0,c-d@w1 (2 hops) plus a longer
+        // a-x@w0? Ensure hops reported is 2 and a single trip per pair.
+        let text = "a b 0\na c 0\nb d 10\nc d 10\n";
+        let s = saturn_linkstream::io::read_str(text, Directedness::Undirected).unwrap();
+        let t = Timeline::aggregated(&s, 2);
+        let mut sink = Collect::default();
+        earliest_arrival_dp(&t, &TargetSet::all(4), &mut sink, DpOptions::default());
+        let ad: Vec<_> = sink.0.iter().filter(|&&(u, v, ..)| (u, v) == (0, 3)).collect();
+        assert_eq!(ad.len(), 1);
+        assert_eq!(*ad[0], (0, 3, 0, 1, 2));
+    }
+
+    #[test]
+    fn target_sampling_restricts_destinations() {
+        let text = "a b 0\nb c 10\nc d 20\n";
+        let s = saturn_linkstream::io::read_str(text, Directedness::Undirected).unwrap();
+        let t = Timeline::aggregated(&s, 3);
+        let targets = TargetSet::from_nodes(4, &[3]); // only destination d
+        let mut sink = Collect::default();
+        earliest_arrival_dp(&t, &targets, &mut sink, DpOptions::default());
+        assert!(!sink.0.is_empty());
+        assert!(sink.0.iter().all(|&(_, v, ..)| v == 3));
+    }
+
+    #[test]
+    fn distance_sums_match_manual_enumeration() {
+        // Tiny stream; enumerate d_time by hand.
+        // Windows (K=2): w0 = {ab}, w1 = {bc}. Pairs with finite distances:
+        // (a,b): dep 0 -> arr 0 (d=1); dep 1 -> none.
+        // (b,a): dep 0 -> arr 0 (d=1).
+        // (b,c): dep 0 -> arr 1 (d=2); dep 1 -> arr 1 (d=1).
+        // (c,b): same as (b,c) by symmetry of the undirected link: dep0 d2?
+        //        cb exists at w1 only: dep 0 -> arr 1 (d=2), dep 1 -> d=1.
+        // (a,c): dep 0 -> ab@0, bc@1, arr 1, d=2, hops 2.
+        // (c,a): none.
+        // Σ d_time = 1+1+ (2+1) + (2+1) + 2 = 10 ; triples = 7
+        // Σ hops  = 1+1+ (1+1) + (1+1) + 2 = 8
+        let s = saturn_linkstream::io::read_str("a b 0\nb c 10\n", Directedness::Undirected)
+            .unwrap();
+        let t = Timeline::aggregated(&s, 2);
+        let stats = earliest_arrival_dp(
+            &t,
+            &TargetSet::all(3),
+            &mut NullSink,
+            DpOptions { collect_distances: true },
+        );
+        let d = stats.distances.unwrap();
+        assert_eq!(d.finite_triples, 7);
+        assert_eq!(d.sum_dtime_steps, 10);
+        assert_eq!(d.sum_dhops, 8);
+    }
+
+    #[test]
+    fn closure_sink_works() {
+        let s = saturn_linkstream::io::read_str("a b 0\nb c 10\n", Directedness::Undirected)
+            .unwrap();
+        let t = Timeline::aggregated(&s, 2);
+        let mut count = 0u32;
+        let mut sink = |_u: u32, _v: u32, _d: u32, _a: u32, _h: u32| count += 1;
+        let stats = earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
+        assert_eq!(stats.trips as u32, count);
+    }
+}

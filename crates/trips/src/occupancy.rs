@@ -1,0 +1,194 @@
+//! Occupancy-rate distributions of minimal trips (Definition 7).
+//!
+//! The occupancy rate of a minimal trip is `hops/duration` where the duration
+//! is counted in steps (`arr - dep + 1` for a graph series): the proportion
+//! of time steps the trip spends hopping rather than waiting. Rates are exact
+//! rationals; the histogram therefore keys on the reduced `(hops, duration)`
+//! pair so no two distinct rates are ever merged by floating-point rounding.
+
+use crate::{earliest_arrival_dp, DpOptions, TargetSet, Timeline, TripSink};
+use saturn_linkstream::LinkStream;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Exact histogram of minimal-trip occupancy rates.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct OccupancyHistogram {
+    /// `(hops, duration) -> multiplicity`, with `hops/duration` in lowest
+    /// terms.
+    counts: HashMap<(u32, u32), u64>,
+    total: u64,
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl OccupancyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one minimal trip with the given hop count and duration (in
+    /// steps, `>= 1`).
+    pub fn record(&mut self, hops: u32, duration: u32) {
+        debug_assert!(hops >= 1 && duration >= hops, "0 < hops <= duration violated");
+        let g = gcd(hops, duration).max(1);
+        *self.counts.entry((hops / g, duration / g)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded trips.
+    pub fn total_trips(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no trip was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct occupancy rates.
+    pub fn distinct_rates(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The rates and their multiplicities, sorted by increasing rate.
+    /// Every rate lies in `(0, 1]` (Remark 2 of the paper).
+    pub fn sorted_rates(&self) -> Vec<(f64, u64)> {
+        let mut entries: Vec<(&(u32, u32), &u64)> = self.counts.iter().collect();
+        // exact rational comparison: h1/d1 < h2/d2  <=>  h1*d2 < h2*d1
+        entries.sort_unstable_by(|a, b| {
+            let (h1, d1) = *a.0;
+            let (h2, d2) = *b.0;
+            (h1 as u64 * d2 as u64).cmp(&(h2 as u64 * d1 as u64))
+        });
+        entries
+            .into_iter()
+            .map(|(&(h, d), &c)| (h as f64 / d as f64, c))
+            .collect()
+    }
+
+    /// Mean occupancy rate.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let s: f64 = self
+            .counts
+            .iter()
+            .map(|(&(h, d), &c)| c as f64 * h as f64 / d as f64)
+            .sum();
+        s / self.total as f64
+    }
+
+    /// Fraction of trips with occupancy rate exactly 1 (fully saturated
+    /// trips — the mass that grows past the saturation scale).
+    pub fn fraction_at_one(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        self.counts.get(&(1, 1)).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &OccupancyHistogram) {
+        for (&key, &c) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+struct HistogramSink(OccupancyHistogram);
+
+impl TripSink for HistogramSink {
+    fn minimal_trip(&mut self, _u: u32, _v: u32, dep: u32, arr: u32, hops: u32) {
+        self.0.record(hops, arr - dep + 1);
+    }
+}
+
+/// Computes the occupancy-rate distribution of all minimal trips of the
+/// series `G_Δ` with `Δ = T/k`, for destinations in `targets`.
+pub fn occupancy_histogram(stream: &LinkStream, k: u64, targets: &TargetSet) -> OccupancyHistogram {
+    let timeline = Timeline::aggregated(stream, k);
+    occupancy_histogram_on(&timeline, targets)
+}
+
+/// Same as [`occupancy_histogram`], for an already-built timeline.
+pub fn occupancy_histogram_on(timeline: &Timeline, targets: &TargetSet) -> OccupancyHistogram {
+    let mut sink = HistogramSink(OccupancyHistogram::new());
+    earliest_arrival_dp(timeline, targets, &mut sink, DpOptions::default());
+    sink.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{io, Directedness};
+
+    #[test]
+    fn rates_are_reduced_and_sorted() {
+        let mut h = OccupancyHistogram::new();
+        h.record(1, 2);
+        h.record(2, 4); // same rate as 1/2
+        h.record(1, 1);
+        h.record(1, 3);
+        assert_eq!(h.total_trips(), 4);
+        assert_eq!(h.distinct_rates(), 3);
+        let rates = h.sorted_rates();
+        assert_eq!(rates[0], (1.0 / 3.0, 1));
+        assert_eq!(rates[1], (0.5, 2));
+        assert_eq!(rates[2], (1.0, 1));
+        assert!((h.fraction_at_one() - 0.25).abs() < 1e-12);
+        assert!((h.mean() - (1.0 / 3.0 + 0.5 + 0.5 + 1.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_aggregation_all_rates_one() {
+        // With K = 1 every minimal trip is a single link: occupancy 1
+        // (Section 4: "when the aggregation period reaches its maximum
+        // value... their occupation rate is 1").
+        let s = io::read_str("a b 0\nb c 5\nc d 9\n", Directedness::Undirected).unwrap();
+        let h = occupancy_histogram(&s, 1, &TargetSet::all(4));
+        assert!(h.total_trips() > 0);
+        assert_eq!(h.fraction_at_one(), 1.0);
+    }
+
+    #[test]
+    fn fine_aggregation_has_low_rates() {
+        // Chain spread over a long period: at fine scales trips wait a lot.
+        let s = io::read_str("a b 0\nb c 50\nc d 100\n", Directedness::Undirected).unwrap();
+        let h = occupancy_histogram(&s, 100, &TargetSet::all(4));
+        // a->d trip: 3 hops over 100 steps => rate ~0.03 exists
+        let min_rate = h.sorted_rates().first().unwrap().0;
+        assert!(min_rate < 0.1, "min rate {min_rate}");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = OccupancyHistogram::new();
+        a.record(1, 2);
+        let mut b = OccupancyHistogram::new();
+        b.record(1, 2);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.total_trips(), 3);
+        assert_eq!(a.sorted_rates(), vec![(0.5, 2), (1.0, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_statistics() {
+        let h = OccupancyHistogram::new();
+        assert!(h.is_empty());
+        assert!(h.mean().is_nan());
+        assert!(h.fraction_at_one().is_nan());
+        assert!(h.sorted_rates().is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Step sequences consumed by the dynamic program.
+//!
+//! The backward DP is agnostic to whether its steps are aggregation windows
+//! of `G_Δ` or distinct timestamps of the raw stream `L`; both are "a finite
+//! sequence of edge sets at strictly increasing steps". [`Timeline`] captures
+//! that common shape, prepared once so the engine can iterate it in
+//! descending order.
+
+use saturn_linkstream::LinkStream;
+
+/// One non-empty step: its index in `0..num_steps` and its deduplicated edge
+/// set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Step index (window index, or rank of the distinct timestamp).
+    pub index: u32,
+    /// Distinct edges of the step, sorted; `u <= v` holds if undirected.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// A prepared sequence of steps for the DP engine.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    n: u32,
+    directed: bool,
+    num_steps: u32,
+    /// Non-empty steps in **descending** index order (DP iteration order).
+    steps_desc: Vec<Step>,
+    /// For exact timelines: tick of each step index (ascending). Empty for
+    /// aggregated timelines.
+    ticks: Vec<i64>,
+}
+
+impl Timeline {
+    /// Builds the timeline of the aggregated series `G_Δ` with `Δ = T/k`:
+    /// step `w` holds the distinct pairs linked inside window `w`.
+    ///
+    /// # Panics
+    /// Panics if `k` is invalid for the stream's study period or exceeds
+    /// `u32::MAX - 1` (the engine stores step indices as `u32`).
+    pub fn aggregated(stream: &LinkStream, k: u64) -> Self {
+        assert!(k < u32::MAX as u64, "window count {k} exceeds engine limit");
+        let partition = stream.partition(k).expect("invalid window count");
+        let mut steps_desc = Vec::new();
+        for (w, links) in partition.window_slices_rev(stream) {
+            let mut edges: Vec<(u32, u32)> =
+                links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
+            edges.sort_unstable();
+            edges.dedup();
+            steps_desc.push(Step { index: w as u32, edges });
+        }
+        Timeline {
+            n: stream.node_count() as u32,
+            directed: stream.is_directed(),
+            num_steps: k as u32,
+            steps_desc,
+            ticks: Vec::new(),
+        }
+    }
+
+    /// Builds the exact timeline of the raw stream `L`: one step per distinct
+    /// timestamp (links sharing an instant cannot be chained — Remark 1 — so
+    /// an instant behaves exactly like one snapshot).
+    ///
+    /// # Panics
+    /// Panics if the stream has `>= u32::MAX` distinct timestamps.
+    pub fn exact(stream: &LinkStream) -> Self {
+        let mut ticks = Vec::new();
+        let mut steps_asc = Vec::new();
+        for (t, links) in stream.timestamp_groups() {
+            let index = ticks.len() as u32;
+            assert!(index < u32::MAX, "too many distinct timestamps");
+            ticks.push(t.ticks());
+            let mut edges: Vec<(u32, u32)> =
+                links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
+            edges.sort_unstable();
+            edges.dedup();
+            steps_asc.push(Step { index, edges });
+        }
+        steps_asc.reverse();
+        Timeline {
+            n: stream.node_count() as u32,
+            directed: stream.is_directed(),
+            num_steps: ticks.len() as u32,
+            steps_desc: steps_asc,
+            ticks,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether edges are directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Total number of steps (windows `K`, or distinct timestamps).
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// The non-empty steps in descending index order.
+    pub fn steps_desc(&self) -> &[Step] {
+        &self.steps_desc
+    }
+
+    /// Total number of edges `M` over all steps.
+    pub fn total_edges(&self) -> usize {
+        self.steps_desc.iter().map(|s| s.edges.len()).sum()
+    }
+
+    /// For exact timelines, the tick of step `index`; for aggregated
+    /// timelines, `None`.
+    pub fn tick_of(&self, index: u32) -> Option<i64> {
+        self.ticks.get(index as usize).copied()
+    }
+
+    /// Whether this timeline is an exact (timestamp-indexed) one.
+    pub fn is_exact(&self) -> bool {
+        !self.ticks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saturn_linkstream::{Directedness, LinkStreamBuilder};
+
+    fn stream() -> LinkStream {
+        let mut b = LinkStreamBuilder::new(Directedness::Undirected);
+        b.add("a", "b", 0);
+        b.add("a", "b", 1); // same pair again
+        b.add("b", "c", 1);
+        b.add("c", "d", 9);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn aggregated_timeline_dedups_per_window() {
+        let s = stream();
+        let t = Timeline::aggregated(&s, 3); // Δ = 3: [0,3), [3,6), [6,9]
+        assert_eq!(t.num_steps(), 3);
+        assert!(!t.is_exact());
+        let steps: Vec<(u32, usize)> =
+            t.steps_desc().iter().map(|s| (s.index, s.edges.len())).collect();
+        // window 0: {ab, bc}; window 2: {cd}; descending order
+        assert_eq!(steps, vec![(2, 1), (0, 2)]);
+        assert_eq!(t.total_edges(), 3);
+    }
+
+    #[test]
+    fn exact_timeline_steps_are_distinct_timestamps() {
+        let s = stream();
+        let t = Timeline::exact(&s);
+        assert!(t.is_exact());
+        assert_eq!(t.num_steps(), 3); // t = 0, 1, 9
+        assert_eq!(t.tick_of(0), Some(0));
+        assert_eq!(t.tick_of(1), Some(1));
+        assert_eq!(t.tick_of(2), Some(9));
+        // descending
+        let idx: Vec<u32> = t.steps_desc().iter().map(|s| s.index).collect();
+        assert_eq!(idx, vec![2, 1, 0]);
+        // step at t=1 holds both ab (duplicate event collapses) and bc
+        assert_eq!(t.steps_desc()[1].edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn total_aggregation_single_step() {
+        let s = stream();
+        let t = Timeline::aggregated(&s, 1);
+        assert_eq!(t.num_steps(), 1);
+        assert_eq!(t.steps_desc().len(), 1);
+        assert_eq!(t.steps_desc()[0].edges.len(), 3); // ab, bc, cd
+    }
+
+    #[test]
+    fn directed_edges_are_kept_oriented() {
+        let mut b = LinkStreamBuilder::new(Directedness::Directed);
+        b.add("a", "b", 0);
+        b.add("b", "a", 0);
+        let s = b.build().unwrap();
+        let t = Timeline::exact(&s);
+        assert!(t.is_directed());
+        assert_eq!(t.steps_desc()[0].edges, vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,101 @@
+//! The paper's Section 9 perspectives, exercised end-to-end:
+//!
+//! 1. **links with duration** — generate an RFID-style contact stream
+//!    (interval links), punctualize it by periodic oversampling (the
+//!    measurement model of [12, 3]), and study how the detected saturation
+//!    scale responds to the sampling period;
+//! 2. **temporal heterogeneity** — segment a bursty stream into high/low
+//!    activity periods and compare per-segment saturation scales with the
+//!    whole-stream one.
+//!
+//! ```sh
+//! cargo run --release --example contacts_and_heterogeneity
+//! ```
+
+use saturn::core::{heterogeneous_analysis, ActivityClass, HeterogeneityConfig};
+use saturn::prelude::*;
+use saturn::synth::ContactModel;
+
+fn gamma_of(stream: &LinkStream) -> f64 {
+    OccupancyMethod::new()
+        .grid(SweepGrid::Geometric { points: 24 })
+        .run(stream)
+        .gamma()
+        .expect("non-degenerate stream")
+        .delta_ticks
+}
+
+fn main() {
+    // --- 1. duration links through oversampling ---------------------------
+    println!("— links with duration (Section 9, perspective 1) —");
+    let contacts = ContactModel {
+        nodes: 25,
+        span: 100_000,
+        contacts_per_pair: 6.0,
+        mean_duration: 90.0,
+        seed: 17,
+    }
+    .generate();
+    println!(
+        "contact stream: {} interval links, mean duration {:.0} ticks",
+        contacts.len(),
+        contacts.mean_duration()
+    );
+
+    println!("{:>16} {:>10} {:>10}", "sampling period", "events", "γ (ticks)");
+    for period in [20i64, 60, 180, 600] {
+        let punctual = contacts.sample_periodic(period, 0).expect("live contacts");
+        let gamma = gamma_of(&punctual);
+        println!("{period:>16} {:>10} {gamma:>10.1}", punctual.len());
+    }
+    println!(
+        "(finer sampling inflates the event count without changing the\n\
+         underlying dynamics — γ must be read relative to the sampling period)\n"
+    );
+
+    // --- 2. heterogeneity-aware analysis ----------------------------------
+    println!("— temporal heterogeneity (Section 9, perspective 2) —");
+    let bursty = TwoMode {
+        nodes: 25,
+        alternations: 6,
+        span: 60_000,
+        links_high: 10,
+        links_low: 1,
+        low_share: 0.6,
+        seed: 23,
+    }
+    .generate();
+    let report = heterogeneous_analysis(
+        &bursty,
+        HeterogeneityConfig { bins: 60, grid_points: 18, min_segment_events: 40, threads: 0 },
+    );
+
+    println!(
+        "{:>10} {:>10} {:>8} {:>10} {:>12}",
+        "start", "end", "class", "events", "γ (ticks)"
+    );
+    for seg in &report.segments {
+        println!(
+            "{:>10} {:>10} {:>8} {:>10} {:>12}",
+            seg.start,
+            seg.end,
+            match seg.class {
+                ActivityClass::High => "high",
+                ActivityClass::Low => "low",
+            },
+            seg.events,
+            seg.gamma_ticks.map_or("—".into(), |g| format!("{g:.1}")),
+        );
+    }
+    println!(
+        "\nwhole-stream γ = {:.1} ticks; most conservative per-segment γ = {}",
+        report.whole_stream_gamma_ticks,
+        report
+            .min_segment_gamma_ticks
+            .map_or("—".to_string(), |g| format!("{g:.1} ticks")),
+    );
+    println!(
+        "==> aggregate everything at the per-segment minimum, or aggregate each\n\
+         segment with its own window length (the paper's two suggested options)"
+    );
+}

@@ -1,0 +1,84 @@
+//! End-to-end analysis of an email/message network — the workloads that
+//! motivate the paper's introduction.
+//!
+//! Uses the Irvine-like dataset stand-in by default (1 509 users, 48 000
+//! messages, 48 days; see DESIGN.md for the substitution rationale). Pass a
+//! profile name to analyze another stand-in, or a path to a real trace file
+//! in `u v t` / KONECT format:
+//!
+//! ```sh
+//! cargo run --release --example email_network                     # irvine
+//! cargo run --release --example email_network -- manufacturing
+//! cargo run --release --example email_network -- path/to/out.trace
+//! ```
+
+use saturn::prelude::*;
+use saturn::synth::profiles::HOUR;
+
+fn load(arg: Option<&str>) -> (String, LinkStream) {
+    match arg {
+        None => ("irvine (stand-in)".into(), DatasetProfile::irvine().generate(1)),
+        Some(name) => {
+            let profile = match name {
+                "irvine" => Some(DatasetProfile::irvine()),
+                "facebook" => Some(DatasetProfile::facebook()),
+                "enron" => Some(DatasetProfile::enron()),
+                "manufacturing" => Some(DatasetProfile::manufacturing()),
+                _ => None,
+            };
+            match profile {
+                Some(p) => (format!("{} (stand-in)", p.name), p.generate(1)),
+                None => {
+                    let s = saturn::linkstream::io::read_path(name, Directedness::Directed)
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot read {name}: {e}");
+                            std::process::exit(1);
+                        });
+                    (name.into(), s)
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (name, stream) = load(arg.as_deref());
+    let stats = stream.stats();
+    println!(
+        "dataset {name}: {} nodes, {} messages, {:.1} days, {:.2} msgs/person/day",
+        stats.nodes,
+        stats.links,
+        stats.span as f64 / 86_400.0,
+        stats.links as f64 / stats.nodes as f64 / (stats.span as f64 / 86_400.0),
+    );
+
+    let t0 = std::time::Instant::now();
+    let report = OccupancyMethod::new()
+        .grid(SweepGrid::Geometric { points: 48 })
+        .run(&stream);
+    let gamma = report.gamma().expect("non-degenerate stream");
+    println!(
+        "saturation scale γ = {:.1} h (K = {}, M-K proximity {:.4}) [{:.1?}]",
+        gamma.delta_ticks / HOUR as f64,
+        gamma.k,
+        gamma.score,
+        t0.elapsed()
+    );
+
+    // The proximity curve (Figure 3 right / Figure 5): print a coarse view.
+    println!("\nΔ (h)    M-K proximity");
+    for r in report.results().iter().step_by(6) {
+        let bar = "#".repeat((r.scores.mk_proximity * 120.0) as usize);
+        println!("{:>8.2}  {:.4} {bar}", r.delta_ticks / HOUR as f64, r.scores.mk_proximity);
+    }
+
+    // Guidance below γ, as Section 5 recommends ("one may prefer to choose an
+    // aggregation period slightly lower than γ").
+    println!(
+        "\nrecommendation: aggregate with Δ in [{:.1} h, {:.1} h]; beyond {:.1} h propagation is altered",
+        gamma.delta_ticks / HOUR as f64 / 10.0,
+        gamma.delta_ticks / HOUR as f64,
+        gamma.delta_ticks / HOUR as f64,
+    );
+}

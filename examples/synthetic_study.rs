@@ -1,0 +1,53 @@
+//! Reproduces the Section 6 study on synthetic networks at a reduced size:
+//! how the saturation scale responds to the activity level (time-uniform
+//! networks) and to temporal heterogeneity (two-mode networks).
+//!
+//! ```sh
+//! cargo run --release --example synthetic_study
+//! ```
+
+use saturn::prelude::*;
+
+fn gamma_of(stream: &LinkStream) -> f64 {
+    OccupancyMethod::new()
+        .grid(SweepGrid::Geometric { points: 28 })
+        .refine(2, 6)
+        .run(stream)
+        .gamma()
+        .expect("non-degenerate stream")
+        .delta_ticks
+}
+
+fn main() {
+    // --- Figure 6 (left): γ vs mean inter-contact time --------------------
+    println!("time-uniform networks (n = 30, T = 50 000 s)");
+    println!("{:>4} {:>18} {:>14} {:>8}", "N", "inter-contact (s)", "γ (s)", "γ/ict");
+    for links_per_pair in [4u32, 6, 10, 16, 25, 40] {
+        let cfg = TimeUniform { nodes: 30, links_per_pair, span: 50_000, seed: 7 };
+        let gamma = gamma_of(&cfg.generate());
+        let ict = cfg.mean_inter_contact();
+        println!("{links_per_pair:>4} {ict:>18.1} {gamma:>14.1} {:>8.3}", gamma / ict);
+    }
+    println!("(the paper: γ is proportional to the inter-contact time)\n");
+
+    // --- Figure 6 (right): γ vs share of low-activity time ----------------
+    println!("two-mode networks (n = 30, 10 alternations, T = 50 000 s)");
+    println!("{:>12} {:>12}", "low-share %", "γ (s)");
+    for share in [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0] {
+        let cfg = TwoMode {
+            nodes: 30,
+            alternations: 10,
+            span: 50_000,
+            links_high: 12,
+            links_low: 1,
+            low_share: share,
+            seed: 13,
+        };
+        let gamma = gamma_of(&cfg.generate());
+        println!("{:>12.0} {gamma:>12.1}", share * 100.0);
+    }
+    println!(
+        "(the paper: γ stays near the high-activity value until low activity\n\
+         occupies ~80% of the time, then rises toward the low-activity value)"
+    );
+}
