@@ -1,0 +1,219 @@
+//! Emits `BENCH_sweep.json`: the sweep engine's performance trajectory,
+//! committed to the repository so future PRs can track speedups/regressions
+//! without re-running the whole suite.
+//!
+//! Two workloads bracket the engine's regimes:
+//!
+//! * `dense_uniform` — all-pairs activity on 60 nodes: rows saturate almost
+//!   immediately, so the frontier bitmap degenerates to a sequential row
+//!   walk (this bounds the *overhead* of the pruning machinery);
+//! * `sparse_ring` — 600 nodes on a ring: per-row reachability stays far
+//!   below `n` for most of the backward sweep (the regime of the paper's
+//!   sparse contact datasets), where the pruning pays off outright.
+//!
+//! Per scale, both the pre-rework pipeline (per-call timeline build + the
+//! retained baseline engine with fresh tables) and the current pipeline
+//! (shared sorted event view + frontier/arena engine) are timed; end-to-end
+//! `OccupancyMethod::run` timings and a peak-RSS proxy (`VmHWM`) round out
+//! the record.
+//!
+//! ```sh
+//! cargo run --release -p saturn-bench --bin bench_sweep           # full
+//! SATURN_FAST=1 cargo run --release -p saturn-bench --bin bench_sweep
+//! SATURN_BENCH_OUT=BENCH_sweep.json  # output path (default)
+//! ```
+
+use saturn_core::{OccupancyMethod, SweepGrid};
+use saturn_linkstream::{Directedness, LinkStream, LinkStreamBuilder};
+use saturn_synth::TimeUniform;
+use saturn_trips::dp::{baseline, NullSink};
+use saturn_trips::{
+    earliest_arrival_dp_in, DpOptions, EngineArena, EventView, TargetSet, Timeline,
+};
+use serde_json::Value;
+use std::time::Instant;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Median-of-`reps` wall time of `f`, in seconds.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Peak resident set size in kilobytes, read from `/proc/self/status`
+/// (`VmHWM`). `None` off Linux — the field is then absent from the JSON.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn sparse_ring(n: u32, reps: i64) -> LinkStream {
+    let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, n);
+    for rep in 0..reps {
+        for i in 0..n {
+            b.add_indexed(i, (i + 1) % n, rep * 1000 + (i as i64 % 997));
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Times one workload across `scales`; returns `(json, Σ legacy, Σ current)`.
+fn measure_workload(
+    name: &str,
+    stream: &LinkStream,
+    scales: &[u64],
+    reps: usize,
+) -> (Value, f64, f64) {
+    let n = stream.node_count() as u32;
+    let targets = TargetSet::all(n);
+    let view = EventView::new(stream);
+    println!("workload {name}: n={n} events={} span={}", stream.len(), stream.span());
+
+    let mut per_scale = Vec::new();
+    let mut total_legacy = 0.0f64;
+    let mut total_current = 0.0f64;
+    for &k in scales {
+        let timeline = Timeline::aggregated_from_view(&view, k);
+        let traversals = {
+            let mut arena = EngineArena::new();
+            earliest_arrival_dp_in(
+                &mut arena,
+                &timeline,
+                &targets,
+                &mut NullSink,
+                DpOptions::default(),
+            )
+            .traversals
+        };
+
+        // pre-rework pipeline: per-call timeline build + fresh-table engine
+        let t_legacy = time_median(reps, || {
+            let t = Timeline::aggregated(stream, k);
+            baseline::earliest_arrival_dp(&t, &targets, &mut NullSink, DpOptions::default())
+        });
+        // current pipeline: shared view + frontier/arena engine
+        let mut arena = EngineArena::new();
+        let t_current = time_median(reps, || {
+            let t = Timeline::aggregated_from_view(&view, k);
+            earliest_arrival_dp_in(&mut arena, &t, &targets, &mut NullSink, DpOptions::default())
+        });
+        total_legacy += t_legacy;
+        total_current += t_current;
+        let speedup = t_legacy / t_current;
+        println!(
+            "  k={k:>7}  legacy {:>9.3} ms  current {:>9.3} ms  ({speedup:.2}x)  \
+             {:.1}M traversals/s",
+            t_legacy * 1e3,
+            t_current * 1e3,
+            traversals as f64 / t_current / 1e6,
+        );
+        per_scale.push(obj(vec![
+            ("k", Value::Int(k as i128)),
+            ("edges", Value::Int(timeline.total_edges() as i128)),
+            ("traversals", Value::Int(traversals as i128)),
+            ("legacy_pipeline_seconds", Value::Float(t_legacy)),
+            ("current_pipeline_seconds", Value::Float(t_current)),
+            ("speedup", Value::Float(speedup)),
+            (
+                "traversals_per_second",
+                Value::Float(traversals as f64 / t_current),
+            ),
+        ]));
+    }
+    let json = obj(vec![
+        ("nodes", Value::Int(n as i128)),
+        ("events", Value::Int(stream.len() as i128)),
+        ("span_ticks", Value::Int(stream.span() as i128)),
+        ("per_scale", Value::Array(per_scale)),
+        ("workload_speedup", Value::Float(total_legacy / total_current)),
+    ]);
+    (json, total_legacy, total_current)
+}
+
+fn main() {
+    let fast = saturn_bench::fast_mode();
+    let reps = if fast { 3 } else { 5 };
+
+    let dense = if fast {
+        TimeUniform { nodes: 24, links_per_pair: 4, span: 20_000, seed: 7 }.generate()
+    } else {
+        TimeUniform { nodes: 60, links_per_pair: 6, span: 100_000, seed: 7 }.generate()
+    };
+    let sparse = if fast { sparse_ring(120, 10) } else { sparse_ring(600, 40) };
+    let scales: Vec<u64> =
+        if fast { vec![100, 1_000, 10_000] } else { vec![1_000, 2_000, 10_000, 20_000, 100_000] };
+
+    let (dense_json, dl, dc) = measure_workload("dense_uniform", &dense, &scales, reps);
+    let (sparse_json, sl, sc) = measure_workload("sparse_ring", &sparse, &scales, reps);
+
+    // --- end-to-end method timings on the dense workload ------------------
+    let grid = SweepGrid::Geometric { points: if fast { 10 } else { 16 } };
+    let mut end_to_end = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let t = time_median(reps.min(3), || {
+            OccupancyMethod::new()
+                .grid(grid.clone())
+                .threads(threads)
+                .refine(2, 6)
+                .run(&dense)
+        });
+        println!("method threads={threads}: {t:.3} s");
+        end_to_end.push(obj(vec![
+            ("threads", Value::Int(threads as i128)),
+            ("run_seconds", Value::Float(t)),
+        ]));
+    }
+
+    let aggregate = (dl + sl) / (dc + sc);
+    println!("aggregate pipeline speedup over both workloads: {aggregate:.2}x");
+
+    let mut top = vec![
+        (
+            "description",
+            Value::String(
+                "Sweep-engine perf trajectory: per-scale wall time of the pre-rework \
+                 pipeline (per-call timeline build + fresh-table baseline engine) vs the \
+                 current pipeline (shared sorted event view + frontier/arena engine), \
+                 traversal throughput, end-to-end method timings. Regenerate: cargo run \
+                 --release -p saturn-bench --bin bench_sweep"
+                    .to_string(),
+            ),
+        ),
+        (
+            "host",
+            obj(vec![
+                (
+                    "available_parallelism",
+                    Value::Int(
+                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                            as i128,
+                    ),
+                ),
+                ("fast_mode", Value::Bool(fast)),
+            ]),
+        ),
+        ("dense_uniform", dense_json),
+        ("sparse_ring", sparse_json),
+        ("end_to_end", Value::Array(end_to_end)),
+        ("aggregate_pipeline_speedup", Value::Float(aggregate)),
+    ];
+    if let Some(kb) = peak_rss_kb() {
+        top.push(("peak_rss_kb", Value::Int(kb as i128)));
+    }
+
+    let out_path =
+        std::env::var("SATURN_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    std::fs::write(&out_path, obj(top).to_string_pretty()).expect("cannot write bench output");
+    println!("wrote {out_path}");
+}

@@ -91,7 +91,7 @@ pub fn ascii_curve(rows: &[(f64, f64)], width: usize) -> String {
     }
     let ymax = rows.iter().map(|&(_, y)| y).filter(|y| y.is_finite()).fold(0.0f64, f64::max);
     let mut out = String::new();
-    let step = (rows.len().max(1) + width - 1) / width;
+    let step = rows.len().max(1).div_ceil(width);
     for chunk in rows.chunks(step.max(1)) {
         let (x, y) = chunk[chunk.len() / 2];
         let bar = if ymax > 0.0 { ((y / ymax) * 40.0) as usize } else { 0 };

@@ -203,6 +203,32 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("synth needs a profile name")?.clone();
+    let f = parse_flags(&args[1..])?;
+    let profile = match name.as_str() {
+        "irvine" => DatasetProfile::irvine(),
+        "facebook" => DatasetProfile::facebook(),
+        "enron" => DatasetProfile::enron(),
+        "manufacturing" => DatasetProfile::manufacturing(),
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let profile = if f.scale < 1.0 { profile.scaled(f.scale) } else { profile };
+    let stream = profile.generate(f.seed);
+    match &f.out {
+        Some(path) => {
+            io::write_path(&stream, path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {} events to {path}", stream.len());
+        }
+        None => {
+            io::write_stream(&stream, std::io::stdout().lock())
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,29 +287,4 @@ mod tests {
         let f = flags(&["--directed"]).unwrap();
         assert!(load(&f).unwrap_err().contains("missing input file"));
     }
-}
-
-fn cmd_synth(args: &[String]) -> Result<(), String> {
-    let name = args.first().ok_or("synth needs a profile name")?.clone();
-    let f = parse_flags(&args[1..])?;
-    let profile = match name.as_str() {
-        "irvine" => DatasetProfile::irvine(),
-        "facebook" => DatasetProfile::facebook(),
-        "enron" => DatasetProfile::enron(),
-        "manufacturing" => DatasetProfile::manufacturing(),
-        other => return Err(format!("unknown profile `{other}`")),
-    };
-    let profile = if f.scale < 1.0 { profile.scaled(f.scale) } else { profile };
-    let stream = profile.generate(f.seed);
-    match &f.out {
-        Some(path) => {
-            io::write_path(&stream, path).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("wrote {} events to {path}", stream.len());
-        }
-        None => {
-            io::write_stream(&stream, std::io::stdout().lock())
-                .map_err(|e| format!("stdout: {e}"))?;
-        }
-    }
-    Ok(())
 }

@@ -10,7 +10,7 @@ use crate::parallel::parallel_map;
 use crate::{SweepGrid, TargetSpec};
 use saturn_graphseries::{snapshot_means, SnapshotMeans};
 use saturn_linkstream::LinkStream;
-use saturn_trips::{distance_means, DistanceMeans};
+use saturn_trips::{distance_means_on, DistanceMeans, EventView, Timeline};
 use serde::Serialize;
 
 /// The classical statistics of `G_Δ` at one scale.
@@ -37,14 +37,18 @@ pub fn classic_sweep(
     delta_min: i64,
 ) -> Vec<ClassicPoint> {
     let target_set = targets.build(stream.node_count() as u32);
+    let view = EventView::new(stream);
     let ks = grid.k_values(stream, delta_min);
-    let mut points = parallel_map(&ks, threads, |&k| ClassicPoint {
-        k,
-        delta_ticks: stream.span() as f64 / k as f64,
-        snapshots: snapshot_means(stream, k),
-        distances: distance_means(stream, k, &target_set),
+    let mut points = parallel_map(&ks, threads, |&k| {
+        let timeline = Timeline::aggregated_from_view(&view, k);
+        ClassicPoint {
+            k,
+            delta_ticks: stream.span() as f64 / k as f64,
+            snapshots: snapshot_means(stream, k),
+            distances: distance_means_on(&timeline, stream.span(), k, &target_set),
+        }
     });
-    points.sort_unstable_by(|a, b| b.k.cmp(&a.k)); // Δ ascending
+    points.sort_unstable_by_key(|p| std::cmp::Reverse(p.k)); // Δ ascending
     points
 }
 

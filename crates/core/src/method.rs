@@ -1,22 +1,24 @@
 //! The occupancy method driver (Section 4 of the paper).
 
-use crate::parallel::parallel_map;
+use crate::parallel::{effective_threads, WorkerPool};
 use crate::report::OccupancyReport;
 use crate::SweepGrid;
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_linkstream::LinkStream;
-use saturn_trips::{occupancy_histogram, TargetSet};
+use saturn_trips::{occupancy_histogram_in, EngineArena, EventView, TargetSet, Timeline};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Slot counts at which the Shannon-entropy score is always evaluated
 /// (the paper discusses k ∈ {5, 10, 20, 100}).
 pub const SHANNON_SLOTS: [usize; 4] = [5, 10, 20, 100];
 
 /// How destinations are chosen for the trip computations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TargetSpec {
     /// Every node is a destination — the paper's exact method,
     /// `O(n²)` memory.
+    #[default]
     All,
     /// A deterministic sample of destinations — bounds memory to
     /// `O(n · size)` for very large networks; the occupancy distribution is
@@ -36,12 +38,6 @@ impl TargetSpec {
             TargetSpec::All => TargetSet::all(n),
             TargetSpec::Sample { size, seed } => TargetSet::sample(n, size, seed),
         }
-    }
-}
-
-impl Default for TargetSpec {
-    fn default() -> Self {
-        TargetSpec::All
     }
 }
 
@@ -211,13 +207,22 @@ impl OccupancyMethod {
         self
     }
 
-    /// Analyzes one scale.
-    fn eval(&self, stream: &LinkStream, targets: &TargetSet, k: u64) -> DeltaResult {
-        let hist = occupancy_histogram(stream, k, targets);
+    /// Analyzes one scale against per-worker engine state and the sweep's
+    /// shared sorted event view.
+    fn eval(
+        &self,
+        arena: &mut EngineArena,
+        view: &EventView,
+        span: i64,
+        targets: &TargetSet,
+        k: u64,
+    ) -> DeltaResult {
+        let timeline = Timeline::aggregated_from_view(view, k);
+        let hist = occupancy_histogram_in(arena, &timeline, targets);
         let dist = WeightedDist::from_pairs(hist.sorted_rates());
         DeltaResult {
             k,
-            delta_ticks: stream.span() as f64 / k as f64,
+            delta_ticks: span as f64 / k as f64,
             trips: hist.total_trips(),
             distinct_rates: hist.distinct_rates(),
             mean_rate: hist.mean(),
@@ -230,12 +235,32 @@ impl OccupancyMethod {
     /// Runs the method: sweeps the grid, optionally refines around the
     /// maximum, and returns the full report. The saturation scale is
     /// [`OccupancyReport::gamma`].
+    ///
+    /// Execution layout: one [`WorkerPool`] owns the worker threads for the
+    /// coarse sweep *and* every refinement round; each worker keeps an
+    /// [`EngineArena`] for the pool's lifetime (DP tables allocated once,
+    /// epoch-reset per scale), and all scales aggregate from one shared
+    /// [`EventView`] sorted once up front.
     pub fn run(&self, stream: &LinkStream) -> OccupancyReport {
         let targets = self.targets.build(stream.node_count() as u32);
+        let view = EventView::new(stream);
+        let span = stream.span();
         let mut ks = self.grid.k_values(stream, self.delta_min);
 
+        // cap parallelism by the coarse grid size: refinement rounds are
+        // never wider than the coarse sweep
+        let mut pool = WorkerPool::new(effective_threads(self.threads, ks.len()));
+        // One arena per worker id; a worker only ever locks its own slot, so
+        // the mutexes are uncontended — they exist to satisfy `Sync`.
+        let arenas: Vec<Mutex<EngineArena>> =
+            (0..pool.parallelism()).map(|_| Mutex::new(EngineArena::new())).collect();
+        let eval_scale = |wid: usize, k: u64| -> DeltaResult {
+            let mut arena = arenas[wid].lock().expect("arena poisoned");
+            self.eval(&mut arena, &view, span, &targets, k)
+        };
+
         let mut results: Vec<DeltaResult> =
-            parallel_map(&ks, self.threads, |&k| self.eval(stream, &targets, k));
+            pool.map(&ks, |wid, &k| eval_scale(wid, k));
 
         for _ in 0..self.refine_rounds {
             // current argmax under the selection metric
@@ -259,31 +284,37 @@ impl OccupancyMethod {
                 break;
             }
             let new_results: Vec<DeltaResult> =
-                parallel_map(&extra, self.threads, |&k| self.eval(stream, &targets, k));
+                pool.map(&extra, |wid, &k| eval_scale(wid, k));
             results.extend(new_results);
             ks.extend(extra);
             ks.sort_unstable_by(|a, b| b.cmp(a));
         }
 
         // Δ ascending (K descending)
-        results.sort_unstable_by(|a, b| b.k.cmp(&a.k));
+        results.sort_unstable_by_key(|r| std::cmp::Reverse(r.k));
         OccupancyReport::new(self.metric, results)
     }
 }
 
-/// Index of the maximum finite score under `metric`, scanning `Δ` ascending
-/// (ties resolved toward the smaller `Δ`, the more conservative scale).
+/// Index of the maximum finite score under `metric`, ties resolved toward
+/// the smaller `Δ` (= larger `K`), the more conservative scale. One pass, no
+/// allocation — this runs once per refinement round.
 pub(crate) fn argmax(results: &[DeltaResult], metric: SelectionMetric) -> Option<usize> {
-    let mut best: Option<(usize, f64)> = None;
-    let mut order: Vec<usize> = (0..results.len()).collect();
-    order.sort_unstable_by(|&a, &b| results[b].k.cmp(&results[a].k)); // Δ ascending
-    for i in order {
-        let s = results[i].scores.get(metric);
-        if s.is_finite() && best.map_or(true, |(_, b)| s > b) {
-            best = Some((i, s));
+    let mut best: Option<(usize, f64, u64)> = None;
+    for (i, r) in results.iter().enumerate() {
+        let s = r.scores.get(metric);
+        if !s.is_finite() {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((_, bs, bk)) => s > bs || (s == bs && r.k > bk),
+        };
+        if better {
+            best = Some((i, s, r.k));
         }
     }
-    best.map(|(i, _)| i)
+    best.map(|(i, ..)| i)
 }
 
 #[cfg(test)]

@@ -1,17 +1,272 @@
-//! Work-stealing parallel map over sweep items.
+//! The sweep's persistent worker pool.
 //!
 //! Each aggregation scale is analyzed independently, so the sweep is
 //! embarrassingly parallel. The fine scales carry most of the work (the
 //! paper: "the most costly computations are the ones made for small values of
 //! Δ, as M is then large"), so items are dispatched dynamically through a
 //! shared atomic cursor rather than pre-partitioned.
+//!
+//! Unlike the earlier per-call `crossbeam::thread::scope` + `Mutex<Vec>` +
+//! sort design, a [`WorkerPool`] spawns its OS threads **once** and reuses
+//! them for every [`map`](WorkerPool::map) call — the occupancy method runs
+//! one coarse sweep plus several refinement rounds per analysis, and thread
+//! spawn/join latency per round is pure overhead. Results are written into
+//! pre-sized slots by item index (no result mutex, no post-hoc sort), and
+//! the worker id passed to the callback lets callers pin per-worker scratch
+//! state (the DP engine's [`EngineArena`](saturn_trips::EngineArena)) for
+//! the pool's whole lifetime.
+//!
+//! # Safety model
+//!
+//! `map` publishes a pointer to a stack-local closure to the workers, then
+//! blocks until every worker has finished the round — the closure therefore
+//! never outlives the frame that owns it. Worker panics are caught, recorded,
+//! and re-raised on the calling thread after the round completes; partially
+//! initialized result slots are dropped correctly via per-slot written
+//! flags.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-/// Applies `f` to every item, using `threads` worker threads (0 = all
-/// available cores, capped by the item count). Results are returned in input
-/// order. Panics in workers propagate.
+/// The erased per-round work function: takes the worker id.
+type Round = &'static (dyn Fn(usize) + Sync);
+
+struct PoolState {
+    /// The published round, if one is in flight.
+    round: Option<Round>,
+    /// Round counter; workers run each generation exactly once.
+    generation: u64,
+    /// Workers still executing the current generation.
+    active: usize,
+    /// A worker panicked during the current generation.
+    panicked: bool,
+    /// Pool is shutting down.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+    round_done: Condvar,
+}
+
+/// A persistent team of worker threads executing parallel maps over sweep
+/// items. Create once per analysis, reuse for every round.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Total parallelism: spawned workers + the calling thread.
+    parallelism: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total parallelism (0 = all available
+    /// cores). The calling thread participates in every round, so
+    /// `threads - 1` OS threads are spawned; `threads <= 1` spawns none and
+    /// every map runs inline.
+    pub fn new(threads: usize) -> Self {
+        let parallelism = resolve_threads(threads);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                round: None,
+                generation: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            round_done: Condvar::new(),
+        });
+        let workers = (0..parallelism.saturating_sub(1))
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("saturn-sweep-{wid}"))
+                    .spawn(move || worker_loop(&shared, wid))
+                    .expect("cannot spawn sweep worker")
+            })
+            .collect();
+        WorkerPool { shared, workers, parallelism }
+    }
+
+    /// Total parallelism (spawned workers + calling thread); worker ids
+    /// passed to `map` callbacks lie in `0..parallelism()`.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Applies `f` to every item, dispatching dynamically across the pool.
+    /// Results land in input order. `f` receives `(worker_id, &item)`;
+    /// `worker_id` is stable within a call and lies in `0..parallelism()`.
+    /// Panics in `f` propagate to the caller after the round drains.
+    /// (`&mut self` enforces one round in flight per pool.)
+    pub fn map<T, R, F>(&mut self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.parallelism <= 1 || items.len() == 1 {
+            return items.iter().map(|item| f(0, item)).collect();
+        }
+
+        let slots = Slots::new(items.len());
+        let cursor = AtomicUsize::new(0);
+        let work = |wid: usize| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            slots.write(i, f(wid, &items[i]));
+        };
+
+        // Publish the round. The transmute erases the stack lifetime; the
+        // wait below guarantees no worker touches the pointer after this
+        // frame ends.
+        let round_ref: &(dyn Fn(usize) + Sync) = &work;
+        let round: Round = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), Round>(round_ref)
+        };
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            debug_assert!(state.round.is_none(), "map is not reentrant");
+            state.round = Some(round);
+            state.generation += 1;
+            state.active = self.workers.len();
+            state.panicked = false;
+            self.shared.work_available.notify_all();
+        }
+
+        // The calling thread is the last worker (id = parallelism - 1).
+        let caller_outcome =
+            catch_unwind(AssertUnwindSafe(|| work(self.parallelism - 1)));
+
+        // Drain the round before looking at outcomes or returning.
+        let panicked = {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            while state.active > 0 {
+                state = self.shared.round_done.wait(state).expect("pool state poisoned");
+            }
+            state.round = None;
+            state.panicked
+        };
+        if panicked || caller_outcome.is_err() {
+            // `slots` drops its initialized entries
+            match caller_outcome {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(()) => panic!("sweep worker panicked"),
+            }
+        }
+        slots.into_results()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.shutdown = true;
+            self.shared.work_available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, wid: usize) {
+    let mut last_generation = 0u64;
+    loop {
+        let round = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(round) = state.round {
+                    if state.generation != last_generation {
+                        last_generation = state.generation;
+                        break round;
+                    }
+                }
+                state = shared.work_available.wait(state).expect("pool state poisoned");
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| round(wid)));
+        let mut state = shared.state.lock().expect("pool state poisoned");
+        if outcome.is_err() {
+            state.panicked = true;
+        }
+        state.active -= 1;
+        if state.active == 0 {
+            shared.round_done.notify_all();
+        }
+    }
+}
+
+/// Pre-sized, index-addressed result storage. Workers write disjoint slots;
+/// the written flags make partially filled storage (panic paths) safe to
+/// drop.
+struct Slots<R> {
+    data: Vec<UnsafeCell<MaybeUninit<R>>>,
+    written: Vec<AtomicBool>,
+}
+
+// Safety: slot writes are disjoint by construction (each index is claimed by
+// exactly one cursor fetch_add) and the written flags use release/acquire
+// ordering.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(len: usize) -> Self {
+        Slots {
+            data: (0..len).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            written: (0..len).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn write(&self, i: usize, value: R) {
+        unsafe { (*self.data[i].get()).write(value) };
+        self.written[i].store(true, Ordering::Release);
+    }
+
+    fn into_results(mut self) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for (cell, flag) in self.data.iter().zip(&self.written) {
+            assert!(
+                flag.swap(false, Ordering::Acquire),
+                "sweep round ended with an unwritten slot"
+            );
+            out.push(unsafe { (*cell.get()).assume_init_read() });
+        }
+        self.data.clear(); // flags already false: Drop has nothing left
+        self.written.clear();
+        out
+    }
+}
+
+impl<R> Drop for Slots<R> {
+    fn drop(&mut self) {
+        for (cell, flag) in self.data.iter().zip(&self.written) {
+            if flag.load(Ordering::Acquire) {
+                unsafe { (*cell.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Applies `f` to every item with `threads` total parallelism (0 = all
+/// available cores). Results are returned in input order; worker panics
+/// propagate. Single-sweep convenience over a transient [`WorkerPool`];
+/// multi-round callers should hold a pool and call
+/// [`WorkerPool::map`] directly.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -22,35 +277,24 @@ where
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
-
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock().push((i, r));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    let mut pairs = results.into_inner();
-    pairs.sort_unstable_by_key(|(i, _)| *i);
-    debug_assert_eq!(pairs.len(), items.len());
-    pairs.into_iter().map(|(_, r)| r).collect()
+    let mut pool = WorkerPool::new(threads);
+    pool.map(items, |_wid, item| f(item))
 }
 
-/// Resolves a requested thread count: 0 means "all available cores".
-pub fn effective_threads(requested: usize, items: usize) -> usize {
+/// Resolves a requested total parallelism: 0 means "all available cores".
+fn resolve_threads(requested: usize) -> usize {
     let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let t = if requested == 0 { avail } else { requested };
-    t.clamp(1, items.max(1))
+    if requested == 0 {
+        avail
+    } else {
+        requested.max(1)
+    }
+}
+
+/// Resolves a requested thread count against an item count: 0 means "all
+/// available cores", and the result never exceeds the item count.
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    resolve_threads(requested).clamp(1, items.max(1))
 }
 
 #[cfg(test)]
@@ -99,5 +343,76 @@ mod tests {
             (x, acc).0
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        let mut pool = WorkerPool::new(4);
+        for round in 0..50u64 {
+            let items: Vec<u64> = (0..37).collect();
+            let out = pool.map(&items, |_wid, &x| x + round);
+            assert_eq!(out, (0..37).map(|x| x + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_ids_are_in_range_and_usable_as_scratch_keys() {
+        let mut pool = WorkerPool::new(4);
+        let scratch: Vec<Mutex<u64>> =
+            (0..pool.parallelism()).map(|_| Mutex::new(0)).collect();
+        let items: Vec<u64> = (0..500).collect();
+        let out = pool.map(&items, |wid, &x| {
+            let mut slot = scratch[wid].lock().unwrap();
+            *slot += 1;
+            x
+        });
+        assert_eq!(out.len(), 500);
+        let total: u64 = scratch.iter().map(|m| *m.lock().unwrap()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_stays_usable() {
+        let mut pool = WorkerPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_wid, &x| {
+                if x == 13 {
+                    panic!("injected failure");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        // pool remains operational for subsequent rounds
+        let out = pool.map(&items, |_wid, &x| x * 3);
+        assert_eq!(out[21], 63);
+    }
+
+    #[test]
+    fn results_drop_correctly_on_panic() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] u32);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let mut pool = WorkerPool::new(2);
+        let items: Vec<u32> = (0..16).collect();
+        DROPS.store(0, Ordering::SeqCst);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_wid, &x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                Counted(x)
+            })
+        }));
+        assert!(result.is_err());
+        // every successfully produced value was dropped exactly once (15
+        // produced, one panicked before producing)
+        assert_eq!(DROPS.load(Ordering::SeqCst), 15);
     }
 }

@@ -15,7 +15,8 @@ use crate::parallel::parallel_map;
 use crate::{SweepGrid, TargetSpec};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
-    elongation_stats, lost_transition_fraction, stream_minimal_trips, ElongationStats,
+    elongation_stats_on, lost_transition_fraction, stream_minimal_trips, ElongationStats,
+    EventView, Timeline,
 };
 use serde::Serialize;
 
@@ -58,17 +59,19 @@ pub fn validation_sweep(
 ) -> ValidationReport {
     let target_set = targets.build(stream.node_count() as u32);
     let reference = stream_minimal_trips(stream, &target_set, weighted_transitions);
+    let view = EventView::new(stream);
     let ks = grid.k_values(stream, delta_min);
     let mut points = parallel_map(&ks, threads, |&k| {
         let partition = stream.partition(k).expect("grid yields valid k");
+        let timeline = Timeline::aggregated_from_view(&view, k);
         ValidationPoint {
             k,
             delta_ticks: partition.delta_ticks(),
             lost_transitions: lost_transition_fraction(&reference.transitions, &partition),
-            elongation: elongation_stats(stream, &reference, k, &target_set),
+            elongation: elongation_stats_on(&timeline, partition, &reference, &target_set),
         }
     });
-    points.sort_unstable_by(|a, b| b.k.cmp(&a.k));
+    points.sort_unstable_by_key(|p| std::cmp::Reverse(p.k));
     ValidationReport {
         points,
         reference_trips: reference.total_trips(),

@@ -29,7 +29,7 @@ pub fn std_dev(dist: &WeightedDist) -> f64 {
 /// or zero mean.
 pub fn variation_coefficient(dist: &WeightedDist) -> f64 {
     let mu = mean(dist);
-    if !(mu > 0.0) {
+    if mu <= 0.0 || mu.is_nan() {
         return f64::NAN;
     }
     std_dev(dist) / mu

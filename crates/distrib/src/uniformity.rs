@@ -14,9 +14,10 @@ use std::fmt;
 /// The paper retains [`MkProximity`](SelectionMetric::MkProximity) as its
 /// reference method ("conceptually simple and gives very satisfactory
 /// results"); the others are provided for the Section 7 comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SelectionMetric {
     /// M-K proximity `1/2 - dist_MK` to the uniform density (the default).
+    #[default]
     MkProximity,
     /// Standard deviation (selects slightly larger periods than M-K).
     StdDev,
@@ -53,12 +54,6 @@ impl SelectionMetric {
             SelectionMetric::ShannonEntropy { slots } => shannon_entropy(dist, slots),
             SelectionMetric::Cre => cumulative_residual_entropy(dist),
         }
-    }
-}
-
-impl Default for SelectionMetric {
-    fn default() -> Self {
-        SelectionMetric::MkProximity
     }
 }
 

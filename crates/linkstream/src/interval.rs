@@ -118,7 +118,7 @@ impl IntervalStream {
             let mut t = self.t_begin + phase + steps * period;
             while t <= link.end {
                 b.add_indexed(link.u.raw(), link.v.raw(), t);
-                t = t + period;
+                t += period;
             }
         }
         b.build()

@@ -43,7 +43,7 @@ impl CircadianProfile {
         CircadianProfile {
             day_ticks,
             active_start: 10.0 / 24.0,
-            active_end: 24.0 / 24.0,
+            active_end: 1.0, // 24h/24h: active through the end of the day
             night_level: 0.15,
             weekend_level: 1.0,
             weekend_days: 0,

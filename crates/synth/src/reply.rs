@@ -213,7 +213,7 @@ mod tests {
         for l in s.events() {
             *pairs.entry((l.u, l.v)).or_insert(0usize) += 1;
         }
-        let repeated: usize = pairs.values().filter(|&&c| c > 1).map(|&c| c).sum();
+        let repeated: usize = pairs.values().filter(|&&c| c > 1).copied().sum();
         assert!(
             repeated as f64 / s.len() as f64 > 0.3,
             "repeated-tie share too low"

@@ -37,14 +37,27 @@ pub struct DistanceMeans {
 /// destinations in `targets`.
 pub fn distance_means(stream: &LinkStream, k: u64, targets: &TargetSet) -> DistanceMeans {
     let timeline = Timeline::aggregated(stream, k);
+    distance_means_on(&timeline, stream.span(), k, targets)
+}
+
+/// Same as [`distance_means`], for an already-built aggregated timeline —
+/// sweeps build the timeline once per scale from a shared
+/// [`crate::EventView`] and pass it here. `span` is the stream's study
+/// period length in ticks.
+pub fn distance_means_on(
+    timeline: &Timeline,
+    span: i64,
+    k: u64,
+    targets: &TargetSet,
+) -> DistanceMeans {
     let stats = earliest_arrival_dp(
-        &timeline,
+        timeline,
         targets,
         &mut NullSink,
         DpOptions { collect_distances: true },
     );
     let sums = stats.distances.expect("collect_distances was set");
-    let delta = stream.span() as f64 / k as f64;
+    let delta = span as f64 / k as f64;
     let cnt = sums.finite_triples.max(1) as f64;
     let mean_dtime = sums.sum_dtime_steps as f64 / cnt;
     DistanceMeans {

@@ -18,6 +18,42 @@
 //!   installed (used both to deduplicate work inside a step and to flush
 //!   distance sums over the departure-time ranges where the value was valid).
 //!
+//! # Memory & layout invariants (the [`EngineArena`])
+//!
+//! The sweep calls this engine once per aggregation scale, with identical
+//! table dimensions `n × |targets|` every time. All engine state therefore
+//! lives in a caller-owned [`EngineArena`] that each worker thread allocates
+//! once and reuses for every scale it processes. The invariants:
+//!
+//! * **Epoch stamping.** Tables are never re-zeroed between runs. Each run
+//!   bumps `arena.epoch`; a cell `(ea, hops, set_at)` is *live* iff
+//!   `stamp[idx] == epoch`, so stale values from earlier scales read as
+//!   "unreachable" at the cost of one `u32` compare. On the (once per 2^32
+//!   runs) epoch wrap, stamps are hard-reset.
+//! * **Reachability frontier.** A per-row bitmap (one bit per column) marks
+//!   the cells whose earliest arrival is finite. Backward in time,
+//!   reachability only grows, so bits are set-only within a run; the bitmap
+//!   is 1/128th the size of the cell table and is simply cleared between
+//!   runs. Snapshots iterate set bits in ascending column order — when a row
+//!   is dense this walks the cells sequentially (the same locality as a full
+//!   row scan), and when it is sparse whole 64-column words are skipped per
+//!   `trailing_zeros` step. That pruning is decisive for early backward
+//!   steps, where nearly every pair is still unreachable.
+//! * **Frontier snapshots.** At each step, rows that can be read as
+//!   continuations snapshot only their frontier entries (`(col, ea, hops)`
+//!   triples appended to one flat buffer) instead of `copy_from_slice`-ing
+//!   whole rows. Snapshot bounds are frozen before any edge of the step is
+//!   applied, which is exactly the strict inequality of Remark 1 —
+//!   same-step values can never be read back (see the ablation test
+//!   `remark1_ablation.rs` for the naive in-place variant's failure).
+//! * **CSR timelines.** Steps arrive as [`StepView`] slices into the
+//!   timeline's flat `edge_src` / `edge_dst` arrays ([`Timeline`] docs);
+//!   the engine walks them with zero per-step allocation.
+//!
+//! The pre-rework engine (full-row snapshots, per-run table allocation,
+//! `O(ncols)` chain scans) is preserved in [`baseline`] as the comparison
+//! oracle for differential tests and the speedup benches.
+//!
 //! # Recurrence at step `k`
 //!
 //! For every edge `(u, w)` of step `k` (plus the reverse traversal when
@@ -37,14 +73,15 @@
 //! in `[k+1, a'] ⊆ [k, a]` with `a' <= a` (it would force
 //! `ea_{k+1} <= a < ea_{k+1}`), and no trip fits in `[k, a']` with `a' < a`
 //! (it would contradict `ea_k = a`); hence `[k, a]` is minimal. Trips are
-//! reported once per step, after all its edges are processed, so the sink
-//! always sees final values.
+//! reported once per step, after all its edges are processed (in ascending
+//! `(row, target-column)` order within the step), so the sink always sees
+//! final values.
 
 use crate::{TargetSet, Timeline};
 
 /// Sentinel for "no path".
 const NONE_EA: u32 = u32::MAX;
-/// Sentinel for "value never set".
+/// Sentinel for "value never set" / "no slot".
 const NEVER: u32 = u32::MAX;
 
 /// Receives every minimal trip discovered by the engine.
@@ -103,129 +140,481 @@ pub struct DpStats {
     pub distances: Option<DistanceSums>,
 }
 
+/// One DP table cell, sized to a half cache line so every `offer` touches a
+/// single line (the pre-rework layout spread `ea`/`hops`/`set_at` across
+/// three parallel arrays — three random accesses per offer).
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    /// Earliest arrival; garbage unless `stamp` matches the run's epoch.
+    ea: u32,
+    /// Min hops at the earliest arrival.
+    hops: u32,
+    /// Step at which `(ea, hops)` was installed.
+    set_at: u32,
+    /// Generation stamp; the cell is live iff `stamp == arena.epoch`.
+    stamp: u32,
+}
+
+/// One snapshotted frontier entry of a continuation row.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct Snap {
+    col: u32,
+    ea: u32,
+    hops: u32,
+}
+
+/// Reusable per-worker engine state; see the module docs for the epoch and
+/// frontier invariants. One arena serves any number of sequential runs; the
+/// sweep gives each worker thread its own.
+#[derive(Clone, Debug, Default)]
+pub struct EngineArena {
+    nrows: usize,
+    ncols: usize,
+    /// Current run's generation stamp; cells are live iff their stamp
+    /// matches.
+    epoch: u32,
+    cells: Vec<Cell>,
+    /// Per-row frontier bitmap (one bit per column): bit set = live cell.
+    /// Iterated in ascending column order, so snapshots and chain updates
+    /// walk rows sequentially — baseline-grade locality when dense, 64
+    /// columns skipped per zero word when sparse. 1/128th the size of the
+    /// cell table, so clearing it per run costs nothing measurable.
+    frontier: Vec<u64>,
+    /// Words per frontier row: `ceil(ncols / 64)`.
+    words_per_row: usize,
+    /// Flat per-step snapshot of frontier entries.
+    snap: Vec<Snap>,
+    /// Per snapshot slot: `(start, len)` into `snap`.
+    slot_bounds: Vec<(u32, u32)>,
+    /// node -> snapshot slot (`NEVER` = none), plus the slotted-node list.
+    slot_of: Vec<u32>,
+    slotted: Vec<u32>,
+    /// `(cell index, pre-step ea)` of cells first touched in the current
+    /// step.
+    dirty: Vec<(usize, u32)>,
+}
+
+impl EngineArena {
+    /// An empty arena; tables materialize on first use and are reused when
+    /// dimensions repeat (the whole point: a sweep's scales all share
+    /// `n × |targets|`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Readies the arena for a run over an `nrows × ncols` table.
+    fn prepare(&mut self, nrows: usize, ncols: usize) {
+        if self.nrows != nrows || self.ncols != ncols {
+            let n_cells = nrows.checked_mul(ncols).expect("state table size overflow");
+            // ea/hops/set_at are garbage until stamped; only `stamp` needs
+            // real init
+            self.cells =
+                vec![Cell { ea: NONE_EA, hops: 0, set_at: NEVER, stamp: 0 }; n_cells];
+            self.epoch = 1;
+            self.words_per_row = ncols.div_ceil(64);
+            self.frontier = vec![0u64; nrows * self.words_per_row];
+            self.slot_of = vec![NEVER; nrows];
+            self.nrows = nrows;
+            self.ncols = ncols;
+        } else {
+            if self.epoch == u32::MAX {
+                for cell in &mut self.cells {
+                    cell.stamp = 0;
+                }
+                self.epoch = 1;
+            } else {
+                self.epoch += 1;
+            }
+            self.frontier.fill(0);
+        }
+        self.slotted.clear();
+        self.slot_bounds.clear();
+        self.snap.clear();
+        self.dirty.clear();
+        // normally all NEVER already (step 4 of run releases slots), but a
+        // sink panic caught by the caller can abandon a run mid-step and
+        // leave stale slot indices behind; O(nrows) is noise next to the
+        // table itself
+        self.slot_of.fill(NEVER);
+    }
+
+    fn run(
+        &mut self,
+        timeline: &Timeline,
+        targets: &TargetSet,
+        sink: &mut impl TripSink,
+        options: DpOptions,
+    ) -> DpStats {
+        // Field-split the arena so the hot loops can hold a shared borrow of
+        // the snapshot buffer while mutating cells/frontier/dirty.
+        let EngineArena {
+            nrows,
+            ncols,
+            epoch,
+            cells,
+            frontier,
+            words_per_row,
+            snap,
+            slot_bounds,
+            slot_of,
+            slotted,
+            dirty,
+        } = self;
+        let (nrows, ncols, epoch, words_per_row) = (*nrows, *ncols, *epoch, *words_per_row);
+        let undirected = !timeline.is_directed();
+        let collect = options.collect_distances;
+        let mut sums = DistanceSums::default();
+        let mut trips = 0u64;
+        let mut traversals = 0u64;
+
+        /// The DP update for one candidate `(arrival, hops)` at cell `idx`
+        /// (= row `row_node` × column `col`) during step `k`. A free fn over
+        /// the split-out arena parts so callers can keep disjoint borrows.
+        #[allow(clippy::too_many_arguments)] // hot inner call; a params struct costs moves
+        #[inline(always)]
+        fn offer(
+            cells: &mut [Cell],
+            frontier: &mut [u64],
+            words_per_row: usize,
+            dirty: &mut Vec<(usize, u32)>,
+            epoch: u32,
+            idx: usize,
+            row_node: u32,
+            col: u32,
+            k: u32,
+            arr: u32,
+            h: u32,
+            collect: bool,
+            sums: &mut DistanceSums,
+        ) {
+            let cell = &mut cells[idx];
+            let live = cell.stamp == epoch;
+            let cur = if live { cell.ea } else { NONE_EA };
+            if arr < cur {
+                if !live {
+                    // first touch this run: enters the frontier
+                    cell.stamp = epoch;
+                    cell.set_at = k;
+                    frontier[row_node as usize * words_per_row + (col as usize >> 6)] |=
+                        1u64 << (col & 63);
+                    dirty.push((idx, NONE_EA));
+                } else if cell.set_at != k {
+                    if collect {
+                        flush_distances(cell, k, sums);
+                    }
+                    dirty.push((idx, cur));
+                    cell.set_at = k;
+                }
+                cell.ea = arr;
+                cell.hops = h;
+            } else if arr == cur && arr != NONE_EA && h < cell.hops {
+                if cell.set_at != k {
+                    if collect {
+                        flush_distances(cell, k, sums);
+                    }
+                    dirty.push((idx, cur));
+                    cell.set_at = k;
+                }
+                cell.hops = h;
+            }
+        }
+
+        /// Flushes the distance contribution of a live cell's value, valid
+        /// for departure steps `[new_k + 1, set_at]`, before replacement.
+        #[inline]
+        fn flush_distances(cell: &Cell, new_k: u32, sums: &mut DistanceSums) {
+            debug_assert!(cell.ea != NONE_EA);
+            let hi = cell.set_at as i128; // inclusive
+            let lo = new_k as i128 + 1; // inclusive
+            if hi < lo {
+                return;
+            }
+            let cnt = hi - lo + 1;
+            // Σ_{t=lo..hi} (a - t + 1) = cnt·(a + 1) - Σ t
+            let sum_t = (lo + hi) * cnt / 2;
+            sums.sum_dtime_steps += cnt * (cell.ea as i128 + 1) - sum_t;
+            sums.sum_dhops += cnt * cell.hops as i128;
+            sums.finite_triples += cnt;
+        }
+
+        for step in timeline.steps_desc() {
+            let k = step.index;
+
+            // 1. Snapshot the pre-step frontier of every row that can be
+            //    read as a continuation. Reads go through edge heads, but in
+            //    a directed timeline a tail `u` can be the head of another
+            //    edge of the same step, so both endpoints are snapshotted
+            //    uniformly — only pre-step values are ever read, which is
+            //    exactly the strict inequality of Remark 1.
+            debug_assert!(slotted.is_empty());
+            for &node in step.src.iter().chain(step.dst.iter()) {
+                if slot_of[node as usize] == NEVER {
+                    let slot = slotted.len() as u32;
+                    slot_of[node as usize] = slot;
+                    slotted.push(node);
+                    let start = snap.len() as u32;
+                    let row = node as usize * ncols;
+                    let words =
+                        &frontier[node as usize * words_per_row..][..words_per_row];
+                    for (wi, &word) in words.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let c = (wi as u32) * 64 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            let cell = &cells[row + c as usize];
+                            snap.push(Snap { col: c, ea: cell.ea, hops: cell.hops });
+                        }
+                    }
+                    slot_bounds.push((start, snap.len() as u32 - start));
+                }
+            }
+
+            // 2. Process every traversal of the step against the snapshots.
+            for e in 0..step.len() {
+                let (eu, ew) = (step.src[e], step.dst[e]);
+                let dirs: [(u32, u32); 2] = [(eu, ew), (ew, eu)];
+                let ndirs = if undirected { 2 } else { 1 };
+                for &(u, w) in &dirs[..ndirs] {
+                    traversals += 1;
+                    let row = u as usize * ncols;
+                    // single hop: u -> w at step k
+                    if let Some(c) = targets.col_of(w) {
+                        offer(
+                            cells, frontier, words_per_row, dirty, epoch,
+                            row + c as usize, u, c, k, k, 1, collect, &mut sums,
+                        );
+                    }
+                    // chain: u -(k)-> w, then w's pre-step frontier
+                    let slot = slot_of[w as usize] as usize;
+                    let (start, len) = slot_bounds[slot];
+                    // diagonal column to skip (no u -> u trips); NONE_COL
+                    // sentinel can never equal a stored column
+                    let diag = targets.col_of(u).unwrap_or(u32::MAX);
+                    for s in &snap[start as usize..(start + len) as usize] {
+                        if s.col == diag {
+                            continue;
+                        }
+                        offer(
+                            cells,
+                            frontier,
+                            words_per_row,
+                            dirty,
+                            epoch,
+                            row + s.col as usize,
+                            u,
+                            s.col,
+                            k,
+                            s.ea,
+                            s.hops + 1,
+                            collect,
+                            &mut sums,
+                        );
+                    }
+                }
+            }
+
+            // 3. Report the minimal trips of this step with final values,
+            //    in ascending (row, target-column) order — deterministic
+            //    regardless of frontier insertion order. (Equal to (u, v)
+            //    order when the TargetSet's columns are node-sorted, which
+            //    all built-in constructors guarantee except a caller-ordered
+            //    TargetSet::from_nodes.)
+            dirty.sort_unstable_by_key(|&(idx, _)| idx);
+            for &(idx, pre_ea) in dirty.iter() {
+                let cell = &cells[idx];
+                if cell.ea < pre_ea {
+                    let u = (idx / ncols) as u32;
+                    let v = targets.node_of((idx % ncols) as u32);
+                    sink.minimal_trip(u, v, k, cell.ea, cell.hops);
+                    trips += 1;
+                }
+            }
+            dirty.clear();
+
+            // 4. Release snapshot slots and buffers (capacity kept).
+            for &node in slotted.iter() {
+                slot_of[node as usize] = NEVER;
+            }
+            slotted.clear();
+            slot_bounds.clear();
+            snap.clear();
+        }
+
+        // Final distance flush: each surviving value is valid for departure
+        // steps [0, set_at]. Only frontier cells can carry finite values.
+        let distances = if collect {
+            for node in 0..nrows {
+                let row = node * ncols;
+                let words = &frontier[node * words_per_row..][..words_per_row];
+                for (wi, &word) in words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let c = (wi as u32) * 64 + bits.trailing_zeros();
+                        bits &= bits - 1;
+                        let cell = &cells[row + c as usize];
+                        debug_assert!(cell.ea != NONE_EA && cell.stamp == epoch);
+                        let hi = cell.set_at as i128;
+                        let cnt = hi + 1; // steps 0..=hi
+                        let sum_t = hi * (hi + 1) / 2;
+                        sums.sum_dtime_steps += cnt * (cell.ea as i128 + 1) - sum_t;
+                        sums.sum_dhops += cnt * cell.hops as i128;
+                        sums.finite_triples += cnt;
+                    }
+                }
+            }
+            Some(sums)
+        } else {
+            None
+        };
+
+        DpStats { trips, traversals, distances }
+    }
+}
+
 /// Runs the backward DP over `timeline`, reporting every minimal trip whose
-/// destination lies in `targets` to `sink`.
+/// destination lies in `targets` to `sink`. Allocates a fresh arena; sweeps
+/// should hold an [`EngineArena`] per worker and call
+/// [`earliest_arrival_dp_in`].
 ///
-/// Complexity: `O(|targets| · M)` time and `O(n · |targets|)` memory, where
-/// `M` is the total edge count of the timeline.
+/// Complexity: `O(|targets| · M)` time worst-case — with the frontier
+/// pruning, each traversal pays for *reachable* columns only — and
+/// `O(n · |targets|)` memory, where `M` is the total edge count of the
+/// timeline.
 pub fn earliest_arrival_dp(
     timeline: &Timeline,
     targets: &TargetSet,
     sink: &mut impl TripSink,
     options: DpOptions,
 ) -> DpStats {
-    Engine::new(timeline, targets, options).run(timeline, sink)
+    let mut arena = EngineArena::new();
+    earliest_arrival_dp_in(&mut arena, timeline, targets, sink, options)
 }
 
-struct Engine<'a> {
-    targets: &'a TargetSet,
-    ncols: usize,
-    /// Earliest arrival per (row, col); `NONE_EA` = unreachable.
-    ea: Vec<u32>,
-    /// Min hops at the earliest arrival.
-    hops: Vec<u32>,
-    /// Step at which the current (ea, hops) was installed; `NEVER` initially.
-    set_at: Vec<u32>,
-    /// Scratch: pre-step copies of rows read as continuations.
-    scratch_ea: Vec<u32>,
-    scratch_hops: Vec<u32>,
-    /// node -> scratch slot (NEVER = none), plus the list of slotted nodes.
-    slot_of: Vec<u32>,
-    slotted: Vec<u32>,
-    /// (pair index, pre-step ea) of pairs first touched in the current step.
-    dirty: Vec<(usize, u32)>,
-    collect_distances: bool,
-    sums: DistanceSums,
+/// [`earliest_arrival_dp`] against caller-owned state: the arena's tables
+/// are reused (epoch-stamped, not re-zeroed) when consecutive runs share
+/// dimensions — the hot configuration of the Δ sweep.
+pub fn earliest_arrival_dp_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    sink: &mut impl TripSink,
+    options: DpOptions,
+) -> DpStats {
+    arena.prepare(timeline.n() as usize, targets.len());
+    arena.run(timeline, targets, sink, options)
 }
 
-impl<'a> Engine<'a> {
-    fn new(timeline: &Timeline, targets: &'a TargetSet, options: DpOptions) -> Self {
-        let n = timeline.n() as usize;
-        let ncols = targets.len();
-        let cells = n.checked_mul(ncols).expect("state table size overflow");
-        Engine {
-            targets,
-            ncols,
-            ea: vec![NONE_EA; cells],
-            hops: vec![0; cells],
-            set_at: vec![NEVER; cells],
-            scratch_ea: Vec::new(),
-            scratch_hops: Vec::new(),
-            slot_of: vec![NEVER; n],
-            slotted: Vec::new(),
-            dirty: Vec::new(),
-            collect_distances: options.collect_distances,
-            sums: DistanceSums::default(),
-        }
+pub mod baseline {
+    //! The pre-rework engine: fresh `O(n·|targets|)` tables per run,
+    //! full-row `copy_from_slice` snapshots, `O(ncols)` chain scans.
+    //!
+    //! Kept as (a) the oracle for differential property tests of the
+    //! frontier-pruned engine and (b) the baseline side of the speedup
+    //! benches in `crates/bench` — `BENCH_sweep.json` tracks the ratio.
+
+    use super::{DistanceSums, DpOptions, DpStats, TripSink, NEVER, NONE_EA};
+    use crate::{TargetSet, Timeline};
+
+    /// [`super::earliest_arrival_dp`]'s behavior-identical slow twin.
+    pub fn earliest_arrival_dp(
+        timeline: &Timeline,
+        targets: &TargetSet,
+        sink: &mut impl TripSink,
+        options: DpOptions,
+    ) -> DpStats {
+        Engine::new(timeline, targets, options).run(timeline, sink)
     }
 
-    /// Flushes the distance contribution of the value currently stored for
-    /// `idx`, valid for departure steps `[new_k + 1, set_at]`, before it is
-    /// replaced by a value installed at `new_k`.
-    #[inline]
-    fn flush_distances(&mut self, idx: usize, new_k: u32) {
-        if !self.collect_distances {
-            return;
-        }
-        let a = self.ea[idx];
-        if a == NONE_EA {
-            return;
-        }
-        let hi = self.set_at[idx] as i128; // inclusive
-        let lo = new_k as i128 + 1; // inclusive
-        if hi < lo {
-            return;
-        }
-        let cnt = hi - lo + 1;
-        // Σ_{t=lo..hi} (a - t + 1) = cnt·(a + 1) - Σ t
-        let sum_t = (lo + hi) * cnt / 2;
-        self.sums.sum_dtime_steps += cnt * (a as i128 + 1) - sum_t;
-        self.sums.sum_dhops += cnt * self.hops[idx] as i128;
-        self.sums.finite_triples += cnt;
+    struct Engine<'a> {
+        targets: &'a TargetSet,
+        ncols: usize,
+        ea: Vec<u32>,
+        hops: Vec<u32>,
+        set_at: Vec<u32>,
+        scratch_ea: Vec<u32>,
+        scratch_hops: Vec<u32>,
+        slot_of: Vec<u32>,
+        slotted: Vec<u32>,
+        dirty: Vec<(usize, u32)>,
+        collect_distances: bool,
+        sums: DistanceSums,
     }
 
-    /// Offers candidate `(arrival, hop count)` for pair index `idx` at step
-    /// `k`. Returns nothing; bookkeeping records first-touches for the
-    /// post-step trip report.
-    #[inline]
-    fn offer(&mut self, idx: usize, k: u32, arr: u32, h: u32) {
-        let cur = self.ea[idx];
-        if arr < cur {
-            if self.set_at[idx] != k {
-                self.flush_distances(idx, k);
-                self.dirty.push((idx, cur));
-                self.set_at[idx] = k;
+    impl<'a> Engine<'a> {
+        fn new(timeline: &Timeline, targets: &'a TargetSet, options: DpOptions) -> Self {
+            let n = timeline.n() as usize;
+            let ncols = targets.len();
+            let cells = n.checked_mul(ncols).expect("state table size overflow");
+            Engine {
+                targets,
+                ncols,
+                ea: vec![NONE_EA; cells],
+                hops: vec![0; cells],
+                set_at: vec![NEVER; cells],
+                scratch_ea: Vec::new(),
+                scratch_hops: Vec::new(),
+                slot_of: vec![NEVER; n],
+                slotted: Vec::new(),
+                dirty: Vec::new(),
+                collect_distances: options.collect_distances,
+                sums: DistanceSums::default(),
             }
-            self.ea[idx] = arr;
-            self.hops[idx] = h;
-        } else if arr == cur && arr != NONE_EA && h < self.hops[idx] {
-            if self.set_at[idx] != k {
-                self.flush_distances(idx, k);
-                self.dirty.push((idx, cur));
-                self.set_at[idx] = k;
-            }
-            self.hops[idx] = h;
         }
-    }
 
-    fn run(mut self, timeline: &Timeline, sink: &mut impl TripSink) -> DpStats {
-        let undirected = !timeline.is_directed();
-        let ncols = self.ncols;
-        let mut trips = 0u64;
-        let mut traversals = 0u64;
+        #[inline]
+        fn flush_distances(&mut self, idx: usize, new_k: u32) {
+            if !self.collect_distances {
+                return;
+            }
+            let a = self.ea[idx];
+            if a == NONE_EA {
+                return;
+            }
+            let hi = self.set_at[idx] as i128;
+            let lo = new_k as i128 + 1;
+            if hi < lo {
+                return;
+            }
+            let cnt = hi - lo + 1;
+            let sum_t = (lo + hi) * cnt / 2;
+            self.sums.sum_dtime_steps += cnt * (a as i128 + 1) - sum_t;
+            self.sums.sum_dhops += cnt * self.hops[idx] as i128;
+            self.sums.finite_triples += cnt;
+        }
 
-        for step in timeline.steps_desc() {
-            let k = step.index;
+        #[inline]
+        fn offer(&mut self, idx: usize, k: u32, arr: u32, h: u32) {
+            let cur = self.ea[idx];
+            if arr < cur {
+                if self.set_at[idx] != k {
+                    self.flush_distances(idx, k);
+                    self.dirty.push((idx, cur));
+                    self.set_at[idx] = k;
+                }
+                self.ea[idx] = arr;
+                self.hops[idx] = h;
+            } else if arr == cur && arr != NONE_EA && h < self.hops[idx] {
+                if self.set_at[idx] != k {
+                    self.flush_distances(idx, k);
+                    self.dirty.push((idx, cur));
+                    self.set_at[idx] = k;
+                }
+                self.hops[idx] = h;
+            }
+        }
 
-            // 1. Snapshot the pre-step profile of every row that can be read
-            //    as a continuation. Reads go through edge heads, but in a
-            //    directed timeline a tail `u` can be the head of another edge
-            //    of the same step, so both endpoints are snapshotted
-            //    uniformly — only pre-step values are ever read, which is
-            //    exactly the strict inequality of Remark 1.
-            debug_assert!(self.slotted.is_empty());
-            for &(u, w) in &step.edges {
-                for node in [u, w] {
+        fn run(mut self, timeline: &Timeline, sink: &mut impl TripSink) -> DpStats {
+            let undirected = !timeline.is_directed();
+            let ncols = self.ncols;
+            let mut trips = 0u64;
+            let mut traversals = 0u64;
+
+            for step in timeline.steps_desc() {
+                let k = step.index;
+                debug_assert!(self.slotted.is_empty());
+                for &node in step.src.iter().chain(step.dst.iter()) {
                     if self.slot_of[node as usize] == NEVER {
                         let slot = self.slotted.len();
                         self.slot_of[node as usize] = slot as u32;
@@ -242,77 +631,72 @@ impl<'a> Engine<'a> {
                             .copy_from_slice(&self.hops[src..src + ncols]);
                     }
                 }
-            }
 
-            // 2. Process every traversal of the step against the snapshots.
-            for &(eu, ew) in &step.edges {
-                let dirs: [(u32, u32); 2] = [(eu, ew), (ew, eu)];
-                let ndirs = if undirected { 2 } else { 1 };
-                for &(u, w) in &dirs[..ndirs] {
-                    traversals += 1;
-                    let row = u as usize * ncols;
-                    // single hop: u -> w at step k
-                    if let Some(c) = self.targets.col_of(w) {
-                        self.offer(row + c as usize, k, k, 1);
-                    }
-                    // chain: u -(k)-> w, then w's pre-step profile
-                    let slot = self.slot_of[w as usize] as usize;
-                    let su_col = self.targets.col_of(u); // diagonal to skip
-                    let base = slot * ncols;
-                    for c in 0..ncols {
-                        let a = self.scratch_ea[base + c];
-                        if a == NONE_EA {
-                            continue;
+                for e in 0..step.len() {
+                    let (eu, ew) = (step.src[e], step.dst[e]);
+                    let dirs: [(u32, u32); 2] = [(eu, ew), (ew, eu)];
+                    let ndirs = if undirected { 2 } else { 1 };
+                    for &(u, w) in &dirs[..ndirs] {
+                        traversals += 1;
+                        let row = u as usize * ncols;
+                        if let Some(c) = self.targets.col_of(w) {
+                            self.offer(row + c as usize, k, k, 1);
                         }
-                        if su_col == Some(c as u32) {
-                            continue; // no u -> u trips
+                        let slot = self.slot_of[w as usize] as usize;
+                        let su_col = self.targets.col_of(u);
+                        let base = slot * ncols;
+                        for c in 0..ncols {
+                            let a = self.scratch_ea[base + c];
+                            if a == NONE_EA {
+                                continue;
+                            }
+                            if su_col == Some(c as u32) {
+                                continue;
+                            }
+                            let h = 1 + self.scratch_hops[base + c];
+                            self.offer(row + c, k, a, h);
                         }
-                        let h = 1 + self.scratch_hops[base + c];
-                        self.offer(row + c, k, a, h);
                     }
                 }
-            }
 
-            // 3. Report the minimal trips of this step with final values.
-            for &(idx, pre_ea) in &self.dirty {
-                let a = self.ea[idx];
-                if a < pre_ea {
-                    let u = (idx / ncols) as u32;
-                    let v = self.targets.node_of((idx % ncols) as u32);
-                    sink.minimal_trip(u, v, k, a, self.hops[idx]);
-                    trips += 1;
+                self.dirty.sort_unstable_by_key(|&(idx, _)| idx);
+                for &(idx, pre_ea) in &self.dirty {
+                    let a = self.ea[idx];
+                    if a < pre_ea {
+                        let u = (idx / ncols) as u32;
+                        let v = self.targets.node_of((idx % ncols) as u32);
+                        sink.minimal_trip(u, v, k, a, self.hops[idx]);
+                        trips += 1;
+                    }
                 }
-            }
-            self.dirty.clear();
+                self.dirty.clear();
 
-            // 4. Release scratch slots.
-            for &node in &self.slotted {
-                self.slot_of[node as usize] = NEVER;
+                for &node in &self.slotted {
+                    self.slot_of[node as usize] = NEVER;
+                }
+                self.slotted.clear();
             }
-            self.slotted.clear();
+
+            let distances = if self.collect_distances {
+                for idx in 0..self.ea.len() {
+                    let a = self.ea[idx];
+                    if a == NONE_EA {
+                        continue;
+                    }
+                    let hi = self.set_at[idx] as i128;
+                    let cnt = hi + 1;
+                    let sum_t = hi * (hi + 1) / 2;
+                    self.sums.sum_dtime_steps += cnt * (a as i128 + 1) - sum_t;
+                    self.sums.sum_dhops += cnt * self.hops[idx] as i128;
+                    self.sums.finite_triples += cnt;
+                }
+                Some(self.sums)
+            } else {
+                None
+            };
+
+            DpStats { trips, traversals, distances }
         }
-
-        // Final distance flush: each surviving value is valid for departure
-        // steps [0, set_at].
-        let distances = if self.collect_distances {
-            for idx in 0..self.ea.len() {
-                let a = self.ea[idx];
-                if a == NONE_EA {
-                    continue;
-                }
-                let hi = self.set_at[idx] as i128;
-                let cnt = hi + 1; // steps 0..=hi
-                let sum_t = hi * (hi + 1) / 2;
-                self.sums.sum_dtime_steps += cnt * (a as i128 + 1) - sum_t;
-                self.sums.sum_dhops += cnt * self.hops[idx] as i128;
-                self.sums.finite_triples += cnt;
-            }
-            Some(self.sums)
-        } else {
-            None
-        };
-
-        DpStats { trips, traversals, distances }
     }
 }
 
@@ -343,9 +727,9 @@ mod tests {
 
     #[test]
     fn single_link_single_trip() {
-        // a-b at t=0; span 0 -> K must be 1
+        // a-b at t=0; a-c at t=5
         let trips = run("a b 0\na c 5\n", Directedness::Undirected, 5);
-        // Δ = 1: a-b in window 0 (both directions), a-c in window 4 (clamped? t=5 -> w4)
+        // Δ = 1: a-b in window 0 (both directions), a-c in window 4
         // trips: (a,b,0,0,1), (b,a,0,0,1), (a,c,4,4,1), (c,a,4,4,1), and
         // b -> c via a: edge ab at w0, ac at w4: b dep 0 arr 4 hops 2
         // c -> b: needs ca before ab: impossible.
@@ -406,7 +790,7 @@ mod tests {
     fn hops_are_minimum_at_earliest_arrival() {
         // Two routes a->d arriving at the same window 2:
         //   long: a-b@0, b-c@1, c-d@2 (3 hops)
-        //   short: a-d'.. direct a-d@2 (1 hop)
+        //   short: direct a-d@2 (1 hop)
         let text = "a b 0\nb c 10\nc d 20\na d 20\n";
         let s = saturn_linkstream::io::read_str(text, Directedness::Undirected).unwrap();
         let t = Timeline::aggregated(&s, 3); // windows of 20/3: w0={ab}, w1={bc}, w2={cd, ad}
@@ -415,8 +799,7 @@ mod tests {
         let ad: Vec<_> = sink.0.iter().filter(|&&(u, v, ..)| (u, v) == (0, 3)).collect();
         // minimal trip dep 0..: earliest arrival w2 via either route; but the
         // direct link at w2 gives trip (2,2) which dominates (0,2): minimal
-        // trips are (2,2,1 hop). Dep 0 and dep 2 have the same arrival 2 so
-        // only the (2,2) trip is minimal.
+        // trips are (2,2,1 hop).
         assert_eq!(ad.len(), 1);
         assert_eq!(*ad[0], (0, 3, 2, 2, 1));
     }
@@ -424,8 +807,8 @@ mod tests {
     #[test]
     fn same_step_improvement_keeps_min_hops() {
         // Two paths arriving at the same step, both departing at step 0:
-        // a-b@w0,b-d@w1 (2 hops) and a-c@w0,c-d@w1 (2 hops) plus a longer
-        // a-x@w0? Ensure hops reported is 2 and a single trip per pair.
+        // a-b@w0,b-d@w1 (2 hops) and a-c@w0,c-d@w1 (2 hops). Ensure hops
+        // reported is 2 and a single trip per pair.
         let text = "a b 0\na c 0\nb d 10\nc d 10\n";
         let s = saturn_linkstream::io::read_str(text, Directedness::Undirected).unwrap();
         let t = Timeline::aggregated(&s, 2);
@@ -455,8 +838,7 @@ mod tests {
         // (a,b): dep 0 -> arr 0 (d=1); dep 1 -> none.
         // (b,a): dep 0 -> arr 0 (d=1).
         // (b,c): dep 0 -> arr 1 (d=2); dep 1 -> arr 1 (d=1).
-        // (c,b): same as (b,c) by symmetry of the undirected link: dep0 d2?
-        //        cb exists at w1 only: dep 0 -> arr 1 (d=2), dep 1 -> d=1.
+        // (c,b): cb exists at w1 only: dep 0 -> arr 1 (d=2), dep 1 -> d=1.
         // (a,c): dep 0 -> ab@0, bc@1, arr 1, d=2, hops 2.
         // (c,a): none.
         // Σ d_time = 1+1+ (2+1) + (2+1) + 2 = 10 ; triples = 7
@@ -485,5 +867,85 @@ mod tests {
         let mut sink = |_u: u32, _v: u32, _d: u32, _a: u32, _h: u32| count += 1;
         let stats = earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
         assert_eq!(stats.trips as u32, count);
+    }
+
+    /// An arena reused across runs of *different* scales and dimensions must
+    /// behave exactly like fresh allocation.
+    #[test]
+    fn arena_reuse_is_transparent() {
+        let s = saturn_linkstream::io::read_str(
+            "a b 0\nb c 7\nc d 13\nd a 20\na c 27\nb d 33\n",
+            Directedness::Undirected,
+        )
+        .unwrap();
+        let mut arena = EngineArena::new();
+        for &k in &[1u64, 2, 5, 9, 33, 9, 2] {
+            let t = Timeline::aggregated(&s, k);
+            let mut fresh_sink = Collect::default();
+            let fresh = earliest_arrival_dp(
+                &t,
+                &TargetSet::all(4),
+                &mut fresh_sink,
+                DpOptions { collect_distances: true },
+            );
+            let mut reused_sink = Collect::default();
+            let reused = earliest_arrival_dp_in(
+                &mut arena,
+                &t,
+                &TargetSet::all(4),
+                &mut reused_sink,
+                DpOptions { collect_distances: true },
+            );
+            assert_eq!(fresh_sink.0, reused_sink.0, "k={k}");
+            assert_eq!(fresh.trips, reused.trips, "k={k}");
+            assert_eq!(fresh.traversals, reused.traversals, "k={k}");
+            let (df, dr) = (fresh.distances.unwrap(), reused.distances.unwrap());
+            assert_eq!(df.sum_dtime_steps, dr.sum_dtime_steps, "k={k}");
+            assert_eq!(df.sum_dhops, dr.sum_dhops, "k={k}");
+            assert_eq!(df.finite_triples, dr.finite_triples, "k={k}");
+        }
+        // dimension change mid-stream: arena must transparently reallocate
+        let t = Timeline::aggregated(&s, 3);
+        let targets = TargetSet::from_nodes(4, &[0, 2]);
+        let mut a_sink = Collect::default();
+        earliest_arrival_dp_in(&mut arena, &t, &targets, &mut a_sink, DpOptions::default());
+        let mut f_sink = Collect::default();
+        earliest_arrival_dp(&t, &targets, &mut f_sink, DpOptions::default());
+        assert_eq!(a_sink.0, f_sink.0);
+    }
+
+    /// The frontier-pruned engine and the baseline full-scan engine must be
+    /// indistinguishable, including trip report order.
+    #[test]
+    fn frontier_engine_matches_baseline() {
+        let s = saturn_linkstream::io::read_str(
+            "a b 0\nc d 3\nb c 7\nd e 9\na e 14\nb d 18\nc e 21\na c 25\n",
+            Directedness::Undirected,
+        )
+        .unwrap();
+        for &k in &[1u64, 2, 4, 7, 13, 25] {
+            let t = Timeline::aggregated(&s, k);
+            let mut fast = Collect::default();
+            let f = earliest_arrival_dp(
+                &t,
+                &TargetSet::all(5),
+                &mut fast,
+                DpOptions { collect_distances: true },
+            );
+            let mut slow = Collect::default();
+            let b = baseline::earliest_arrival_dp(
+                &t,
+                &TargetSet::all(5),
+                &mut slow,
+                DpOptions { collect_distances: true },
+            );
+            assert_eq!(fast.0, slow.0, "k={k}");
+            assert_eq!(f.trips, b.trips, "k={k}");
+            assert_eq!(f.traversals, b.traversals, "k={k}");
+            let (df, db) = (f.distances.unwrap(), b.distances.unwrap());
+            assert_eq!(df.sum_dtime_steps, db.sum_dtime_steps, "k={k}");
+            assert_eq!(df.sum_dhops, db.sum_dhops, "k={k}");
+            assert_eq!(df.finite_triples, db.finite_triples, "k={k}");
+        }
     }
 }

@@ -94,6 +94,19 @@ pub fn elongation_stats(
 ) -> ElongationStats {
     let timeline = Timeline::aggregated(stream, k);
     let partition = stream.partition(k).expect("invalid window count");
+    elongation_stats_on(&timeline, partition, reference, targets)
+}
+
+/// Same as [`elongation_stats`], for an already-built aggregated timeline
+/// and its window partition — sweeps build the timeline once per scale from
+/// a shared [`crate::EventView`] and pass it here.
+pub fn elongation_stats_on(
+    timeline: &Timeline,
+    partition: saturn_linkstream::WindowPartition,
+    reference: &StreamTrips,
+    targets: &TargetSet,
+) -> ElongationStats {
+    let k = partition.k();
     let mut sink = ElongationSink {
         reference,
         partition,
@@ -102,7 +115,7 @@ pub fn elongation_stats(
         count: 0,
         single_window: 0,
     };
-    earliest_arrival_dp(&timeline, targets, &mut sink, DpOptions::default());
+    earliest_arrival_dp(timeline, targets, &mut sink, DpOptions::default());
     ElongationStats {
         k,
         delta_ticks: partition.delta_ticks(),

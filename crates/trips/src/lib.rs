@@ -59,11 +59,15 @@ pub mod target;
 pub mod timeline;
 pub mod transitions;
 
-pub use distances::{distance_means, DistanceMeans};
-pub use dp::{earliest_arrival_dp, DpOptions, DpStats, TripSink};
-pub use elongation::{elongation_stats, ElongationStats};
-pub use occupancy::{occupancy_histogram, occupancy_histogram_on, OccupancyHistogram};
+pub use distances::{distance_means, distance_means_on, DistanceMeans};
+pub use dp::{
+    earliest_arrival_dp, earliest_arrival_dp_in, DpOptions, DpStats, EngineArena, TripSink,
+};
+pub use elongation::{elongation_stats, elongation_stats_on, ElongationStats};
+pub use occupancy::{
+    occupancy_histogram, occupancy_histogram_in, occupancy_histogram_on, OccupancyHistogram,
+};
 pub use stream_trips::{stream_minimal_trips, PairTrips, StreamTrips};
 pub use target::TargetSet;
-pub use timeline::{Step, Timeline};
+pub use timeline::{EventView, StepView, Timeline};
 pub use transitions::{lost_transition_fraction, ShortestTransitions, Transition};

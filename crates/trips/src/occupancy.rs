@@ -6,17 +6,18 @@
 //! rationals; the histogram therefore keys on the reduced `(hops, duration)`
 //! pair so no two distinct rates are ever merged by floating-point rounding.
 
-use crate::{earliest_arrival_dp, DpOptions, TargetSet, Timeline, TripSink};
+use crate::{earliest_arrival_dp_in, DpOptions, EngineArena, TargetSet, Timeline, TripSink};
+use rustc_hash::FxHashMap;
 use saturn_linkstream::LinkStream;
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// Exact histogram of minimal-trip occupancy rates.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct OccupancyHistogram {
     /// `(hops, duration) -> multiplicity`, with `hops/duration` in lowest
-    /// terms.
-    counts: HashMap<(u32, u32), u64>,
+    /// terms. Fx-hashed: the insert sits in the trip sink, once per minimal
+    /// trip, and SipHash was measurable there at fine scales.
+    counts: FxHashMap<(u32, u32), u64>,
     total: u64,
 }
 
@@ -123,8 +124,20 @@ pub fn occupancy_histogram(stream: &LinkStream, k: u64, targets: &TargetSet) -> 
 
 /// Same as [`occupancy_histogram`], for an already-built timeline.
 pub fn occupancy_histogram_on(timeline: &Timeline, targets: &TargetSet) -> OccupancyHistogram {
+    let mut arena = EngineArena::new();
+    occupancy_histogram_in(&mut arena, timeline, targets)
+}
+
+/// Same as [`occupancy_histogram_on`], reusing a caller-owned
+/// [`EngineArena`] — the sweep's hot path (one arena per worker, reused for
+/// every scale).
+pub fn occupancy_histogram_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+) -> OccupancyHistogram {
     let mut sink = HistogramSink(OccupancyHistogram::new());
-    earliest_arrival_dp(timeline, targets, &mut sink, DpOptions::default());
+    earliest_arrival_dp_in(arena, timeline, targets, &mut sink, DpOptions::default());
     sink.0
 }
 

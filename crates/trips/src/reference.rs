@@ -19,12 +19,11 @@ pub type TripRecord = (u32, u32, u32, u32, u32);
 /// from accidental blow-ups.
 pub fn all_paths_min_hops(timeline: &Timeline, path_budget: usize) -> HashMap<(u32, u32, u32, u32), u32> {
     // traversals[s] = list of directed (u, w) available at ascending step s
-    let mut steps: Vec<(u32, Vec<(u32, u32)>)> = timeline
-        .steps_desc()
-        .iter()
+    let steps: Vec<(u32, Vec<(u32, u32)>)> = timeline
+        .steps_asc()
         .map(|s| {
             let mut tr: Vec<(u32, u32)> = Vec::new();
-            for &(u, w) in &s.edges {
+            for (u, w) in s.edges() {
                 tr.push((u, w));
                 if !timeline.is_directed() {
                     tr.push((w, u));
@@ -33,7 +32,6 @@ pub fn all_paths_min_hops(timeline: &Timeline, path_budget: usize) -> HashMap<(u
             (s.index, tr)
         })
         .collect();
-    steps.reverse(); // ascending
 
     let mut best: HashMap<(u32, u32, u32, u32), u32> = HashMap::new();
     let mut generated = 0usize;
@@ -65,8 +63,7 @@ pub fn all_paths_min_hops(timeline: &Timeline, path_budget: usize) -> HashMap<(u
                 *e = f.hops;
             }
         }
-        for si in f.next_step..steps.len() {
-            let (step, traversals) = &steps[si];
+        for (si, (step, traversals)) in steps.iter().enumerate().skip(f.next_step) {
             for &(u, w) in traversals {
                 if u == f.node {
                     stack.push(Frame {
@@ -115,6 +112,10 @@ pub fn minimal_trips_bruteforce(timeline: &Timeline, path_budget: usize) -> Vec<
     out
 }
 
+/// Per-pair earliest-arrival function: `value[t] = Some((arr, hops))` for
+/// every departure step `t` with a finite distance.
+pub type EaFunction = Vec<Option<(u32, u32)>>;
+
 /// Brute-force earliest arrival: `ea(u, v, t)` = minimum `arr` among realized
 /// quadruples with `dep >= t`, plus the hop count of Definition 4's
 /// `d_hops`. Returns, for each `(u, v)`, a function sampled at every step:
@@ -122,18 +123,18 @@ pub fn minimal_trips_bruteforce(timeline: &Timeline, path_budget: usize) -> Vec<
 pub fn earliest_arrival_bruteforce(
     timeline: &Timeline,
     path_budget: usize,
-) -> HashMap<(u32, u32), Vec<Option<(u32, u32)>>> {
+) -> HashMap<(u32, u32), EaFunction> {
     let realized = all_paths_min_hops(timeline, path_budget);
     let k = timeline.num_steps() as usize;
-    let mut out: HashMap<(u32, u32), Vec<Option<(u32, u32)>>> = HashMap::new();
+    let mut out: HashMap<(u32, u32), EaFunction> = HashMap::new();
     for (&(u, v, dep, arr), &hops) in &realized {
         let entry = out.entry((u, v)).or_insert_with(|| vec![None; k]);
-        for t in 0..=dep as usize {
-            match entry[t] {
-                None => entry[t] = Some((arr, hops)),
+        for slot in entry.iter_mut().take(dep as usize + 1) {
+            match *slot {
+                None => *slot = Some((arr, hops)),
                 Some((a, h)) => {
                     if arr < a || (arr == a && hops < h) {
-                        entry[t] = Some((arr, hops));
+                        *slot = Some((arr, hops));
                     }
                 }
             }

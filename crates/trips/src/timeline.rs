@@ -1,59 +1,233 @@
-//! Step sequences consumed by the dynamic program.
+//! Step sequences consumed by the dynamic program, in a flat CSR layout.
 //!
 //! The backward DP is agnostic to whether its steps are aggregation windows
 //! of `G_Δ` or distinct timestamps of the raw stream `L`; both are "a finite
 //! sequence of edge sets at strictly increasing steps". [`Timeline`] captures
 //! that common shape, prepared once so the engine can iterate it in
 //! descending order.
+//!
+//! # Layout
+//!
+//! A timeline is compressed-sparse-row over its non-empty steps: the edges
+//! of all steps live in two contiguous parallel arrays (`edge_src`,
+//! `edge_dst`), and `step_offsets[i]..step_offsets[i + 1]` delimits the
+//! edges of the `i`-th non-empty step (`step_index[i]` holds its step
+//! number). This replaces the earlier one-`Vec` -per-step layout: the DP
+//! touches one flat allocation instead of chasing per-step vectors, and the
+//! sweep stops paying an allocator round-trip per window.
+//!
+//! # The shared sorted event view
+//!
+//! Aggregating at scale `Δ = T/K` needs, per window, the *distinct* pairs
+//! linked inside it. The naive route (bucket events per window, sort, dedup
+//! — what this module did before the CSR rework) re-sorts every window of
+//! every swept scale. [`EventView`] instead sorts the stream **once** by
+//! `(u, v, t)`; for any `K`, scanning that view yields each pair's windows
+//! in non-decreasing order, so per-window dedup degenerates to comparing
+//! neighbors, and grouping by window is a stable two-pass radix scatter —
+//! `O(E)` per scale, no comparison sort, no per-window allocation. The
+//! occupancy sweep builds one `EventView` and feeds it to every scale (see
+//! [`Timeline::aggregated_from_view`]).
 
-use saturn_linkstream::LinkStream;
+use saturn_linkstream::{LinkStream, WindowPartition};
 
-/// One non-empty step: its index in `0..num_steps` and its deduplicated edge
-/// set.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Step {
+/// A borrowed view of one non-empty step: its index in `0..num_steps` and
+/// its deduplicated edge slices (`u <= v` holds per edge if undirected;
+/// edges are in ascending `(u, v)` order).
+#[derive(Clone, Copy, Debug)]
+pub struct StepView<'a> {
     /// Step index (window index, or rank of the distinct timestamp).
     pub index: u32,
-    /// Distinct edges of the step, sorted; `u <= v` holds if undirected.
-    pub edges: Vec<(u32, u32)>,
+    /// Source endpoints of the step's distinct edges.
+    pub src: &'a [u32],
+    /// Destination endpoints, parallel to `src`.
+    pub dst: &'a [u32],
 }
 
-/// A prepared sequence of steps for the DP engine.
+impl<'a> StepView<'a> {
+    /// The step's edges as `(u, v)` pairs.
+    #[inline]
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + 'a {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+
+    /// Number of distinct edges in the step.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the step carries no edge (never true for stored steps).
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+}
+
+/// The stream's events re-sorted by `(u, v, t)`, shared by every scale of a
+/// sweep. Building one costs a single `O(E log E)` sort; each
+/// [`Timeline::aggregated_from_view`] is then `O(E)`.
+#[derive(Clone, Debug)]
+pub struct EventView {
+    n: u32,
+    directed: bool,
+    t_begin: saturn_linkstream::Time,
+    t_end: saturn_linkstream::Time,
+    /// Event endpoints and instants, sorted by `(src, dst, tick)`.
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    ticks: Vec<i64>,
+}
+
+impl EventView {
+    /// Sorts `stream`'s events by `(u, v, t)`.
+    ///
+    /// # Panics
+    /// Panics if the stream holds `>= u32::MAX` events (the view and the
+    /// CSR timelines built from it index with `u32`).
+    pub fn new(stream: &LinkStream) -> Self {
+        let events = stream.events();
+        assert!(
+            events.len() < u32::MAX as usize,
+            "event count exceeds engine limit"
+        );
+        let mut order: Vec<u32> = (0..events.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let l = &events[i as usize];
+            (l.u.raw(), l.v.raw(), l.t.ticks())
+        });
+        let mut src = Vec::with_capacity(events.len());
+        let mut dst = Vec::with_capacity(events.len());
+        let mut ticks = Vec::with_capacity(events.len());
+        for &i in &order {
+            let l = &events[i as usize];
+            src.push(l.u.raw());
+            dst.push(l.v.raw());
+            ticks.push(l.t.ticks());
+        }
+        EventView {
+            n: stream.node_count() as u32,
+            directed: stream.is_directed(),
+            t_begin: stream.t_begin(),
+            t_end: stream.t_end(),
+            src,
+            dst,
+            ticks,
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the view holds no event (never true for built streams).
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+}
+
+/// A prepared sequence of steps for the DP engine (see the module docs for
+/// the CSR layout).
 #[derive(Clone, Debug)]
 pub struct Timeline {
     n: u32,
     directed: bool,
     num_steps: u32,
-    /// Non-empty steps in **descending** index order (DP iteration order).
-    steps_desc: Vec<Step>,
+    /// Indices of the non-empty steps, **ascending**.
+    step_index: Vec<u32>,
+    /// CSR offsets into the edge arrays; `len = step_index.len() + 1`.
+    step_offsets: Vec<u32>,
+    /// Edge sources, grouped by step, ascending `(u, v)` within a step.
+    edge_src: Vec<u32>,
+    /// Edge destinations, parallel to `edge_src`.
+    edge_dst: Vec<u32>,
     /// For exact timelines: tick of each step index (ascending). Empty for
     /// aggregated timelines.
     ticks: Vec<i64>,
 }
 
+/// Radix bucket width for the window-grouping scatter (16 bits keeps the
+/// count array at 256 KiB and means a single pass for any sweep with
+/// `K <= 65536`; a second pass covers the full `u32` step range).
+const RADIX_BITS: u32 = 16;
+const RADIX_SIZE: usize = 1 << RADIX_BITS;
+
 impl Timeline {
     /// Builds the timeline of the aggregated series `G_Δ` with `Δ = T/k`:
     /// step `w` holds the distinct pairs linked inside window `w`.
+    ///
+    /// Sorts a fresh [`EventView`] internally; sweeps analyzing many scales
+    /// of one stream should build the view once and call
+    /// [`aggregated_from_view`](Timeline::aggregated_from_view).
     ///
     /// # Panics
     /// Panics if `k` is invalid for the stream's study period or exceeds
     /// `u32::MAX - 1` (the engine stores step indices as `u32`).
     pub fn aggregated(stream: &LinkStream, k: u64) -> Self {
+        Self::aggregated_from_view(&EventView::new(stream), k)
+    }
+
+    /// Builds the aggregated timeline from a prepared [`EventView`] in
+    /// `O(E)` — no comparison sort, no per-window allocation.
+    ///
+    /// # Panics
+    /// As [`aggregated`](Timeline::aggregated).
+    pub fn aggregated_from_view(view: &EventView, k: u64) -> Self {
         assert!(k < u32::MAX as u64, "window count {k} exceeds engine limit");
-        let partition = stream.partition(k).expect("invalid window count");
-        let mut steps_desc = Vec::new();
-        for (w, links) in partition.window_slices_rev(stream) {
-            let mut edges: Vec<(u32, u32)> =
-                links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
-            edges.sort_unstable();
-            edges.dedup();
-            steps_desc.push(Step { index: w as u32, edges });
+        let partition = WindowPartition::new(view.t_begin, view.t_end, k)
+            .expect("invalid window count");
+
+        // 1. One pass over the pair-sorted view: map each event to its
+        //    window and drop same-pair-same-window repeats (within a pair,
+        //    ticks ascend, so repeats are adjacent).
+        let len = view.len();
+        let mut win: Vec<u32> = Vec::with_capacity(len);
+        let mut src: Vec<u32> = Vec::with_capacity(len);
+        let mut dst: Vec<u32> = Vec::with_capacity(len);
+        for i in 0..len {
+            let w = partition.index(saturn_linkstream::Time::new(view.ticks[i])) as u32;
+            if let Some(last) = win.last() {
+                let j = src.len() - 1;
+                if *last == w && src[j] == view.src[i] && dst[j] == view.dst[i] {
+                    continue;
+                }
+            }
+            win.push(w);
+            src.push(view.src[i]);
+            dst.push(view.dst[i]);
         }
+
+        // 2. Stable LSD radix scatter by window. Stability preserves the
+        //    pair-sorted order within each window, so every step's edges end
+        //    up in ascending (u, v) order — the order the per-window sort
+        //    used to produce. (The u32 bound is guaranteed by EventView::new,
+        //    asserted here too since the radix offsets are u32 arithmetic.)
+        assert!(src.len() < u32::MAX as usize, "edge count exceeds engine limit");
+        let (win, src, dst) = radix_by_window(win, src, dst, k as u32);
+
+        // 3. Fold runs of equal windows into the CSR arrays.
+        let mut step_index = Vec::new();
+        let mut step_offsets = vec![0u32];
+        for (i, &w) in win.iter().enumerate() {
+            if step_index.last() != Some(&w) {
+                if !step_index.is_empty() {
+                    step_offsets.push(i as u32);
+                }
+                step_index.push(w);
+            }
+        }
+        if !step_index.is_empty() {
+            step_offsets.push(win.len() as u32);
+        }
+
         Timeline {
-            n: stream.node_count() as u32,
-            directed: stream.is_directed(),
+            n: view.n,
+            directed: view.directed,
             num_steps: k as u32,
-            steps_desc,
+            step_index,
+            step_offsets,
+            edge_src: src,
+            edge_dst: dst,
             ticks: Vec::new(),
         }
     }
@@ -65,24 +239,46 @@ impl Timeline {
     /// # Panics
     /// Panics if the stream has `>= u32::MAX` distinct timestamps.
     pub fn exact(stream: &LinkStream) -> Self {
+        // edges <= events, so this bounds the u32 CSR offsets below
+        assert!(
+            stream.events().len() < u32::MAX as usize,
+            "edge count exceeds engine limit"
+        );
         let mut ticks = Vec::new();
-        let mut steps_asc = Vec::new();
+        let mut step_index = Vec::new();
+        let mut step_offsets = vec![0u32];
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
         for (t, links) in stream.timestamp_groups() {
             let index = ticks.len() as u32;
             assert!(index < u32::MAX, "too many distinct timestamps");
             ticks.push(t.ticks());
-            let mut edges: Vec<(u32, u32)> =
-                links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
-            edges.sort_unstable();
-            edges.dedup();
-            steps_asc.push(Step { index, edges });
+            // events are stream-sorted by (t, u, v): within a timestamp
+            // group they are already in (u, v) order, so dedup is a
+            // neighbor comparison
+            for l in links {
+                let (u, v) = (l.u.raw(), l.v.raw());
+                let start = *step_offsets.last().expect("non-empty offsets") as usize;
+                if edge_src.len() > start {
+                    let j = edge_src.len() - 1;
+                    if edge_src[j] == u && edge_dst[j] == v {
+                        continue;
+                    }
+                }
+                edge_src.push(u);
+                edge_dst.push(v);
+            }
+            step_index.push(index);
+            step_offsets.push(edge_src.len() as u32);
         }
-        steps_asc.reverse();
         Timeline {
             n: stream.node_count() as u32,
             directed: stream.is_directed(),
             num_steps: ticks.len() as u32,
-            steps_desc: steps_asc,
+            step_index,
+            step_offsets,
+            edge_src,
+            edge_dst,
             ticks,
         }
     }
@@ -102,14 +298,37 @@ impl Timeline {
         self.num_steps
     }
 
-    /// The non-empty steps in descending index order.
-    pub fn steps_desc(&self) -> &[Step] {
-        &self.steps_desc
+    /// Number of non-empty steps.
+    pub fn nonempty_steps(&self) -> usize {
+        self.step_index.len()
+    }
+
+    /// The `i`-th non-empty step in **ascending** index order.
+    #[inline]
+    pub fn step(&self, i: usize) -> StepView<'_> {
+        let lo = self.step_offsets[i] as usize;
+        let hi = self.step_offsets[i + 1] as usize;
+        StepView {
+            index: self.step_index[i],
+            src: &self.edge_src[lo..hi],
+            dst: &self.edge_dst[lo..hi],
+        }
+    }
+
+    /// The non-empty steps in **descending** index order (DP iteration
+    /// order).
+    pub fn steps_desc(&self) -> impl Iterator<Item = StepView<'_>> {
+        (0..self.nonempty_steps()).rev().map(|i| self.step(i))
+    }
+
+    /// The non-empty steps in ascending index order.
+    pub fn steps_asc(&self) -> impl Iterator<Item = StepView<'_>> {
+        (0..self.nonempty_steps()).map(|i| self.step(i))
     }
 
     /// Total number of edges `M` over all steps.
     pub fn total_edges(&self) -> usize {
-        self.steps_desc.iter().map(|s| s.edges.len()).sum()
+        self.edge_src.len()
     }
 
     /// For exact timelines, the tick of step `index`; for aggregated
@@ -122,6 +341,60 @@ impl Timeline {
     pub fn is_exact(&self) -> bool {
         !self.ticks.is_empty()
     }
+}
+
+/// Stable counting-sort of the `(win, src, dst)` triples by `win`: one pass
+/// when every window index fits 16 bits, else a classic two-pass LSD radix
+/// (low 16 bits, then high bits). Returns the reordered arrays.
+fn radix_by_window(
+    win: Vec<u32>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    k: u32,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    if win.is_empty() {
+        return (win, src, dst);
+    }
+    if (k as usize) <= RADIX_SIZE {
+        let mut counts = vec![0u32; k.max(1) as usize];
+        radix_pass((win, src, dst), &mut counts, |w| w as usize)
+    } else {
+        let mut lo_counts = vec![0u32; RADIX_SIZE];
+        let cur = radix_pass((win, src, dst), &mut lo_counts, |w| {
+            (w as usize) & (RADIX_SIZE - 1)
+        });
+        let mut hi_counts = vec![0u32; (((k - 1) as usize) >> RADIX_BITS) + 1];
+        radix_pass(cur, &mut hi_counts, |w| (w >> RADIX_BITS) as usize)
+    }
+}
+
+fn radix_pass(
+    (win, src, dst): (Vec<u32>, Vec<u32>, Vec<u32>),
+    counts: &mut [u32],
+    bucket: impl Fn(u32) -> usize,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    for &w in &win {
+        counts[bucket(w)] += 1;
+    }
+    let mut offset = 0u32;
+    for c in counts.iter_mut() {
+        let n = *c;
+        *c = offset;
+        offset += n;
+    }
+    let len = win.len();
+    let mut out_win = vec![0u32; len];
+    let mut out_src = vec![0u32; len];
+    let mut out_dst = vec![0u32; len];
+    for i in 0..len {
+        let b = bucket(win[i]);
+        let pos = counts[b] as usize;
+        counts[b] += 1;
+        out_win[pos] = win[i];
+        out_src[pos] = src[i];
+        out_dst[pos] = dst[i];
+    }
+    (out_win, out_src, out_dst)
 }
 
 #[cfg(test)]
@@ -145,7 +418,7 @@ mod tests {
         assert_eq!(t.num_steps(), 3);
         assert!(!t.is_exact());
         let steps: Vec<(u32, usize)> =
-            t.steps_desc().iter().map(|s| (s.index, s.edges.len())).collect();
+            t.steps_desc().map(|s| (s.index, s.len())).collect();
         // window 0: {ab, bc}; window 2: {cd}; descending order
         assert_eq!(steps, vec![(2, 1), (0, 2)]);
         assert_eq!(t.total_edges(), 3);
@@ -161,10 +434,11 @@ mod tests {
         assert_eq!(t.tick_of(1), Some(1));
         assert_eq!(t.tick_of(2), Some(9));
         // descending
-        let idx: Vec<u32> = t.steps_desc().iter().map(|s| s.index).collect();
+        let idx: Vec<u32> = t.steps_desc().map(|s| s.index).collect();
         assert_eq!(idx, vec![2, 1, 0]);
         // step at t=1 holds both ab (duplicate event collapses) and bc
-        assert_eq!(t.steps_desc()[1].edges, vec![(0, 1), (1, 2)]);
+        let mid: Vec<(u32, u32)> = t.steps_desc().nth(1).unwrap().edges().collect();
+        assert_eq!(mid, vec![(0, 1), (1, 2)]);
     }
 
     #[test]
@@ -172,8 +446,8 @@ mod tests {
         let s = stream();
         let t = Timeline::aggregated(&s, 1);
         assert_eq!(t.num_steps(), 1);
-        assert_eq!(t.steps_desc().len(), 1);
-        assert_eq!(t.steps_desc()[0].edges.len(), 3); // ab, bc, cd
+        assert_eq!(t.nonempty_steps(), 1);
+        assert_eq!(t.step(0).len(), 3); // ab, bc, cd
     }
 
     #[test]
@@ -184,6 +458,60 @@ mod tests {
         let s = b.build().unwrap();
         let t = Timeline::exact(&s);
         assert!(t.is_directed());
-        assert_eq!(t.steps_desc()[0].edges, vec![(0, 1), (1, 0)]);
+        let edges: Vec<(u32, u32)> = t.step(0).edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn view_reuse_matches_fresh_aggregation() {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 9);
+        for i in 0..200i64 {
+            b.add_indexed((i % 9) as u32, ((i * 5 + 1) % 9) as u32, (i * 13) % 997);
+        }
+        let s = b.build().unwrap();
+        let view = EventView::new(&s);
+        for k in [1u64, 2, 7, 100, 996, 997] {
+            let fresh = Timeline::aggregated(&s, k);
+            let shared = Timeline::aggregated_from_view(&view, k);
+            assert_eq!(fresh.nonempty_steps(), shared.nonempty_steps(), "k={k}");
+            for (a, b) in fresh.steps_desc().zip(shared.steps_desc()) {
+                assert_eq!(a.index, b.index, "k={k}");
+                assert_eq!(a.src, b.src, "k={k}");
+                assert_eq!(a.dst, b.dst, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_edges_are_sorted_within_each_step() {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 12);
+        for i in 0..300i64 {
+            b.add_indexed((i * 7 % 12) as u32, (i * 11 % 12) as u32, i % 50);
+        }
+        let s = b.build().unwrap();
+        for k in [1u64, 3, 17, 50] {
+            let t = Timeline::aggregated(&s, k);
+            for step in t.steps_desc() {
+                let edges: Vec<(u32, u32)> = step.edges().collect();
+                assert!(edges.windows(2).all(|w| w[0] < w[1]), "k={k} step={}", step.index);
+            }
+        }
+    }
+
+    #[test]
+    fn radix_handles_many_windows() {
+        // force the two-pass path: K > 65536
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 4);
+        for i in 0..120i64 {
+            b.add_indexed((i % 4) as u32, ((i + 1) % 4) as u32, i * 1_000);
+        }
+        let s = b.build().unwrap();
+        let k = 100_000u64;
+        let t = Timeline::aggregated(&s, k);
+        assert_eq!(t.num_steps(), k as u32);
+        // all step indices strictly ascending
+        let idx: Vec<u32> = t.steps_asc().map(|s| s.index).collect();
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(t.total_edges(), 120); // every event lands in its own window
     }
 }

@@ -118,7 +118,7 @@ proptest! {
         let mut dtime = 0i128;
         let mut dhops = 0i128;
         let mut cnt = 0i128;
-        for (_, per_step) in &ea {
+        for per_step in ea.values() {
             for (t, entry) in per_step.iter().enumerate() {
                 if let Some((arr, hops)) = entry {
                     dtime += (*arr as i128) - (t as i128) + 1;

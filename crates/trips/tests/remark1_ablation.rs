@@ -27,7 +27,7 @@ fn naive_in_place_reachability(timeline: &Timeline) -> HashMap<(u32, u32), u32> 
     let mut ea: Vec<u32> = vec![u32::MAX; n * n];
     for step in timeline.steps_desc() {
         let k = step.index;
-        for &(eu, ew) in &step.edges {
+        for (eu, ew) in step.edges() {
             let dirs = if timeline.is_directed() { vec![(eu, ew)] } else { vec![(eu, ew), (ew, eu)] };
             for (u, w) in dirs {
                 for v in 0..n as u32 {

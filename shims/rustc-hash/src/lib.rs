@@ -1,0 +1,102 @@
+//! Workspace-local stand-in for `rustc-hash`: the Fx hash function (the
+//! multiply-xor scheme long used by rustc itself) and the `FxHashMap` /
+//! `FxHashSet` aliases. Fx is not DoS-resistant — it trades that for being
+//! several times faster than SipHash on small fixed-width keys, which is
+//! exactly the trip-histogram workload: billions of `(u32, u32)` inserts.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// The `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-xor hasher: `state = (state rotl 5 ^ word) * SEED` per
+/// input word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_and_distributes() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1_000u32 {
+            *m.entry((i % 37, i / 37)).or_insert(0) += 1;
+        }
+        assert_eq!(m.values().sum::<u64>(), 1_000);
+
+        // sanity: distinct small tuples hash distinctly (no catastrophic
+        // collapse of the mix function)
+        let mut hashes: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1_000u32 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            h.write_u32(i ^ 0xdead);
+            hashes.insert(h.finish());
+        }
+        assert!(hashes.len() > 990);
+    }
+}

@@ -1,0 +1,228 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. This shim provides the subset the workspace relies on —
+//! `Serialize` / `Deserialize` derives and JSON emission through the sibling
+//! `serde_json` shim — behind the same paths, so the analysis code is written
+//! exactly as it would be against the real crates and can swap to them by
+//! flipping the path dependencies back to registry versions.
+//!
+//! Design: serialization goes through an owned JSON tree ([`json::Value`])
+//! rather than a streaming serializer. Reports serialized here are a few
+//! kilobytes to a few megabytes; tree overhead is irrelevant next to the
+//! sweep computations.
+
+pub mod json;
+
+pub use json::Value;
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Types that can render themselves as a JSON value tree.
+///
+/// Mirrors `serde::Serialize` in spirit; the derive macro emits
+/// field-by-field [`Value::Object`] construction.
+pub trait Serialize {
+    /// The JSON value of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON value tree.
+///
+/// Only `Value` itself round-trips in this shim (which is all the workspace
+/// deserializes: reports are *inspected* as `serde_json::Value`, never
+/// rebuilt into typed structs). Derived impls exist so `#[derive(Deserialize)]`
+/// compiles, but they report `Unsupported` if ever exercised.
+pub trait Deserialize: Sized {
+    /// Attempts to rebuild `Self` from a parsed value.
+    fn from_value(value: &Value) -> Result<Self, json::Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, json::Error> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // i128 covers every value this workspace produces (trip counts);
+        // saturate rather than wrap if that ever changes
+        Value::Int(i128::try_from(*self).unwrap_or(i128::MAX))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map keys: JSON requires strings, so non-string keys render through their
+/// `Debug` form (matching what this workspace needs for diagnostic dumps of
+/// tuple-keyed histograms; the real serde would reject those at runtime).
+pub trait SerializeMapKey {
+    /// String form of the key.
+    fn to_key(&self) -> String;
+}
+
+impl SerializeMapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeMapKey for &str {
+    fn to_key(&self) -> String {
+        (*self).to_owned()
+    }
+}
+
+macro_rules! debug_key_impls {
+    ($($t:ty),*) => {$(
+        impl SerializeMapKey for $t {
+            fn to_key(&self) -> String {
+                format!("{self:?}")
+            }
+        }
+    )*};
+}
+debug_key_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl<A: std::fmt::Debug, B: std::fmt::Debug> SerializeMapKey for (A, B) {
+    fn to_key(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+impl<K: SerializeMapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // deterministic output: sort by rendered key
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: SerializeMapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_containers() {
+        assert_eq!(42u32.to_value(), Value::Int(42));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u32, 2].to_value(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            (1u32, "x").to_value(),
+            Value::Array(vec![Value::Int(1), Value::String("x".into())])
+        );
+    }
+
+    #[test]
+    fn hashmap_output_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let Value::Object(entries) = m.to_value() else { panic!("object") };
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1].0, "b");
+    }
+}

@@ -1,0 +1,293 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! Parses the type definition directly from the token stream (the offline
+//! build has no `syn`), covering the shapes used in this workspace:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs → the inner value (so `#[serde(transparent)]` is
+//!   automatically honored);
+//! * tuple structs → arrays;
+//! * enums → externally tagged like real serde: unit variants as
+//!   `"Name"`, struct variants as `{"Name": {..}}`, one-field tuple
+//!   variants as `{"Name": value}`, longer tuple variants as
+//!   `{"Name": [..]}`.
+//!
+//! Generic types and `where` clauses are rejected with a compile error —
+//! nothing in the workspace derives on them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    let body = match &def.shape {
+        Shape::Struct(fields) => serialize_fields_expr(fields, "self.", ""),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{n}::{v} => serde::Value::String(\"{v}\".to_string()),\n",
+                        n = def.name,
+                        v = vname
+                    )),
+                    Fields::Tuple(count) => {
+                        let binds: Vec<String> =
+                            (0..*count).map(|i| format!("__f{i}")).collect();
+                        let inner = if *count == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{n}::{v}({binds}) => serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            n = def.name,
+                            v = vname,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inner = serialize_fields_expr(fields, "", "");
+                        arms.push_str(&format!(
+                            "{n}::{v} {{ {binds} }} => serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            n = def.name,
+                            v = vname,
+                            binds = names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("serde shim derive emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    // Typed deserialization is unused in this workspace (reports are only
+    // inspected through `serde_json::Value`); emit a stub so the derive
+    // compiles, failing loudly if it is ever exercised.
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &serde::Value) -> Result<Self, serde::json::Error> {{\n\
+                 Err(serde::json::Error::new(\
+                     \"typed deserialization of `{name}` is not supported by the serde shim\"))\n\
+             }}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("serde shim derive emitted invalid Rust")
+}
+
+/// Renders the `Value` expression serializing `fields`. For named fields,
+/// each field is accessed as `{access}{field}` (`self.` for structs, bare
+/// bindings for enum struct variants).
+fn serialize_fields_expr(fields: &Fields, access: &str, _suffix: &str) -> String {
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Tuple(1) => format!("serde::Serialize::to_value(&{access}0)"),
+        Fields::Tuple(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|i| format!("serde::Serialize::to_value(&{access}{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_value(&{access}{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn parse_type_def(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("serde shim derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    TypeDef { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-fields body, skipping per-field attributes,
+/// visibility, and types (tracking `<>` depth so type arguments containing
+/// commas do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        fields.push(id.to_string());
+        i += 1; // field name
+        i += 1; // `:`
+        let mut angle = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body (top-level comma count, ignoring a
+/// trailing comma; commas inside nested groups are invisible here, and
+/// `<>`-depth is tracked for type arguments).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i64;
+    let mut trailing_comma = false;
+    for (pos, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if pos + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // skip an explicit discriminant, then the separating comma
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,50 @@
+//! Workspace-local stand-in for `serde_json`, backed by the serde shim's
+//! owned [`Value`] tree. Provides the entry points this workspace calls:
+//! `to_string` / `to_string_pretty`, `from_str` / `from_slice`, and the
+//! indexable [`Value`] with `as_array` / `as_f64` / … accessors.
+
+pub use serde::json::Error;
+pub use serde::Value;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_compact())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Converts `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into `T` (in this shim, `T` is virtually always
+/// [`Value`]; typed targets derive a stub that reports unsupported).
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON bytes into `T`.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::new("input is not UTF-8"))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_and_value_round_trip() {
+        let json = to_string_pretty(&vec![(1u32, 2.5f64), (3, 4.0)]).unwrap();
+        let v: Value = from_str(&json).unwrap();
+        assert_eq!(v[0][0].as_u64(), Some(1));
+        assert_eq!(v[1][1].as_f64(), Some(4.0));
+        let compact = to_string(&v).unwrap();
+        assert!(!compact.contains('\n'));
+    }
+}

@@ -57,7 +57,7 @@ proptest! {
         let series = GraphSeries::aggregate(&stream, k);
         let mut from_series: Vec<(u32, u32)> = series
             .snapshots()
-            .flat_map(|(_, s)| s.edges().iter().copied().collect::<Vec<_>>())
+            .flat_map(|(_, s)| s.edges().to_vec())
             .collect();
         from_series.sort_unstable();
         from_series.dedup();
