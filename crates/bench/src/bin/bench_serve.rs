@@ -1,0 +1,149 @@
+//! `bench_serve` — throughput of the analysis service, cold vs. cache-hit.
+//!
+//! Starts an in-process [`saturn_server::Server`] on an ephemeral port and
+//! drives it over real sockets:
+//!
+//! * **cold** — every request carries a distinct trace (different synth
+//!   seeds), so each one misses the report cache and pays a full sweep on
+//!   the shared worker pool. This bounds the service's compute-limited
+//!   throughput.
+//! * **cache-hit** — one trace repeated from several concurrent clients
+//!   after a priming request; every response is served from the
+//!   content-addressed cache without touching the sweep engine. This bounds
+//!   the service's delivery-limited throughput, and the ratio of the two is
+//!   what the cache buys on repeated traffic.
+//!
+//! ```sh
+//! cargo run --release -p saturn-bench --bin bench_serve            # full
+//! SATURN_FAST=1 cargo run --release -p saturn-bench --bin bench_serve
+//! ```
+//!
+//! Writes `bench_serve.json` under the results directory (`SATURN_OUT`).
+
+use saturn_bench::{dataset, fast_mode, out_dir};
+use saturn_linkstream::io as stream_io;
+use saturn_server::{Server, ServerConfig};
+use saturn_synth::DatasetProfile;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// One blocking request; returns the status code and body length.
+fn post_analyze(addr: SocketAddr, target: &str, body: &[u8]) -> (u16, usize) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain");
+    (status, rest.len())
+}
+
+fn main() {
+    let fast = fast_mode();
+    let (cold_requests, hit_requests, clients, points) =
+        if fast { (3, 300, 4, 8) } else { (8, 3000, 8, 24) };
+    let profile = dataset(DatasetProfile::irvine());
+    println!(
+        "bench_serve — {} stand-in, {} cold / {} hit requests, {clients} clients, points={points}",
+        profile.name, cold_requests, hit_requests
+    );
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server = server.spawn().expect("spawn");
+    let target = format!("/v1/analyze?points={points}&directed=1");
+
+    // ---- cold path: distinct trace per request, every one a cache miss
+    let cold_bodies: Vec<String> = (0..cold_requests)
+        .map(|seed| stream_io::to_string(&profile.generate(1000 + seed as u64)))
+        .collect();
+    let started = Instant::now();
+    for body in &cold_bodies {
+        let (status, len) = post_analyze(addr, &target, body.as_bytes());
+        assert_eq!(status, 200, "cold request failed");
+        assert!(len > 0);
+    }
+    let cold_secs = started.elapsed().as_secs_f64();
+    let cold_rps = cold_requests as f64 / cold_secs;
+    println!("  cold:      {cold_requests} requests in {cold_secs:.3}s = {cold_rps:.2} req/s");
+
+    // ---- cache-hit path: one trace, primed once, hammered concurrently
+    let hot_body: Arc<String> = Arc::new(stream_io::to_string(&profile.generate(7)));
+    let (status, _) = post_analyze(addr, &target, hot_body.as_bytes());
+    assert_eq!(status, 200, "priming request failed");
+    let per_client = hit_requests / clients;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let body = Arc::clone(&hot_body);
+            let target = target.clone();
+            std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    let (status, len) = post_analyze(addr, &target, body.as_bytes());
+                    assert_eq!(status, 200, "hit request failed");
+                    assert!(len > 0);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let hit_secs = started.elapsed().as_secs_f64();
+    let served = (per_client * clients) as f64;
+    let hit_rps = served / hit_secs;
+    println!("  cache-hit: {served} requests in {hit_secs:.3}s = {hit_rps:.2} req/s");
+    println!("  speedup:   {:.1}x over the cold path", hit_rps / cold_rps);
+
+    let record = obj(vec![
+        ("workload", Value::String(profile.name.to_string())),
+        ("fast_mode", Value::Bool(fast)),
+        ("points", Value::Int(points as i128)),
+        ("clients", Value::Int(clients as i128)),
+        (
+            "cold",
+            obj(vec![
+                ("requests", Value::Int(cold_requests as i128)),
+                ("seconds", Value::Float(cold_secs)),
+                ("requests_per_second", Value::Float(cold_rps)),
+            ]),
+        ),
+        (
+            "cache_hit",
+            obj(vec![
+                ("requests", Value::Int(served as i128)),
+                ("seconds", Value::Float(hit_secs)),
+                ("requests_per_second", Value::Float(hit_rps)),
+            ]),
+        ),
+        ("hit_over_cold_speedup", Value::Float(hit_rps / cold_rps)),
+    ]);
+    let path = out_dir().join("bench_serve.json");
+    std::fs::write(&path, record.to_string_pretty()).expect("write bench_serve.json");
+    println!("  wrote {}", path.display());
+
+    // the cache must not be slower than recomputing; on any real machine it
+    // is orders of magnitude faster
+    assert!(hit_rps > cold_rps, "cache-hit path slower than cold path");
+    server.stop();
+}

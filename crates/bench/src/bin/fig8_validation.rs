@@ -8,7 +8,7 @@
 //! around γ.
 
 use saturn_bench::{dataset, grid_points, write_series, HOUR};
-use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec};
+use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions};
 use saturn_synth::DatasetProfile;
 
 fn main() {
@@ -26,9 +26,7 @@ fn main() {
         &stream,
         &SweepGrid::Geometric { points: grid_points(40) },
         TargetSpec::All,
-        0,
-        1,
-        true,
+        &ValidationOptions::default(),
     );
 
     let loss: Vec<(f64, f64)> =

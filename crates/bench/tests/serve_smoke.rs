@@ -1,0 +1,31 @@
+//! Smoke pass for `bench_serve`: under fast mode it must complete, report
+//! both paths, and leave a parseable record behind.
+
+use std::process::Command;
+
+#[test]
+fn bench_serve_reports_cold_and_cache_hit_throughput() {
+    let dir = std::env::temp_dir().join(format!("saturn-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_serve"))
+        .env("SATURN_FAST", "1")
+        .env("SATURN_OUT", &dir)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "bench_serve failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cold:"), "{text}");
+    assert!(text.contains("cache-hit:"), "{text}");
+
+    let record = std::fs::read_to_string(dir.join("bench_serve.json")).expect("record written");
+    let v: serde_json::Value = serde_json::from_str(&record).expect("valid JSON");
+    let cold = v["cold"]["requests_per_second"].as_f64().unwrap();
+    let hit = v["cache_hit"]["requests_per_second"].as_f64().unwrap();
+    assert!(cold > 0.0 && hit > 0.0);
+    assert!(hit > cold, "cache hits must outpace cold sweeps (hit {hit}, cold {cold})");
+    std::fs::remove_dir_all(&dir).ok();
+}

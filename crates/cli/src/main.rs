@@ -6,15 +6,17 @@
 //! This binary is that tool.
 //!
 //! ```text
-//! saturn analyze <file> [--directed] [--points N] [--sample N] [--json] [--unit s|m|h|d]
+//! saturn analyze <file> [--directed] [--points N] [--sample N] [--threads N] [--json] [--unit s|m|h|d]
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
-//! saturn validate <file> [--directed] [--points N]
-//! saturn stats <file> [--directed]
+//! saturn validate <file> [--directed] [--points N] [--threads N]
+//! saturn stats <file> [--directed] [--json]
+//! saturn serve [--addr A] [--threads N] [--cache-mb M] [--queue N]
 //! saturn help
 //! ```
 
-use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec};
+use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions};
 use saturn_linkstream::{io, Directedness, LinkStream};
+use saturn_server::{Server, ServerConfig};
 use saturn_synth::DatasetProfile;
 use std::process::ExitCode;
 
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(rest),
         "validate" => cmd_validate(rest),
         "stats" => cmd_stats(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -53,12 +56,19 @@ USAGE:
       --directed          treat links as directed (default: undirected)
       --points N          Δ-grid size (default 48)
       --sample N          sample N destination nodes (default: exact, all nodes)
+      --threads N         worker threads (default: $SATURN_THREADS, else all cores)
       --unit s|m|h|d      display unit for Δ (ticks are seconds; default h)
       --json              emit the full report as JSON
   saturn validate <file>  information-loss curves (lost transitions, elongation)
-      --directed, --points N, --unit as above
+      --directed, --points N, --threads N, --unit, --json as above
   saturn stats <file>     print stream statistics
-      --directed
+      --directed, --json as above
+  saturn serve            run the HTTP analysis service (POST /v1/analyze,
+                          /v1/validate, /v1/stats; GET /v1/jobs/<id>, /v1/health)
+      --addr A            bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+      --threads N         sweep worker pool size, shared across requests
+      --cache-mb M        report cache budget in MiB (default 64; 0 disables)
+      --queue N           job queue depth before 503 backpressure (default 64)
   saturn synth <name>     generate a dataset stand-in (irvine, facebook,
                           enron, manufacturing) to stdout or --out FILE
       --seed S            generation seed (default 1)
@@ -68,17 +78,26 @@ USAGE:
 input format: one event per line, `u v t` or KONECT `u v w t`; integer
 timestamps; lines starting with % or # are skipped.";
 
+/// `$SATURN_THREADS`, or 0 ("all cores") when unset/unparseable.
+fn env_threads() -> usize {
+    std::env::var("SATURN_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 #[derive(Debug)]
 struct Flags {
     file: Option<String>,
     directed: bool,
     points: usize,
     sample: Option<u32>,
+    threads: usize,
     json: bool,
     unit: (f64, &'static str),
     seed: u64,
     scale: f64,
     out: Option<String>,
+    addr: String,
+    cache_mb: usize,
+    queue: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -87,11 +106,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         directed: false,
         points: 48,
         sample: None,
+        threads: env_threads(),
         json: false,
         unit: (3600.0, "h"),
         seed: 1,
         scale: 1.0,
         out: None,
+        addr: "127.0.0.1:7878".into(),
+        cache_mb: 64,
+        queue: 64,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +130,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--sample" => {
                 f.sample =
                     Some(value("--sample")?.parse().map_err(|e| format!("--sample: {e}"))?)
+            }
+            "--threads" => {
+                f.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--addr" => f.addr = value("--addr")?,
+            "--cache-mb" => {
+                f.cache_mb =
+                    value("--cache-mb")?.parse().map_err(|e| format!("--cache-mb: {e}"))?
+            }
+            "--queue" => {
+                f.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
             }
             "--seed" => f.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--scale" => {
@@ -150,6 +184,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let report = OccupancyMethod::new()
         .grid(SweepGrid::Geometric { points: f.points })
         .targets(targets(&f))
+        .threads(f.threads)
         .run(&stream);
     if f.json {
         println!("{}", report.to_json());
@@ -166,9 +201,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         &stream,
         &SweepGrid::Geometric { points: f.points },
         targets(&f),
-        0,
-        1,
-        true,
+        &ValidationOptions { threads: f.threads, ..ValidationOptions::default() },
     );
     if f.json {
         println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
@@ -192,15 +225,46 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args)?;
     let stream = load(&f)?;
     let s = stream.stats();
+    if f.json {
+        // the same shape `POST /v1/stats` serves
+        println!("{}", serde_json::to_string_pretty(&s).expect("stats serialize"));
+        return Ok(());
+    }
     println!("nodes                {}", s.nodes);
     println!("links                {}", s.links);
     println!("distinct timestamps  {}", s.distinct_timestamps);
     println!("period               [{}, {}] ({} ticks)", s.t_begin, s.t_end, s.span);
     println!("links/node           {:.3}", s.mean_links_per_node);
     println!("mean inter-contact   {:.1} ticks", s.mean_inter_contact);
-    println!("dropped self-loops   {}", stream.dropped_self_loops());
-    println!("dropped duplicates   {}", stream.dropped_duplicates());
+    println!("dropped self-loops   {}", s.dropped_self_loops);
+    println!("dropped duplicates   {}", s.dropped_duplicates);
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    if let Some(file) = &f.file {
+        return Err(format!("serve takes no input file (got `{file}`); traces arrive in request bodies"));
+    }
+    let config = ServerConfig {
+        addr: f.addr.clone(),
+        threads: f.threads,
+        cache_bytes: f.cache_mb << 20,
+        queue_depth: f.queue,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| format!("local addr: {e}"))?;
+    // machine-readable first line: tests and scripts bind port 0 and read
+    // the resolved address from here
+    println!("saturn-server listening on http://{addr}");
+    println!(
+        "  threads={} cache={}MiB queue={}  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health)",
+        if f.threads == 0 { "auto".to_string() } else { f.threads.to_string() },
+        f.cache_mb,
+        f.queue,
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
 }
 
 
@@ -261,6 +325,18 @@ mod tests {
         assert_eq!(f.seed, 9);
         assert_eq!(f.scale, 0.5);
         assert_eq!(f.out.as_deref(), Some("x.txt"));
+    }
+
+    #[test]
+    fn server_and_thread_flags_parse() {
+        let f = flags(&["--addr", "0.0.0.0:9090", "--threads", "4", "--cache-mb", "16", "--queue", "8"])
+            .unwrap();
+        assert_eq!(f.addr, "0.0.0.0:9090");
+        assert_eq!(f.threads, 4);
+        assert_eq!(f.cache_mb, 16);
+        assert_eq!(f.queue, 8);
+        assert!(flags(&["--threads", "many"]).unwrap_err().contains("--threads"));
+        assert!(flags(&["--cache-mb"]).unwrap_err().contains("--cache-mb"));
     }
 
     #[test]

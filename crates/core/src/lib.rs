@@ -36,6 +36,7 @@
 //! ```
 
 pub mod classic;
+pub mod fingerprint;
 pub mod grid;
 pub mod heterogeneity;
 pub mod method;
@@ -53,4 +54,7 @@ pub use heterogeneity::{
 pub use method::{DeltaResult, KeepPolicy, OccupancyMethod, TargetSpec, UniformityScores};
 pub use report::{GammaResult, OccupancyReport};
 pub use selection::{compare_selection_methods, SelectionComparison};
-pub use validation::{validation_sweep, ValidationPoint, ValidationReport};
+pub use validation::{
+    validation_sweep, validation_sweep_on, ValidationOptions, ValidationPoint,
+    ValidationReport,
+};

@@ -242,14 +242,24 @@ impl OccupancyMethod {
     /// epoch-reset per scale), and all scales aggregate from one shared
     /// [`EventView`] sorted once up front.
     pub fn run(&self, stream: &LinkStream) -> OccupancyReport {
+        // cap parallelism by the coarse grid size: refinement rounds are
+        // never wider than the coarse sweep
+        let coarse = self.grid.k_values(stream, self.delta_min).len();
+        let mut pool = WorkerPool::new(effective_threads(self.threads, coarse));
+        self.run_on(stream, &mut pool)
+    }
+
+    /// [`run`](OccupancyMethod::run) on a caller-owned pool. The analysis
+    /// service keeps one [`WorkerPool`] alive across requests and dispatches
+    /// every sweep onto it, so worker threads are spawned once per process
+    /// rather than once per request; `self.threads` is ignored here — the
+    /// pool's parallelism governs.
+    pub fn run_on(&self, stream: &LinkStream, pool: &mut WorkerPool) -> OccupancyReport {
         let targets = self.targets.build(stream.node_count() as u32);
         let view = EventView::new(stream);
         let span = stream.span();
         let mut ks = self.grid.k_values(stream, self.delta_min);
 
-        // cap parallelism by the coarse grid size: refinement rounds are
-        // never wider than the coarse sweep
-        let mut pool = WorkerPool::new(effective_threads(self.threads, ks.len()));
         // One arena per worker id; a worker only ever locks its own slot, so
         // the mutexes are uncontended — they exist to satisfy `Sync`.
         let arenas: Vec<Mutex<EngineArena>> =
@@ -401,6 +411,29 @@ mod tests {
         assert!(refined.results().len() > coarse.results().len());
         // refinement can only improve (or keep) the best score
         assert!(refined.gamma().unwrap().score >= coarse.gamma().unwrap().score - 1e-12);
+    }
+
+    #[test]
+    fn run_on_shared_pool_matches_run() {
+        use crate::parallel::WorkerPool;
+        let s = ring_stream(8, 80, 7);
+        let method =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 10 }).refine(1, 4);
+        let baseline = method.clone().threads(2).run(&s);
+        let mut pool = WorkerPool::new(2);
+        // the same pool serves consecutive analyses, as in the service
+        for _ in 0..2 {
+            let shared = method.run_on(&s, &mut pool);
+            assert_eq!(shared.results().len(), baseline.results().len());
+            for (x, y) in shared.results().iter().zip(baseline.results()) {
+                assert_eq!(x.k, y.k);
+                assert_eq!(x.trips, y.trips);
+                assert_eq!(
+                    x.scores.mk_proximity.to_bits(),
+                    y.scores.mk_proximity.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Both stay flat over several orders of magnitude of `Δ` and take off
 //! around the saturation scale, validating the occupancy method's choice.
 
-use crate::parallel::parallel_map;
+use crate::parallel::{effective_threads, WorkerPool};
 use crate::{SweepGrid, TargetSpec};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
@@ -45,23 +45,55 @@ pub struct ValidationReport {
     pub reference_transitions: u64,
 }
 
-/// Sweeps both loss measures over `grid`.
-///
-/// `weighted_transitions` counts each two-hop trip with its number of middle
-/// nodes (the exact multiset of Definition 6).
+/// Named knobs of a validation sweep (replaces the former opaque positional
+/// `threads, delta_min, weighted_transitions` arguments).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ValidationOptions {
+    /// Worker thread count (0 = all available cores). Ignored by
+    /// [`validation_sweep_on`], which runs on a caller-provided pool.
+    pub threads: usize,
+    /// Smallest aggregation period in ticks (1 = the resolution of integer
+    /// timestamps).
+    pub delta_min: i64,
+    /// Count each two-hop trip with its number of middle nodes (the exact
+    /// multiset of Definition 6) rather than once.
+    pub weighted_transitions: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions { threads: 0, delta_min: 1, weighted_transitions: true }
+    }
+}
+
+/// Sweeps both loss measures over `grid` on a transient worker pool sized by
+/// `options.threads`. Long-lived callers (the analysis service) should hold
+/// a [`WorkerPool`] and use [`validation_sweep_on`] instead.
 pub fn validation_sweep(
     stream: &LinkStream,
     grid: &SweepGrid,
     targets: TargetSpec,
-    threads: usize,
-    delta_min: i64,
-    weighted_transitions: bool,
+    options: &ValidationOptions,
+) -> ValidationReport {
+    let ks = grid.k_values(stream, options.delta_min);
+    let mut pool = WorkerPool::new(effective_threads(options.threads, ks.len()));
+    validation_sweep_on(stream, grid, targets, options, &mut pool)
+}
+
+/// [`validation_sweep`] on a caller-owned pool (shared across requests in
+/// the analysis service; `options.threads` is ignored here).
+pub fn validation_sweep_on(
+    stream: &LinkStream,
+    grid: &SweepGrid,
+    targets: TargetSpec,
+    options: &ValidationOptions,
+    pool: &mut WorkerPool,
 ) -> ValidationReport {
     let target_set = targets.build(stream.node_count() as u32);
-    let reference = stream_minimal_trips(stream, &target_set, weighted_transitions);
+    let reference = stream_minimal_trips(stream, &target_set, options.weighted_transitions);
     let view = EventView::new(stream);
-    let ks = grid.k_values(stream, delta_min);
-    let mut points = parallel_map(&ks, threads, |&k| {
+    let ks = grid.k_values(stream, options.delta_min);
+    let mut points = pool.map(&ks, |_wid, &k| {
         let partition = stream.partition(k).expect("grid yields valid k");
         let timeline = Timeline::aggregated_from_view(&view, k);
         ValidationPoint {
@@ -100,9 +132,7 @@ mod tests {
             &s,
             &SweepGrid::Geometric { points: 10 },
             TargetSpec::All,
-            2,
-            1,
-            true,
+            &ValidationOptions { threads: 2, ..ValidationOptions::default() },
         );
         assert!(report.reference_trips > 0);
         assert!(report.reference_transitions > 0);
@@ -122,9 +152,7 @@ mod tests {
             &s,
             &SweepGrid::Geometric { points: 8 },
             TargetSpec::All,
-            1,
-            1,
-            false,
+            &ValidationOptions { threads: 1, weighted_transitions: false, ..Default::default() },
         );
         let fine = report.points.first().unwrap();
         if fine.elongation.count > 0 {
@@ -138,6 +166,26 @@ mod tests {
         for p in &report.points {
             if p.elongation.count > 0 {
                 assert!(p.elongation.mean >= 1.0 - 1e-9, "k={} mean={}", p.k, p.elongation.mean);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_pool_matches_transient_pool() {
+        let s = stream();
+        let grid = SweepGrid::Geometric { points: 8 };
+        let opts = ValidationOptions::default();
+        let transient = validation_sweep(&s, &grid, TargetSpec::All, &opts);
+        let mut pool = WorkerPool::new(3);
+        // two consecutive sweeps on one pool: both must match exactly
+        for _ in 0..2 {
+            let shared = validation_sweep_on(&s, &grid, TargetSpec::All, &opts, &mut pool);
+            assert_eq!(shared.reference_trips, transient.reference_trips);
+            assert_eq!(shared.points.len(), transient.points.len());
+            for (a, b) in shared.points.iter().zip(&transient.points) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.lost_transitions.to_bits(), b.lost_transitions.to_bits());
+                assert_eq!(a.elongation.mean.to_bits(), b.elongation.mean.to_bits());
             }
         }
     }

@@ -169,6 +169,8 @@ impl LinkStream {
             span,
             mean_links_per_node: involvements,
             mean_inter_contact: if involvements > 0.0 { span as f64 / involvements } else { f64::INFINITY },
+            dropped_self_loops: self.dropped_self_loops,
+            dropped_duplicates: self.dropped_duplicates,
         }
     }
 }
@@ -195,6 +197,10 @@ pub struct StreamStats {
     /// Mean inter-contact time of a node, `T / (2m/n)` ticks — the x-axis of
     /// Figure 6 (left) in the paper.
     pub mean_inter_contact: f64,
+    /// Self-loop triplets discarded at build time.
+    pub dropped_self_loops: usize,
+    /// Exact duplicate triplets discarded at build time.
+    pub dropped_duplicates: usize,
 }
 
 enum NodeMode {

@@ -1,0 +1,194 @@
+//! The content-addressed report cache.
+//!
+//! Keys are the 128-bit fingerprints of [`saturn_core::fingerprint`]:
+//! canonical stream content plus every request parameter that influences the
+//! result. Values are the fully serialized JSON response bodies, shared as
+//! `Arc<str>` so a hit costs one pointer clone — a cached analysis is served
+//! without touching the sweep engine or re-serializing the report, and two
+//! clients of the same key observe byte-identical responses by construction.
+//!
+//! Eviction is least-recently-used, bounded by **total body bytes** rather
+//! than entry count (reports range from a few KiB to MiB depending on grid
+//! size and `KeepPolicy`). Recency is a monotone touch stamp; eviction scans
+//! for the minimum, which is linear in the entry count — entries are
+//! multi-kilobyte reports, so populations stay in the thousands and the scan
+//! is noise next to the sweep the miss just paid for.
+
+use rustc_hash::FxHashMap;
+use serde::Serialize;
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    body: Arc<str>,
+    touched: u64,
+}
+
+struct Inner {
+    map: FxHashMap<u128, Entry>,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Byte-bounded LRU of serialized reports, keyed by content fingerprint.
+/// All methods take `&self`; the cache is shared freely across connection
+/// threads.
+pub struct ReportCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+}
+
+/// A point-in-time snapshot of cache occupancy and effectiveness, serialized
+/// into `/v1/health`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CacheStats {
+    /// Resident entries.
+    pub entries: usize,
+    /// Total resident body bytes.
+    pub bytes: usize,
+    /// Configured byte budget.
+    pub capacity_bytes: usize,
+    /// Lookups that returned a body.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl ReportCache {
+    /// Creates a cache bounded by `capacity_bytes` of report bodies
+    /// (0 disables caching: every `get` misses, every `insert` is dropped).
+    pub fn new(capacity_bytes: usize) -> Self {
+        ReportCache {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                bytes: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u128) -> Option<Arc<str>> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.touched = stamp;
+                let body = Arc::clone(&entry.body);
+                inner.hits += 1;
+                Some(body)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a body under `key`, evicting least-recently-used entries
+    /// until the byte budget holds. Bodies larger than the whole budget are
+    /// not cached; re-inserting an existing key refreshes body and recency.
+    pub fn insert(&self, key: u128, body: Arc<str>) {
+        if body.len() > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.insert(key, Entry { body: Arc::clone(&body), touched: stamp })
+        {
+            inner.bytes -= old.body.len();
+        }
+        inner.bytes += body.len();
+        while inner.bytes > self.capacity_bytes {
+            let Some((&victim, _)) =
+                inner.map.iter().min_by_key(|(_, entry)| entry.touched)
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= evicted.body.len();
+            inner.evictions += 1;
+        }
+    }
+
+    /// Occupancy and hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        CacheStats {
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            capacity_bytes: self.capacity_bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    #[test]
+    fn hit_returns_the_same_bytes() {
+        let cache = ReportCache::new(1024);
+        cache.insert(1, body("{\"report\":1}"));
+        let a = cache.get(1).unwrap();
+        let b = cache.get(1).unwrap();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        assert!(Arc::ptr_eq(&a, &b), "hits share one allocation");
+        assert!(cache.get(2).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_is_by_bytes_and_recency() {
+        let cache = ReportCache::new(30);
+        cache.insert(1, body("aaaaaaaaaa")); // 10 bytes
+        cache.insert(2, body("bbbbbbbbbb"));
+        cache.insert(3, body("cccccccccc"));
+        assert_eq!(cache.stats().bytes, 30);
+        cache.get(1); // 1 is now most recent; 2 is LRU
+        cache.insert(4, body("dddddddddd"));
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(1).is_some() && cache.get(3).is_some() && cache.get(4).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= 30);
+    }
+
+    #[test]
+    fn oversized_bodies_and_zero_capacity_are_not_cached() {
+        let cache = ReportCache::new(5);
+        cache.insert(1, body("too big to fit"));
+        assert!(cache.get(1).is_none());
+        let disabled = ReportCache::new(0);
+        disabled.insert(1, body("x"));
+        assert!(disabled.get(1).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_accounting_exact() {
+        let cache = ReportCache::new(100);
+        cache.insert(1, body("short"));
+        cache.insert(1, body("a longer replacement body"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, "a longer replacement body".len());
+        assert_eq!(&*cache.get(1).unwrap(), "a longer replacement body");
+    }
+}

@@ -1,0 +1,385 @@
+//! The batch job manager: a bounded queue of analysis jobs drained by one
+//! executor thread that owns the process-wide [`WorkerPool`].
+//!
+//! Design points:
+//!
+//! * **One pool, many connections.** `WorkerPool::map` takes `&mut self`
+//!   (one round in flight per pool), so sweeps are serialized through a
+//!   single executor thread that owns the pool — each sweep then fans out
+//!   across all pool workers. Connection threads never spawn workers; they
+//!   enqueue and wait. This is the "shared across connections rather than
+//!   per-request" layout the pool was built for: worker threads and their
+//!   per-worker DP arenas are spawned once per process.
+//! * **Bounded queue, 503 backpressure.** [`JobManager::submit`] refuses
+//!   work beyond the configured depth; the connection layer turns that into
+//!   `503 Service Unavailable` instead of letting latency grow without
+//!   bound.
+//! * **In-flight coalescing.** Jobs carry the request's content fingerprint;
+//!   a submission whose fingerprint matches a queued or running job attaches
+//!   to it instead of recomputing, so N concurrent clients posting the same
+//!   trace cost one sweep and observe byte-identical bodies (they share the
+//!   completed job's `Arc<str>`).
+//! * **Async retrieval.** Every submission gets a job id; `POST …?async=1`
+//!   returns it immediately and `GET /v1/jobs/<id>` polls (or blocks with
+//!   `?wait=1`) for the outcome. Finished jobs are retained up to
+//!   [`RETAINED_JOBS`] before the oldest are dropped.
+
+use saturn_core::parallel::WorkerPool;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Completed jobs kept for `GET /v1/jobs/<id>` before the oldest are
+/// forgotten.
+pub const RETAINED_JOBS: usize = 512;
+
+/// The work of one job: runs on the executor thread against the shared
+/// pool, returns the HTTP status and serialized body of the outcome.
+pub type JobWork = Box<dyn FnOnce(&mut WorkerPool) -> JobOutcome + Send>;
+
+/// Terminal result of a job, served verbatim to every attached client.
+#[derive(Clone)]
+pub struct JobOutcome {
+    /// HTTP status of the response (200, or a 4xx the job produced).
+    pub status: u16,
+    /// Serialized JSON body.
+    pub body: Arc<str>,
+}
+
+/// Lifecycle of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum JobPhase {
+    /// Waiting in the queue.
+    Queued,
+    /// Executing on the pool.
+    Running,
+    /// Finished; the outcome is available.
+    Done,
+}
+
+/// `submit` refusal: the queue is at capacity.
+#[derive(Debug)]
+pub struct Busy;
+
+struct JobRecord {
+    phase: JobPhase,
+    outcome: Option<JobOutcome>,
+    fingerprint: Option<u128>,
+}
+
+struct State {
+    queue: VecDeque<(u64, JobWork)>,
+    jobs: HashMap<u64, JobRecord>,
+    /// fingerprint → id of the queued/running job computing it.
+    inflight: HashMap<u128, u64>,
+    /// Completion order, for bounding retention.
+    finished: VecDeque<u64>,
+    next_id: u64,
+    executed: u64,
+    coalesced: u64,
+    rejected: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_available: Condvar,
+    job_done: Condvar,
+}
+
+/// Queue counters, serialized into `/v1/health`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct JobStats {
+    /// Jobs currently queued (not yet running).
+    pub queued: usize,
+    /// Configured queue bound.
+    pub queue_depth: usize,
+    /// Jobs executed to completion.
+    pub executed: u64,
+    /// Submissions attached to an in-flight duplicate.
+    pub coalesced: u64,
+    /// Submissions refused with [`Busy`].
+    pub rejected: u64,
+}
+
+/// Owner of the executor thread and the job table.
+pub struct JobManager {
+    shared: Arc<Shared>,
+    queue_depth: usize,
+    executor: Option<JoinHandle<()>>,
+}
+
+impl JobManager {
+    /// Starts the executor with a pool of `threads` total parallelism
+    /// (0 = all cores) and a queue bounded at `queue_depth` waiting jobs.
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                inflight: HashMap::new(),
+                finished: VecDeque::new(),
+                next_id: 1,
+                executed: 0,
+                coalesced: 0,
+                rejected: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("saturn-executor".into())
+                .spawn(move || executor_loop(&shared, threads))
+                .expect("cannot spawn job executor")
+        };
+        JobManager { shared, queue_depth, executor: Some(executor) }
+    }
+
+    /// Enqueues `work`, or attaches to an in-flight job computing the same
+    /// `fingerprint`. Returns the job id to wait on, or [`Busy`] when the
+    /// queue is full.
+    pub fn submit(&self, fingerprint: Option<u128>, work: JobWork) -> Result<u64, Busy> {
+        let mut state = self.shared.state.lock().expect("job state poisoned");
+        if let Some(key) = fingerprint {
+            if let Some(&id) = state.inflight.get(&key) {
+                state.coalesced += 1;
+                return Ok(id);
+            }
+        }
+        if state.queue.len() >= self.queue_depth {
+            state.rejected += 1;
+            return Err(Busy);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            JobRecord { phase: JobPhase::Queued, outcome: None, fingerprint },
+        );
+        if let Some(key) = fingerprint {
+            state.inflight.insert(key, id);
+        }
+        state.queue.push_back((id, work));
+        self.shared.work_available.notify_one();
+        Ok(id)
+    }
+
+    /// Current phase of a job (`None` for unknown/expired ids).
+    pub fn phase(&self, id: u64) -> Option<JobPhase> {
+        let state = self.shared.state.lock().expect("job state poisoned");
+        state.jobs.get(&id).map(|j| j.phase)
+    }
+
+    /// The outcome of a finished job, without blocking.
+    pub fn outcome(&self, id: u64) -> Option<JobOutcome> {
+        let state = self.shared.state.lock().expect("job state poisoned");
+        state.jobs.get(&id).and_then(|j| j.outcome.clone())
+    }
+
+    /// Blocks until job `id` finishes and returns its outcome (`None` for
+    /// unknown/expired ids).
+    pub fn wait(&self, id: u64) -> Option<JobOutcome> {
+        let mut state = self.shared.state.lock().expect("job state poisoned");
+        loop {
+            match state.jobs.get(&id) {
+                None => return None,
+                Some(job) => {
+                    if let Some(outcome) = &job.outcome {
+                        return Some(outcome.clone());
+                    }
+                }
+            }
+            state = self.shared.job_done.wait(state).expect("job state poisoned");
+        }
+    }
+
+    /// Queue counters.
+    pub fn stats(&self) -> JobStats {
+        let state = self.shared.state.lock().expect("job state poisoned");
+        JobStats {
+            queued: state.queue.len(),
+            queue_depth: self.queue_depth,
+            executed: state.executed,
+            coalesced: state.coalesced,
+            rejected: state.rejected,
+        }
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("job state poisoned");
+            state.shutdown = true;
+            self.shared.work_available.notify_all();
+        }
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+    }
+}
+
+fn executor_loop(shared: &Shared, threads: usize) {
+    // The pool (and its per-worker DP arenas) lives for the process: spawned
+    // here once, reused by every job.
+    let mut pool = WorkerPool::new(threads);
+    loop {
+        let (id, work) = {
+            let mut state = shared.state.lock().expect("job state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(item) = state.queue.pop_front() {
+                    state.jobs.get_mut(&item.0).expect("queued job recorded").phase =
+                        JobPhase::Running;
+                    break item;
+                }
+                state = shared.work_available.wait(state).expect("job state poisoned");
+            }
+        };
+        // Worker panics propagate out of `pool.map`; catch them so one
+        // poisoned trace cannot take the service down.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&mut pool)))
+            .unwrap_or_else(|_| JobOutcome {
+                status: 500,
+                body: Arc::from(r#"{"error": "analysis panicked"}"#),
+            });
+        let mut state = shared.state.lock().expect("job state poisoned");
+        let job = state.jobs.get_mut(&id).expect("running job recorded");
+        job.phase = JobPhase::Done;
+        job.outcome = Some(outcome);
+        let fingerprint = job.fingerprint;
+        if let Some(key) = fingerprint {
+            state.inflight.remove(&key);
+        }
+        state.executed += 1;
+        state.finished.push_back(id);
+        while state.finished.len() > RETAINED_JOBS {
+            let expired = state.finished.pop_front().expect("nonempty");
+            state.jobs.remove(&expired);
+        }
+        shared.job_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(body: &str) -> JobOutcome {
+        JobOutcome { status: 200, body: Arc::from(body) }
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let jobs = JobManager::new(1, 8);
+        let id = jobs.submit(None, Box::new(|_pool| ok("{\"x\":1}"))).unwrap();
+        let outcome = jobs.wait(id).unwrap();
+        assert_eq!(outcome.status, 200);
+        assert_eq!(&*outcome.body, "{\"x\":1}");
+        assert_eq!(jobs.phase(id), Some(JobPhase::Done));
+        assert_eq!(jobs.stats().executed, 1);
+    }
+
+    #[test]
+    fn coalescing_shares_one_execution() {
+        let jobs = JobManager::new(1, 8);
+        // a blocker job keeps the executor busy so both submissions queue
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        jobs.submit(
+            None,
+            Box::new(move |_| {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                ok("gate")
+            }),
+        )
+        .unwrap();
+        let a = jobs.submit(Some(42), Box::new(|_| ok("first"))).unwrap();
+        let b = jobs.submit(Some(42), Box::new(|_| ok("second"))).unwrap();
+        assert_eq!(a, b, "identical fingerprints coalesce");
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let out_a = jobs.wait(a).unwrap();
+        let out_b = jobs.wait(b).unwrap();
+        assert!(Arc::ptr_eq(&out_a.body, &out_b.body), "one body serves both");
+        assert_eq!(&*out_a.body, "first");
+        assert_eq!(jobs.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_busy() {
+        let jobs = JobManager::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let running = jobs
+            .submit(
+                None,
+                Box::new(move |_| {
+                    let (lock, cv) = &*g;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                    ok("gate")
+                }),
+            )
+            .unwrap();
+        // wait until the gate job leaves the queue and occupies the executor
+        while jobs.phase(running) == Some(JobPhase::Queued) {
+            std::thread::yield_now();
+        }
+        let queued = jobs.submit(None, Box::new(|_| ok("fits"))).unwrap();
+        assert!(jobs.submit(None, Box::new(|_| ok("rejected"))).is_err());
+        assert_eq!(jobs.stats().rejected, 1);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        assert_eq!(&*jobs.wait(queued).unwrap().body, "fits");
+    }
+
+    #[test]
+    fn panicking_job_becomes_500_and_executor_survives() {
+        let jobs = JobManager::new(1, 8);
+        let id = jobs.submit(None, Box::new(|_| panic!("boom"))).unwrap();
+        let outcome = jobs.wait(id).unwrap();
+        assert_eq!(outcome.status, 500);
+        assert!(outcome.body.contains("panicked"));
+        let next = jobs.submit(None, Box::new(|_| ok("alive"))).unwrap();
+        assert_eq!(&*jobs.wait(next).unwrap().body, "alive");
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        let jobs = JobManager::new(1, 2);
+        assert!(jobs.phase(999).is_none());
+        assert!(jobs.wait(999).is_none());
+        assert!(jobs.outcome(999).is_none());
+    }
+
+    #[test]
+    fn jobs_actually_use_the_pool() {
+        let jobs = JobManager::new(3, 4);
+        let id = jobs
+            .submit(
+                None,
+                Box::new(|pool| {
+                    let items: Vec<u64> = (0..100).collect();
+                    let sum: u64 = pool.map(&items, |_wid, &x| x * 2).into_iter().sum();
+                    JobOutcome { status: 200, body: Arc::from(format!("{{\"sum\":{sum}}}")) }
+                }),
+            )
+            .unwrap();
+        assert_eq!(&*jobs.wait(id).unwrap().body, "{\"sum\":9900}");
+    }
+}

@@ -1,0 +1,473 @@
+//! `saturn-server` — the analysis surface of this workspace as a long-lived
+//! concurrent HTTP service.
+//!
+//! The paper closes on the method being "fully automatic and does not
+//! require any parameter as input. Therefore, it can easily been
+//! incorporated into any automatic tool for analyzing dynamic networks"
+//! (Léo, Crespelle & Fleury, CoNEXT 2015). This crate is that incorporation
+//! point: instead of a one-shot CLI re-running the sweep from scratch per
+//! invocation, a daemon that parses traces out of request bodies, serves
+//! repeated analyses from a content-addressed report cache, and dispatches
+//! cold sweeps onto one process-wide [`WorkerPool`](saturn_core::parallel::WorkerPool).
+//!
+//! ```text
+//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1[&async=1]   trace body → occupancy report
+//! POST /v1/validate?points=32&weighted=1&delta_min=1[&async=1]       trace body → loss curves
+//! POST /v1/stats?directed=1                                          trace body → stream statistics
+//! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
+//! GET  /v1/health                                                    cache + queue counters
+//! ```
+//!
+//! Bodies are plain or KONECT-layout traces — exactly what
+//! [`saturn_linkstream::io`] accepts from files. Responses are JSON; an
+//! analyze response is byte-for-byte [`OccupancyReport::to_json`], so the
+//! CLI's `--json` output and the service speak one shape.
+//!
+//! Built on `std::net::TcpListener` only: the deployment container is
+//! offline and the workspace policy is zero external dependencies.
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+
+pub use cache::{CacheStats, ReportCache};
+pub use jobs::{JobManager, JobOutcome, JobPhase, JobStats};
+
+use http::{error_body, read_request, write_response, ReadError, Request};
+use saturn_core::fingerprint::{self, Digest};
+use saturn_core::{
+    validation_sweep_on, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
+};
+use saturn_linkstream::{io as stream_io, Directedness, LinkStream};
+use serde_json::Value;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Sweep worker pool parallelism (0 = all available cores).
+    pub threads: usize,
+    /// Report cache budget in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Maximum jobs waiting in the queue before submissions get 503.
+    pub queue_depth: usize,
+    /// Maximum accepted request body, bytes.
+    pub max_body_bytes: usize,
+    /// Maximum concurrently served connections before new ones get 503.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 0,
+            cache_bytes: 64 << 20,
+            queue_depth: 64,
+            max_body_bytes: 64 << 20,
+            max_connections: 256,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct ServerContext {
+    /// Behind its own `Arc` so job closures (which outlive the request)
+    /// can own a handle and populate it on completion.
+    cache: Arc<ReportCache>,
+    jobs: JobManager,
+    max_body_bytes: usize,
+    max_connections: usize,
+    active_connections: AtomicUsize,
+    stopping: AtomicBool,
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServerContext>,
+}
+
+impl Server {
+    /// Binds the listener and starts the job executor (which spawns the
+    /// shared worker pool).
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            ctx: Arc::new(ServerContext {
+                cache: Arc::new(ReportCache::new(config.cache_bytes)),
+                jobs: JobManager::new(config.threads, config.queue_depth),
+                max_body_bytes: config.max_body_bytes,
+                max_connections: config.max_connections,
+                active_connections: AtomicUsize::new(0),
+                stopping: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the calling thread (the `saturn serve` entry
+    /// point).
+    pub fn run(self) -> std::io::Result<()> {
+        accept_loop(self.listener, self.ctx);
+        Ok(())
+    }
+
+    /// Serves on a background thread; the handle stops the accept loop on
+    /// demand (tests, benches).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let ctx = Arc::clone(&self.ctx);
+        let accept = std::thread::Builder::new()
+            .name("saturn-accept".into())
+            .spawn(move || accept_loop(self.listener, self.ctx))?;
+        Ok(ServerHandle { addr, ctx, accept: Some(accept) })
+    }
+}
+
+/// Controls a spawned server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerContext>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Connections already
+    /// being served drain on their own threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.ctx.stopping.store(true, Ordering::SeqCst);
+            // wake the blocking accept with a no-op connection
+            let _ = TcpStream::connect(self.addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerContext>) {
+    for stream in listener.incoming() {
+        if ctx.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let active = ctx.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
+        if active > ctx.max_connections {
+            let mut stream = stream;
+            let _ = write_response(
+                &mut stream,
+                503,
+                &error_body("connection limit reached"),
+                false,
+            );
+            ctx.active_connections.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let ctx = Arc::clone(&ctx);
+        let _ = std::thread::Builder::new().name("saturn-conn".into()).spawn(move || {
+            // decrement via a drop guard: a panicking handler must not leak
+            // its connection slot (leaked slots would eventually turn every
+            // accept into a 503)
+            struct Slot<'a>(&'a ServerContext);
+            impl Drop for Slot<'_> {
+                fn drop(&mut self) {
+                    self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let _slot = Slot(&ctx);
+            serve_connection(stream, &ctx);
+        });
+    }
+}
+
+/// Idle keep-alive connections are dropped after this long without a
+/// request.
+const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn serve_connection(stream: TcpStream, ctx: &ServerContext) {
+    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader, &mut writer, ctx.max_body_bytes) {
+            Ok(request) => request,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Bad(status, msg)) => {
+                let _ = write_response(&mut writer, status, &error_body(&msg), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = route(&request, ctx);
+        if write_response(&mut writer, status, body.as_bytes(), keep_alive).is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+/// A response body: bytes built for this request, or a shared allocation
+/// straight out of the report cache / job table — cache hits go to the
+/// socket without copying the report.
+enum Body {
+    Built(Vec<u8>),
+    Shared(Arc<str>),
+}
+
+impl Body {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Built(bytes) => bytes,
+            Body::Shared(body) => body.as_bytes(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(bytes: Vec<u8>) -> Self {
+        Body::Built(bytes)
+    }
+}
+
+impl From<Arc<str>> for Body {
+    fn from(body: Arc<str>) -> Self {
+        Body::Shared(body)
+    }
+}
+
+/// Dispatches one request; returns `(status, body)`.
+fn route(request: &Request, ctx: &ServerContext) -> (u16, Body) {
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/analyze") => endpoint_analyze(request, ctx),
+        ("POST", "/v1/validate") => endpoint_validate(request, ctx),
+        ("POST", "/v1/stats") => endpoint_stats(request, ctx),
+        ("GET", "/v1/health") => Ok(endpoint_health(ctx)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => endpoint_job(request, ctx),
+        ("GET", "/v1/analyze" | "/v1/validate" | "/v1/stats") | ("POST", "/v1/health") => {
+            Err((405, "wrong method for this endpoint (analysis endpoints take POST)".into()))
+        }
+        _ => Err((404, format!("no route for {} {}", request.method, request.path))),
+    };
+    match outcome {
+        Ok((status, body)) => (status, body),
+        Err((status, msg)) => (status, error_body(&msg).into()),
+    }
+}
+
+type Handled = Result<(u16, Body), (u16, String)>;
+
+/// Parses a numeric query parameter, defaulting when absent.
+fn numeric<T: std::str::FromStr>(request: &Request, key: &str, default: T) -> Result<T, (u16, String)>
+where
+    T::Err: std::fmt::Display,
+{
+    match request.param(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|e| (400, format!("query parameter {key}={raw}: {e}"))),
+    }
+}
+
+/// Parses the trace body under the request's directedness.
+fn parse_stream(request: &Request) -> Result<LinkStream, (u16, String)> {
+    let directedness =
+        if request.flag("directed") { Directedness::Directed } else { Directedness::Undirected };
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| (400, "trace body is not UTF-8".to_string()))?;
+    stream_io::read_str(text, directedness).map_err(|e| (400, format!("trace body: {e}")))
+}
+
+/// Target spec from `sample` / `seed` parameters (absent `sample` = exact).
+fn parse_targets(request: &Request) -> Result<TargetSpec, (u16, String)> {
+    Ok(match request.param("sample") {
+        None => TargetSpec::All,
+        Some(_) => TargetSpec::Sample {
+            size: numeric(request, "sample", 0u32)?,
+            seed: numeric(request, "seed", 1u64)?,
+        },
+    })
+}
+
+/// Serves from cache, or submits `make_work` as a job and (unless
+/// `async=1`) waits for it. The shared plumbing of the two sweep endpoints.
+fn cached_or_submitted(
+    request: &Request,
+    ctx: &ServerContext,
+    key: u128,
+    work: jobs::JobWork,
+) -> Handled {
+    if let Some(body) = ctx.cache.get(key) {
+        return Ok((200, body.into()));
+    }
+    let id = ctx
+        .jobs
+        .submit(Some(key), work)
+        .map_err(|jobs::Busy| (503, "job queue is full, retry later".to_string()))?;
+    if request.flag("async") {
+        return Ok((
+            202,
+            job_status_body(id, ctx.jobs.phase(id).unwrap_or(JobPhase::Queued)).into(),
+        ));
+    }
+    let outcome = ctx.jobs.wait(id).ok_or_else(|| {
+        (500, "job expired before its outcome was read".to_string())
+    })?;
+    Ok((outcome.status, outcome.body.into()))
+}
+
+fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
+    let stream = parse_stream(request)?;
+    let points = numeric(request, "points", 48usize)?;
+    let targets = parse_targets(request)?;
+    let grid = SweepGrid::Geometric { points };
+
+    let mut digest = Digest::new("saturn.analyze.v1");
+    digest.write_u128(fingerprint::stream_digest(&stream));
+    fingerprint::write_grid(&mut digest, &grid);
+    fingerprint::write_targets(&mut digest, &targets);
+    let key = digest.finish();
+
+    let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
+    let work: jobs::JobWork = Box::new(move |pool| {
+        let report =
+            OccupancyMethod::new().grid(grid).targets(targets).run_on(&stream, pool);
+        cache_insert(report.to_json())
+    });
+    cached_or_submitted(request, ctx, key, work)
+}
+
+fn endpoint_validate(request: &Request, ctx: &ServerContext) -> Handled {
+    let stream = parse_stream(request)?;
+    let points = numeric(request, "points", 48usize)?;
+    let targets = parse_targets(request)?;
+    let grid = SweepGrid::Geometric { points };
+    let options = ValidationOptions {
+        threads: 0, // ignored on the shared pool
+        delta_min: numeric(request, "delta_min", 1i64)?,
+        weighted_transitions: request.param("weighted").is_none_or(|v| v != "0"),
+    };
+
+    let mut digest = Digest::new("saturn.validate.v1");
+    digest.write_u128(fingerprint::stream_digest(&stream));
+    fingerprint::write_grid(&mut digest, &grid);
+    fingerprint::write_targets(&mut digest, &targets);
+    digest.write_i64(options.delta_min);
+    digest.write_u64(options.weighted_transitions as u64);
+    let key = digest.finish();
+
+    let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
+    let work: jobs::JobWork = Box::new(move |pool| {
+        let report = validation_sweep_on(&stream, &grid, targets, &options, pool);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        cache_insert(json)
+    });
+    cached_or_submitted(request, ctx, key, work)
+}
+
+fn endpoint_stats(request: &Request, ctx: &ServerContext) -> Handled {
+    let stream = parse_stream(request)?;
+    let mut digest = Digest::new("saturn.stats.v1");
+    digest.write_u128(fingerprint::stream_digest(&stream));
+    let key = digest.finish();
+    if let Some(body) = ctx.cache.get(key) {
+        return Ok((200, body.into()));
+    }
+    // stats are a single pass over the events — computed inline on the
+    // connection thread, never queued behind sweeps
+    let body: Arc<str> =
+        Arc::from(serde_json::to_string_pretty(&stream.stats()).expect("stats serialize"));
+    ctx.cache.insert(key, Arc::clone(&body));
+    Ok((200, body.into()))
+}
+
+fn endpoint_job(request: &Request, ctx: &ServerContext) -> Handled {
+    let raw_id = request.path.strip_prefix("/v1/jobs/").expect("routed by prefix");
+    let id: u64 = raw_id.parse().map_err(|_| (404, format!("malformed job id `{raw_id}`")))?;
+    if request.flag("wait") {
+        let outcome =
+            ctx.jobs.wait(id).ok_or_else(|| (404, format!("unknown or expired job {id}")))?;
+        return Ok((outcome.status, outcome.body.into()));
+    }
+    let phase =
+        ctx.jobs.phase(id).ok_or_else(|| (404, format!("unknown or expired job {id}")))?;
+    match ctx.jobs.outcome(id) {
+        Some(outcome) => Ok((outcome.status, outcome.body.into())),
+        None => Ok((200, job_status_body(id, phase).into())),
+    }
+}
+
+fn endpoint_health(ctx: &ServerContext) -> (u16, Body) {
+    let body = Value::Object(vec![
+        ("status".to_string(), Value::String("ok".to_string())),
+        (
+            "cache".to_string(),
+            serde_json::to_value(&ctx.cache.stats()).expect("stats serialize"),
+        ),
+        (
+            "jobs".to_string(),
+            serde_json::to_value(&ctx.jobs.stats()).expect("stats serialize"),
+        ),
+        (
+            "active_connections".to_string(),
+            Value::Int(ctx.active_connections.load(Ordering::SeqCst) as i128),
+        ),
+    ]);
+    (200, body.to_string_pretty().into_bytes().into())
+}
+
+fn job_status_body(id: u64, phase: JobPhase) -> Vec<u8> {
+    let phase = match phase {
+        JobPhase::Queued => "queued",
+        JobPhase::Running => "running",
+        JobPhase::Done => "done",
+    };
+    Value::Object(vec![
+        ("job".to_string(), Value::Int(id as i128)),
+        ("status".to_string(), Value::String(phase.to_string())),
+    ])
+    .to_string_pretty()
+    .into_bytes()
+}
+
+/// A closure for job bodies: takes the serialized report, populates the
+/// cache, and builds the outcome from the *cached* allocation — cold and
+/// hit responses are therefore the same bytes by construction.
+fn cache_filler(
+    cache: Arc<ReportCache>,
+    key: u128,
+) -> impl FnOnce(String) -> JobOutcome + Send {
+    move |json: String| {
+        let body: Arc<str> = Arc::from(json);
+        cache.insert(key, Arc::clone(&body));
+        JobOutcome { status: 200, body }
+    }
+}

@@ -1,0 +1,273 @@
+//! End-to-end tests of the analysis service over real sockets.
+
+use saturn_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Starts a server with `tweak` applied to a small test-friendly config.
+fn start(tweak: impl FnOnce(&mut ServerConfig)) -> saturn_server::ServerHandle {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_bytes: 8 << 20,
+        queue_depth: 16,
+        max_body_bytes: 1 << 20,
+        max_connections: 64,
+    };
+    tweak(&mut config);
+    Server::bind(&config).expect("bind").spawn().expect("spawn")
+}
+
+/// A deterministic trace with enough structure for a non-degenerate sweep.
+fn trace(nodes: u32, events: i64, gap: i64) -> String {
+    let mut text = String::new();
+    for i in 0..events {
+        text.push_str(&format!(
+            "n{} n{} {}\n",
+            i % nodes as i64,
+            (i + 1) % nodes as i64,
+            i * gap + (i % 3)
+        ));
+    }
+    text
+}
+
+struct Response {
+    status: u16,
+    body: Vec<u8>,
+}
+
+/// Writes `count` requests over one connection, reading each response before
+/// sending the next (keep-alive path when `count > 1`).
+fn requests_on(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    count: usize,
+) -> Vec<Response> {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut responses = Vec::new();
+    for _ in 0..count {
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nHost: saturn\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .expect("write head");
+        stream.write_all(body).expect("write body");
+        responses.push(read_response(&mut reader));
+    }
+    responses
+}
+
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    requests_on(&mut stream, method, target, body, 1).pop().expect("one response")
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> Response {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    Response { status, body }
+}
+
+fn json(response: &Response) -> serde_json::Value {
+    serde_json::from_slice(&response.body).unwrap_or_else(|e| {
+        panic!("invalid JSON ({e}): {}", String::from_utf8_lossy(&response.body))
+    })
+}
+
+#[test]
+fn stats_endpoint_shares_the_cli_shape() {
+    let server = start(|_| {});
+    let body = trace(6, 200, 40);
+    let response =
+        request(server.addr(), "POST", "/v1/stats?directed=1", body.as_bytes());
+    assert_eq!(response.status, 200);
+    let v = json(&response);
+    assert_eq!(v["nodes"].as_u64(), Some(6));
+    assert_eq!(v["links"].as_u64(), Some(200));
+    assert_eq!(v["dropped_duplicates"].as_u64(), Some(0));
+    assert!(v["mean_inter_contact"].as_f64().unwrap() > 0.0);
+    server.stop();
+}
+
+#[test]
+fn analyze_cold_then_cached_is_byte_identical() {
+    let server = start(|_| {});
+    let body = trace(6, 240, 40);
+    let target = "/v1/analyze?points=10";
+    let cold = request(server.addr(), "POST", target, body.as_bytes());
+    assert_eq!(cold.status, 200);
+    assert!(json(&cold)["results"].as_array().unwrap().len() >= 5);
+
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    let misses_before = health["cache"]["misses"].as_u64().unwrap();
+    let hits_before = health["cache"]["hits"].as_u64().unwrap();
+
+    let cached = request(server.addr(), "POST", target, body.as_bytes());
+    assert_eq!(cached.status, 200);
+    assert_eq!(cold.body, cached.body, "cache hit must be byte-identical");
+
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    assert_eq!(health["cache"]["misses"].as_u64().unwrap(), misses_before);
+    assert_eq!(health["cache"]["hits"].as_u64().unwrap(), hits_before + 1);
+    // content addressing: same triplets in a different line order also hit
+    let reversed: String = body.lines().rev().map(|l| format!("{l}\n")).collect();
+    let reordered = request(server.addr(), "POST", target, reversed.as_bytes());
+    assert_eq!(cold.body, reordered.body, "content-addressed, not byte-addressed");
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_reports_cold_and_cached() {
+    const CLIENTS: usize = 6;
+    let server = start(|_| {});
+    let addr = server.addr();
+    let body: Arc<String> = Arc::new(trace(7, 280, 35));
+    let target = "/v1/analyze?points=12";
+
+    let round = || -> Vec<Vec<u8>> {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let body = Arc::clone(&body);
+                std::thread::spawn(move || {
+                    let response = request(addr, "POST", target, body.as_bytes());
+                    assert_eq!(response.status, 200);
+                    response.body
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    };
+
+    // cold: every client races the empty cache; in-flight coalescing must
+    // still hand all of them one identical report
+    let cold = round();
+    for other in &cold[1..] {
+        assert_eq!(&cold[0], other, "cold concurrent responses diverged");
+    }
+    // cached: the same fan-out served from the report cache
+    let cached = round();
+    for other in &cached {
+        assert_eq!(&cold[0], other, "cached responses diverged from cold");
+    }
+
+    let health = json(&request(addr, "GET", "/v1/health", b""));
+    let executed = health["jobs"]["executed"].as_u64().unwrap();
+    assert_eq!(executed, 1, "one sweep must have served all {CLIENTS} cold clients");
+    server.stop();
+}
+
+#[test]
+fn async_jobs_roundtrip_matches_sync() {
+    let server = start(|_| {});
+    let body = trace(5, 150, 50);
+    let sync = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(sync.status, 200);
+
+    // different points so the async submission is a genuinely new job
+    let submitted =
+        request(server.addr(), "POST", "/v1/analyze?points=9&async=1", body.as_bytes());
+    assert_eq!(submitted.status, 202);
+    let id = json(&submitted)["job"].as_u64().expect("job id");
+
+    let result =
+        request(server.addr(), "GET", &format!("/v1/jobs/{id}?wait=1"), b"");
+    assert_eq!(result.status, 200);
+    assert!(json(&result)["results"].as_array().unwrap().len() >= 4);
+
+    // polled again after completion: the same outcome body
+    let again = request(server.addr(), "GET", &format!("/v1/jobs/{id}"), b"");
+    assert_eq!(again.body, result.body);
+
+    let missing = request(server.addr(), "GET", "/v1/jobs/99999", b"");
+    assert_eq!(missing.status, 404);
+    server.stop();
+}
+
+#[test]
+fn validate_endpoint_returns_loss_curves() {
+    let server = start(|_| {});
+    let body = trace(8, 160, 7);
+    let response = request(
+        server.addr(),
+        "POST",
+        "/v1/validate?points=8&weighted=1",
+        body.as_bytes(),
+    );
+    assert_eq!(response.status, 200);
+    let v = json(&response);
+    assert!(v["reference_trips"].as_u64().unwrap() > 0);
+    let points = v["points"].as_array().unwrap();
+    assert!(points.len() >= 8);
+    let last = &points[points.len() - 1];
+    assert_eq!(last["k"].as_u64(), Some(1));
+    assert!((last["lost_transitions"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+    server.stop();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let server = start(|_| {});
+    let body = trace(5, 100, 20);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let responses = requests_on(&mut stream, "POST", "/v1/stats", body.as_bytes(), 3);
+    assert_eq!(responses.len(), 3);
+    for response in &responses {
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, responses[0].body);
+    }
+    server.stop();
+}
+
+#[test]
+fn error_paths_have_proper_statuses() {
+    let server = start(|c| c.max_body_bytes = 512);
+    let addr = server.addr();
+    assert_eq!(request(addr, "GET", "/nope", b"").status, 404);
+    assert_eq!(request(addr, "GET", "/v1/analyze", b"").status, 405);
+    assert_eq!(request(addr, "POST", "/v1/analyze", b"not a trace").status, 400);
+    assert_eq!(request(addr, "POST", "/v1/analyze?points=x", b"a b 1\na c 2\n").status, 400);
+    let big = trace(10, 200, 10);
+    assert!(big.len() > 512);
+    assert_eq!(request(addr, "POST", "/v1/analyze", big.as_bytes()).status, 413);
+    let error = request(addr, "POST", "/v1/stats", b"a b nine\n");
+    assert_eq!(error.status, 400);
+    assert!(json(&error)["error"].as_str().unwrap().contains("not an integer"));
+    server.stop();
+}
+
+#[test]
+fn zero_queue_depth_yields_backpressure_503() {
+    let server = start(|c| c.queue_depth = 0);
+    let response =
+        request(server.addr(), "POST", "/v1/analyze?points=8", trace(5, 100, 20).as_bytes());
+    assert_eq!(response.status, 503);
+    assert!(json(&response)["error"].as_str().unwrap().contains("queue"));
+    // non-queued endpoints still work
+    let stats = request(server.addr(), "POST", "/v1/stats", trace(5, 100, 20).as_bytes());
+    assert_eq!(stats.status, 200);
+    server.stop();
+}

@@ -8,7 +8,7 @@
 //! ```
 
 use saturn::prelude::*;
-use saturn::core::validation_sweep;
+use saturn::core::{validation_sweep, ValidationOptions};
 
 fn main() {
     let budget: f64 = std::env::args()
@@ -38,9 +38,7 @@ fn main() {
         &stream,
         &SweepGrid::Geometric { points: 24 },
         TargetSpec::All,
-        0,
-        1,
-        true,
+        &ValidationOptions::default(),
     );
     println!(
         "\n{:>10} {:>12} {:>12} {:>12}",

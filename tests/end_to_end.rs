@@ -141,7 +141,12 @@ fn classic_and_validation_sweeps_run_end_to_end() {
     assert!(classic.len() >= 8);
     assert!(classic.windows(2).all(|w| w[0].delta_ticks < w[1].delta_ticks));
 
-    let validation = validation_sweep(&stream, &grid, TargetSpec::All, 2, 1, true);
+    let validation = validation_sweep(
+        &stream,
+        &grid,
+        TargetSpec::All,
+        &saturn::core::ValidationOptions { threads: 2, ..Default::default() },
+    );
     assert_eq!(validation.points.len(), classic.len());
     // loss is 1 at Δ = T
     assert!((validation.points.last().unwrap().lost_transitions - 1.0).abs() < 1e-12);
