@@ -144,6 +144,51 @@ fn bench_baseline_vs_frontier(c: &mut Criterion) {
     group.finish();
 }
 
+/// The degree-1 snapshot bypass vs the general snapshot path, on the
+/// workload it targets: `sparse_ring` at K = 100000, where every non-empty
+/// window holds exactly one edge and the general path pays two full row
+/// snapshots plus slot bookkeeping per step. Results are bit-identical
+/// (`remark1_ablation.rs`, `proptest_frontier.rs`); this group tracks the
+/// wall-time delta.
+fn bench_degree1_fast_path(c: &mut Criterion) {
+    let sparse = sparse_ring(600, 40);
+    let timeline = Timeline::aggregated(&sparse, 100_000);
+    let targets = TargetSet::all(600);
+    let single_edge = timeline.steps_desc().filter(|s| s.len() == 1).count();
+    assert!(
+        single_edge * 10 >= timeline.nonempty_steps() * 9,
+        "workload must be dominated by single-edge steps"
+    );
+    let mut group = c.benchmark_group("degree1_fast_path");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(timeline.total_edges() as u64));
+    group.bench_function("general_path", |b| {
+        let mut arena = EngineArena::new();
+        b.iter(|| {
+            earliest_arrival_dp_in(
+                &mut arena,
+                &timeline,
+                &targets,
+                &mut NullSink,
+                DpOptions { no_degree1_fast_path: true, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("fast_path", |b| {
+        let mut arena = EngineArena::new();
+        b.iter(|| {
+            earliest_arrival_dp_in(
+                &mut arena,
+                &timeline,
+                &targets,
+                &mut NullSink,
+                DpOptions::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// Aggregation from the shared sorted event view vs per-call sorting — the
 /// CSR timeline's second half.
 fn bench_view_aggregation(c: &mut Criterion) {
@@ -179,6 +224,7 @@ criterion_group!(
     bench_dp_scaling,
     bench_dp_vs_k,
     bench_baseline_vs_frontier,
+    bench_degree1_fast_path,
     bench_view_aggregation,
     bench_aggregation,
     bench_mk_distance,

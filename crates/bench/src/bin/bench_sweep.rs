@@ -28,7 +28,8 @@ use saturn_linkstream::{Directedness, LinkStream, LinkStreamBuilder};
 use saturn_synth::TimeUniform;
 use saturn_trips::dp::{baseline, NullSink};
 use saturn_trips::{
-    earliest_arrival_dp_in, DpOptions, EngineArena, EventView, TargetSet, Timeline,
+    earliest_arrival_dp_in, occupancy_histogram_tile_in, DpOptions, EngineArena, EventView,
+    OccupancyHistogram, TargetSet, Timeline,
 };
 use serde_json::Value;
 use std::time::Instant;
@@ -141,6 +142,150 @@ fn measure_workload(
     (json, total_legacy, total_current)
 }
 
+/// Merges the tiles of `ranges` into one histogram with a shared arena.
+fn tiled_histogram(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    ranges: &[(u32, u32)],
+) -> OccupancyHistogram {
+    let mut acc = OccupancyHistogram::new();
+    for &(start, len) in ranges {
+        let h = occupancy_histogram_tile_in(arena, timeline, targets, start, len as usize);
+        acc.merge(&h);
+    }
+    acc
+}
+
+/// Histogram equality strong enough for a checksum: totals and the full
+/// sorted (rate, multiplicity) sequence.
+fn histograms_match(a: &OccupancyHistogram, b: &OccupancyHistogram) -> bool {
+    a.total_trips() == b.total_trips()
+        && a.distinct_rates() == b.distinct_rates()
+        && a.sorted_rates() == b.sorted_rates()
+}
+
+/// The `intra_scale` section: what the second parallel axis costs and buys.
+/// Tiled-vs-untiled checksums are hard-asserted — a mismatch aborts the
+/// bench (and CI) rather than recording garbage trend data.
+fn measure_intra_scale(
+    dense: &LinkStream,
+    sparse: &LinkStream,
+    fast: bool,
+    reps: usize,
+) -> Value {
+    // --- tile-size sensitivity on one dense scale, single-threaded --------
+    let k = if fast { 1_000u64 } else { 10_000 };
+    let targets = TargetSet::all(dense.node_count() as u32);
+    let ncols = targets.len();
+    let view = EventView::new(dense);
+    let timeline = Timeline::aggregated_from_view(&view, k);
+    let mut arena = EngineArena::new();
+    let t_untiled = time_median(reps, || {
+        occupancy_histogram_tile_in(&mut arena, &timeline, &targets, 0, ncols)
+    });
+    let reference = occupancy_histogram_tile_in(&mut arena, &timeline, &targets, 0, ncols);
+
+    let mut checksums_match = true;
+    let mut tile_sensitivity = Vec::new();
+    let mut overhead_at_two_tiles = f64::NAN;
+    for tiles in [2usize, 4, 8] {
+        let tile = ncols.div_ceil(tiles).max(1);
+        let ranges = targets.tile_ranges(tile);
+        let t = time_median(reps, || {
+            tiled_histogram(&mut arena, &timeline, &targets, &ranges)
+        });
+        let merged = tiled_histogram(&mut arena, &timeline, &targets, &ranges);
+        let ok = histograms_match(&merged, &reference);
+        checksums_match &= ok;
+        assert!(ok, "tiled histogram (tile={tile}) diverges from untiled");
+        let overhead = t / t_untiled;
+        if tiles == 2 {
+            overhead_at_two_tiles = overhead;
+        }
+        println!(
+            "  intra_scale dense k={k} tile={tile} ({} tiles): {:.3} ms ({overhead:.3}x untiled)",
+            ranges.len(),
+            t * 1e3,
+        );
+        tile_sensitivity.push(obj(vec![
+            ("tile_cols", Value::Int(tile as i128)),
+            ("tiles", Value::Int(ranges.len() as i128)),
+            ("seconds", Value::Float(t)),
+            ("overhead_vs_untiled", Value::Float(overhead)),
+        ]));
+    }
+
+    // --- single-scale wall time vs worker count (auto tiling) -------------
+    let mut single_scale_threads = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let t = time_median(reps.min(3), || {
+            OccupancyMethod::new()
+                .grid(SweepGrid::ExplicitK(vec![k]))
+                .threads(threads)
+                .refine(0, 0)
+                .run(dense)
+        });
+        println!("  intra_scale single-scale threads={threads}: {:.3} ms", t * 1e3);
+        single_scale_threads.push(obj(vec![
+            ("threads", Value::Int(threads as i128)),
+            ("run_seconds", Value::Float(t)),
+        ]));
+    }
+
+    // --- degree-1 fast path on the snapshot-bound sparse fine tail --------
+    let kd = if fast { 10_000u64 } else { 100_000 };
+    let stargets = TargetSet::all(sparse.node_count() as u32);
+    let sview = EventView::new(sparse);
+    let stimeline = Timeline::aggregated_from_view(&sview, kd);
+    let degree1_steps =
+        stimeline.steps_desc().filter(|s| s.len() == 1).count();
+    let t_general = time_median(reps, || {
+        earliest_arrival_dp_in(
+            &mut arena,
+            &stimeline,
+            &stargets,
+            &mut NullSink,
+            DpOptions { no_degree1_fast_path: true, ..Default::default() },
+        )
+    });
+    let t_fast = time_median(reps, || {
+        earliest_arrival_dp_in(
+            &mut arena,
+            &stimeline,
+            &stargets,
+            &mut NullSink,
+            DpOptions::default(),
+        )
+    });
+    let speedup = t_general / t_fast;
+    println!(
+        "  intra_scale degree1 sparse k={kd} ({degree1_steps} single-edge steps): \
+         general {:.3} ms, fast {:.3} ms ({speedup:.3}x)",
+        t_general * 1e3,
+        t_fast * 1e3,
+    );
+
+    obj(vec![
+        ("dense_scale_k", Value::Int(k as i128)),
+        ("untiled_seconds", Value::Float(t_untiled)),
+        ("tiled_single_thread_overhead", Value::Float(overhead_at_two_tiles)),
+        ("checksums_match", Value::Bool(checksums_match)),
+        ("tile_sensitivity", Value::Array(tile_sensitivity)),
+        ("single_scale_threads", Value::Array(single_scale_threads)),
+        (
+            "degree1",
+            obj(vec![
+                ("k", Value::Int(kd as i128)),
+                ("single_edge_steps", Value::Int(degree1_steps as i128)),
+                ("general_seconds", Value::Float(t_general)),
+                ("fast_path_seconds", Value::Float(t_fast)),
+                ("speedup", Value::Float(speedup)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     let fast = saturn_bench::fast_mode();
     let reps = if fast { 3 } else { 5 };
@@ -156,6 +301,9 @@ fn main() {
 
     let (dense_json, dl, dc) = measure_workload("dense_uniform", &dense, &scales, reps);
     let (sparse_json, sl, sc) = measure_workload("sparse_ring", &sparse, &scales, reps);
+
+    println!("intra-scale parallelism (target tiling + degree-1 fast path):");
+    let intra_scale = measure_intra_scale(&dense, &sparse, fast, reps);
 
     // --- end-to-end method timings on the dense workload ------------------
     let grid = SweepGrid::Geometric { points: if fast { 10 } else { 16 } };
@@ -205,6 +353,7 @@ fn main() {
         ),
         ("dense_uniform", dense_json),
         ("sparse_ring", sparse_json),
+        ("intra_scale", intra_scale),
         ("end_to_end", Value::Array(end_to_end)),
         ("aggregate_pipeline_speedup", Value::Float(aggregate)),
     ];

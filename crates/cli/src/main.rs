@@ -6,11 +6,11 @@
 //! This binary is that tool.
 //!
 //! ```text
-//! saturn analyze <file> [--directed] [--points N] [--sample N] [--threads N] [--json] [--unit s|m|h|d]
+//! saturn analyze <file> [--directed] [--points N] [--sample N] [--threads N] [--tile N] [--json] [--unit s|m|h|d]
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
 //! saturn validate <file> [--directed] [--points N] [--threads N]
 //! saturn stats <file> [--directed] [--json]
-//! saturn serve [--addr A] [--threads N] [--cache-mb M] [--queue N]
+//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--queue N]
 //! saturn help
 //! ```
 
@@ -57,6 +57,8 @@ USAGE:
       --points N          Δ-grid size (default 48)
       --sample N          sample N destination nodes (default: exact, all nodes)
       --threads N         worker threads (default: $SATURN_THREADS, else all cores)
+      --tile N            target-tile width in columns (default 0 = auto);
+                          execution knob only — reports are bit-identical
       --unit s|m|h|d      display unit for Δ (ticks are seconds; default h)
       --json              emit the full report as JSON
   saturn validate <file>  information-loss curves (lost transitions, elongation)
@@ -67,6 +69,8 @@ USAGE:
                           /v1/validate, /v1/stats; GET /v1/jobs/<id>, /v1/health)
       --addr A            bind address (default 127.0.0.1:7878; port 0 = ephemeral)
       --threads N         sweep worker pool size, shared across requests
+      --tile N            default target-tile width for analyze sweeps
+                          (0 = auto; requests may override with ?tile=N)
       --cache-mb M        report cache budget in MiB (default 64; 0 disables)
       --queue N           job queue depth before 503 backpressure (default 64)
   saturn synth <name>     generate a dataset stand-in (irvine, facebook,
@@ -90,6 +94,7 @@ struct Flags {
     points: usize,
     sample: Option<u32>,
     threads: usize,
+    tile: usize,
     json: bool,
     unit: (f64, &'static str),
     seed: u64,
@@ -107,6 +112,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         points: 48,
         sample: None,
         threads: env_threads(),
+        tile: 0,
         json: false,
         unit: (3600.0, "h"),
         seed: 1,
@@ -133,6 +139,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--threads" => {
                 f.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--tile" => {
+                f.tile = value("--tile")?.parse().map_err(|e| format!("--tile: {e}"))?
             }
             "--addr" => f.addr = value("--addr")?,
             "--cache-mb" => {
@@ -185,6 +194,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .grid(SweepGrid::Geometric { points: f.points })
         .targets(targets(&f))
         .threads(f.threads)
+        .tile(f.tile)
         .run(&stream);
     if f.json {
         println!("{}", report.to_json());
@@ -249,6 +259,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let config = ServerConfig {
         addr: f.addr.clone(),
         threads: f.threads,
+        tile: f.tile,
         cache_bytes: f.cache_mb << 20,
         queue_depth: f.queue,
         ..ServerConfig::default()
@@ -337,6 +348,14 @@ mod tests {
         assert_eq!(f.queue, 8);
         assert!(flags(&["--threads", "many"]).unwrap_err().contains("--threads"));
         assert!(flags(&["--cache-mb"]).unwrap_err().contains("--cache-mb"));
+    }
+
+    #[test]
+    fn tile_flag_parses_and_defaults_to_auto() {
+        assert_eq!(flags(&["t.txt"]).unwrap().tile, 0);
+        assert_eq!(flags(&["t.txt", "--tile", "64"]).unwrap().tile, 64);
+        assert!(flags(&["--tile", "wide"]).unwrap_err().contains("--tile"));
+        assert!(flags(&["--tile"]).unwrap_err().contains("--tile"));
     }
 
     #[test]

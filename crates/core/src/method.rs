@@ -1,13 +1,17 @@
 //! The occupancy method driver (Section 4 of the paper).
 
-use crate::parallel::{effective_threads, WorkerPool};
+use crate::parallel::{auto_tile_cols, sweep_queue, WorkerPool};
 use crate::report::OccupancyReport;
 use crate::SweepGrid;
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_linkstream::LinkStream;
-use saturn_trips::{occupancy_histogram_in, EngineArena, EventView, TargetSet, Timeline};
+use saturn_trips::{
+    occupancy_histogram_tile_in, EngineArena, EventView, OccupancyHistogram, TargetSet,
+    Timeline,
+};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Slot counts at which the Shannon-entropy score is always evaluated
 /// (the paper discusses k ∈ {5, 10, 20, 100}).
@@ -138,6 +142,7 @@ pub struct OccupancyMethod {
     keep: KeepPolicy,
     refine_rounds: usize,
     refine_points: usize,
+    tile: usize,
 }
 
 impl Default for OccupancyMethod {
@@ -151,6 +156,7 @@ impl Default for OccupancyMethod {
             keep: KeepPolicy::ScoresOnly,
             refine_rounds: 2,
             refine_points: 8,
+            tile: 0,
         }
     }
 }
@@ -207,18 +213,19 @@ impl OccupancyMethod {
         self
     }
 
-    /// Analyzes one scale against per-worker engine state and the sweep's
-    /// shared sorted event view.
-    fn eval(
-        &self,
-        arena: &mut EngineArena,
-        view: &EventView,
-        span: i64,
-        targets: &TargetSet,
-        k: u64,
-    ) -> DeltaResult {
-        let timeline = Timeline::aggregated_from_view(view, k);
-        let hist = occupancy_histogram_in(arena, &timeline, targets);
+    /// Sets the target-tile width in columns (default 0 = automatic).
+    /// Tiling splits each scale's DP into independent column ranges so
+    /// single scales and narrow refinement rounds can use the whole pool;
+    /// reports are bit-identical for every tile width (per-tile histograms
+    /// merge exactly, in deterministic order), so this is purely an
+    /// execution knob — it does not enter content fingerprints.
+    pub fn tile(mut self, tile: usize) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Scores one scale's merged histogram.
+    fn delta_result(&self, span: i64, k: u64, hist: &OccupancyHistogram) -> DeltaResult {
         let dist = WeightedDist::from_pairs(hist.sorted_rates());
         DeltaResult {
             k,
@@ -232,6 +239,94 @@ impl OccupancyMethod {
         }
     }
 
+    /// Analyzes `ks` scales on `pool`: builds the `(scale, tile)` queue
+    /// (finest scales first), fans it across the workers, and merges the
+    /// per-tile histograms of each scale in ascending tile order — so the
+    /// resulting [`DeltaResult`]s are bit-identical for every thread count
+    /// and tile width. Scales split into several tiles share one lazily
+    /// built timeline whose shared handle is released by the scale's last
+    /// finishing tile; untiled scales build theirs locally and drop it with
+    /// the item — either way only the scales currently in flight hold
+    /// timelines, preserving the flat memory profile of the per-scale
+    /// layout.
+    fn sweep_scales(
+        &self,
+        pool: &mut WorkerPool,
+        arenas: &[Mutex<EngineArena>],
+        view: &EventView,
+        span: i64,
+        targets: &TargetSet,
+        ks: &[u64],
+    ) -> Vec<DeltaResult> {
+        let ncols = targets.len();
+        let tile_cols = if self.tile == 0 {
+            auto_tile_cols(ncols, ks.len(), pool.parallelism())
+        } else {
+            self.tile.max(1)
+        };
+        let items = sweep_queue(ks, &targets.tile_ranges(tile_cols));
+        struct SharedScale {
+            timeline: Mutex<Option<Arc<Timeline>>>,
+            /// Tiles not yet finished; the decrement to 0 clears `timeline`.
+            remaining: AtomicUsize,
+        }
+        let tiles_in_scale = items.first().map_or(1, |item| item.tiles_in_scale);
+        let shared: Vec<SharedScale> = ks
+            .iter()
+            .map(|_| SharedScale {
+                timeline: Mutex::new(None),
+                remaining: AtomicUsize::new(tiles_in_scale),
+            })
+            .collect();
+        let parts: Vec<OccupancyHistogram> = pool.map(&items, |wid, item| {
+            let mut arena = arenas[wid].lock().expect("arena poisoned");
+            let tile = |timeline: &Timeline, arena: &mut EngineArena| {
+                occupancy_histogram_tile_in(
+                    arena,
+                    timeline,
+                    targets,
+                    item.col_start,
+                    item.col_len as usize,
+                )
+            };
+            if item.tiles_in_scale == 1 {
+                let timeline = Timeline::aggregated_from_view(view, item.k);
+                tile(&timeline, &mut arena)
+            } else {
+                let scale = &shared[item.scale];
+                let timeline = Arc::clone(
+                    scale
+                        .timeline
+                        .lock()
+                        .expect("timeline slot poisoned")
+                        .get_or_insert_with(|| {
+                            Arc::new(Timeline::aggregated_from_view(view, item.k))
+                        }),
+                );
+                let hist = tile(&timeline, &mut arena);
+                if scale.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // last tile of the scale: release the shared handle so
+                    // the timeline frees as soon as this worker's clone
+                    // drops, instead of living until the sweep returns
+                    *scale.timeline.lock().expect("timeline slot poisoned") = None;
+                }
+                hist
+            }
+        });
+        // Deterministic merge: items are sorted by (k desc, tile asc), so a
+        // single in-order pass merges each scale's tiles in ascending tile
+        // order no matter which worker computed what.
+        let mut merged: Vec<OccupancyHistogram> =
+            (0..ks.len()).map(|_| OccupancyHistogram::new()).collect();
+        for (item, hist) in items.iter().zip(&parts) {
+            merged[item.scale].merge(hist);
+        }
+        ks.iter()
+            .zip(&merged)
+            .map(|(&k, hist)| self.delta_result(span, k, hist))
+            .collect()
+    }
+
     /// Runs the method: sweeps the grid, optionally refines around the
     /// maximum, and returns the full report. The saturation scale is
     /// [`OccupancyReport::gamma`].
@@ -239,13 +334,15 @@ impl OccupancyMethod {
     /// Execution layout: one [`WorkerPool`] owns the worker threads for the
     /// coarse sweep *and* every refinement round; each worker keeps an
     /// [`EngineArena`] for the pool's lifetime (DP tables allocated once,
-    /// epoch-reset per scale), and all scales aggregate from one shared
-    /// [`EventView`] sorted once up front.
+    /// epoch-reset per scale), all scales aggregate from one shared
+    /// [`EventView`] sorted once up front, and work is queued as
+    /// `(scale, target tile)` items (finest scales first) so that even a
+    /// single scale — or a narrow refinement round — fans out across the
+    /// whole pool.
     pub fn run(&self, stream: &LinkStream) -> OccupancyReport {
-        // cap parallelism by the coarse grid size: refinement rounds are
-        // never wider than the coarse sweep
-        let coarse = self.grid.k_values(stream, self.delta_min).len();
-        let mut pool = WorkerPool::new(effective_threads(self.threads, coarse));
+        // no longer capped by the grid size: target tiling feeds pools wider
+        // than the scale count
+        let mut pool = WorkerPool::new(self.threads);
         self.run_on(stream, &mut pool)
     }
 
@@ -264,13 +361,9 @@ impl OccupancyMethod {
         // the mutexes are uncontended — they exist to satisfy `Sync`.
         let arenas: Vec<Mutex<EngineArena>> =
             (0..pool.parallelism()).map(|_| Mutex::new(EngineArena::new())).collect();
-        let eval_scale = |wid: usize, k: u64| -> DeltaResult {
-            let mut arena = arenas[wid].lock().expect("arena poisoned");
-            self.eval(&mut arena, &view, span, &targets, k)
-        };
 
         let mut results: Vec<DeltaResult> =
-            pool.map(&ks, |wid, &k| eval_scale(wid, k));
+            self.sweep_scales(pool, &arenas, &view, span, &targets, &ks);
 
         for _ in 0..self.refine_rounds {
             // current argmax under the selection metric
@@ -294,7 +387,7 @@ impl OccupancyMethod {
                 break;
             }
             let new_results: Vec<DeltaResult> =
-                pool.map(&extra, |wid, &k| eval_scale(wid, k));
+                self.sweep_scales(pool, &arenas, &view, span, &targets, &extra);
             results.extend(new_results);
             ks.extend(extra);
             ks.sort_unstable_by(|a, b| b.cmp(a));
@@ -434,6 +527,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiled_sweeps_are_bit_identical_to_untiled() {
+        let s = ring_stream(9, 90, 6);
+        let reference = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 10 })
+            .threads(1)
+            .refine(1, 4)
+            .tile(usize::MAX) // explicit untiled
+            .run(&s);
+        let ref_json = reference.to_json();
+        for tile in [1usize, 3, 4, 9, 0] {
+            for threads in [1usize, 3] {
+                let tiled = OccupancyMethod::new()
+                    .grid(SweepGrid::Geometric { points: 10 })
+                    .threads(threads)
+                    .refine(1, 4)
+                    .tile(tile)
+                    .run(&s);
+                assert_eq!(
+                    tiled.to_json(),
+                    ref_json,
+                    "tile={tile} threads={threads} must not change the report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_scale_fans_out_over_tiles() {
+        // a one-scale sweep on a multi-worker pool: only tiling can feed it
+        let s = ring_stream(24, 120, 7);
+        let untiled = OccupancyMethod::new()
+            .grid(SweepGrid::ExplicitK(vec![40]))
+            .threads(1)
+            .refine(0, 0)
+            .tile(usize::MAX)
+            .run(&s);
+        let tiled = OccupancyMethod::new()
+            .grid(SweepGrid::ExplicitK(vec![40]))
+            .threads(4)
+            .refine(0, 0)
+            .tile(5) // 24 columns -> 5 tiles
+            .run(&s);
+        assert_eq!(tiled.to_json(), untiled.to_json());
     }
 
     #[test]

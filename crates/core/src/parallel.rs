@@ -1,10 +1,17 @@
-//! The sweep's persistent worker pool.
+//! The sweep's persistent worker pool and the tiled work queue.
 //!
 //! Each aggregation scale is analyzed independently, so the sweep is
-//! embarrassingly parallel. The fine scales carry most of the work (the
-//! paper: "the most costly computations are the ones made for small values of
-//! Δ, as M is then large"), so items are dispatched dynamically through a
-//! shared atomic cursor rather than pre-partitioned.
+//! embarrassingly parallel along the scale axis; in addition the DP's
+//! columns are independent (tile locality, `trips::dp` module docs), so
+//! every scale can be split into *target tiles* that run concurrently and
+//! whose histograms merge exactly. [`sweep_queue`] materializes that
+//! two-axis decomposition as a flat list of `(scale, tile)` items in
+//! size-aware order — finest scales first, since step count drives cost
+//! (the paper: "the most costly computations are the ones made for small
+//! values of Δ, as M is then large") — and items are dispatched dynamically
+//! through a shared atomic cursor rather than pre-partitioned, so the
+//! expensive head of the queue spreads across workers while the cheap tail
+//! backfills.
 //!
 //! Unlike the earlier per-call `crossbeam::thread::scope` + `Mutex<Vec>` +
 //! sort design, a [`WorkerPool`] spawns its OS threads **once** and reuses
@@ -281,6 +288,64 @@ where
     pool.map(items, |_wid, item| f(item))
 }
 
+/// One unit of tiled sweep work: a contiguous target-column range of one
+/// aggregation scale. Produced by [`sweep_queue`]; the per-tile histograms
+/// of one scale merge in ascending `tile` order to reproduce the untiled
+/// scale bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepItem {
+    /// Index of the scale in the caller's `ks` list.
+    pub scale: usize,
+    /// Window count of the scale (the cost proxy: more windows, more steps).
+    pub k: u64,
+    /// First target column of the tile.
+    pub col_start: u32,
+    /// Number of columns in the tile.
+    pub col_len: u32,
+    /// Tile index within the scale — the deterministic merge order.
+    pub tile: usize,
+    /// Total tiles of this scale (1 = the scale runs untiled).
+    pub tiles_in_scale: usize,
+}
+
+/// Builds the tiled work queue over `ks` scales × the given column tiles
+/// (`(col_start, col_len)` pairs, ascending — the single source of tiling
+/// semantics is [`TargetSet::tile_ranges`](saturn_trips::TargetSet::tile_ranges)),
+/// sorted size-aware: finest scale (largest `k`) first, tiles of one scale
+/// in ascending column order.
+pub fn sweep_queue(ks: &[u64], tile_ranges: &[(u32, u32)]) -> Vec<SweepItem> {
+    let tiles_in_scale = tile_ranges.len();
+    let mut items = Vec::with_capacity(ks.len() * tiles_in_scale);
+    for (scale, &k) in ks.iter().enumerate() {
+        for (tile, &(col_start, col_len)) in tile_ranges.iter().enumerate() {
+            items.push(SweepItem { scale, k, col_start, col_len, tile, tiles_in_scale });
+        }
+    }
+    // finest first; stable so tiles of one scale keep ascending order, and
+    // equal-k scales (possible across refinement bookkeeping) keep list
+    // order
+    items.sort_by_key(|item| std::cmp::Reverse(item.k));
+    items
+}
+
+/// Picks a tile width for `ncols` target columns swept over `scales` scales
+/// on `parallelism` workers. Scale-level parallelism is free (no duplicated
+/// per-edge work), so tiling only kicks in when the scale count alone
+/// cannot feed the pool — single scales, narrow refinement rounds, wide
+/// machines — and then aims for a few items per worker while keeping tiles
+/// wide enough that per-traversal fixed costs stay amortized.
+pub fn auto_tile_cols(ncols: usize, scales: usize, parallelism: usize) -> usize {
+    /// Below this width, per-edge bookkeeping duplicated per tile stops
+    /// being noise next to the per-column DP work.
+    const MIN_TILE: usize = 16;
+    if parallelism <= 1 || ncols <= MIN_TILE || scales >= 4 * parallelism {
+        return ncols;
+    }
+    let want_items = 4 * parallelism;
+    let tiles_per_scale = want_items.div_ceil(scales.max(1)).max(1);
+    ncols.div_ceil(tiles_per_scale).max(MIN_TILE).min(ncols)
+}
+
 /// Resolves a requested total parallelism: 0 means "all available cores".
 fn resolve_threads(requested: usize) -> usize {
     let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -387,6 +452,55 @@ mod tests {
         // pool remains operational for subsequent rounds
         let out = pool.map(&items, |_wid, &x| x * 3);
         assert_eq!(out[21], 63);
+    }
+
+    #[test]
+    fn sweep_queue_is_finest_first_and_covers_all_tiles() {
+        // unsorted ks on purpose: the queue must order by cost, not input
+        // (ranges = TargetSet::all(10).tile_ranges(4))
+        let items = sweep_queue(&[10, 1000, 50], &[(0, 4), (4, 4), (8, 2)]);
+        // 3 scales × 3 tiles (4 + 4 + 2)
+        assert_eq!(items.len(), 9);
+        // finest (largest k) first
+        let ks: Vec<u64> = items.iter().map(|i| i.k).collect();
+        assert_eq!(ks, vec![1000, 1000, 1000, 50, 50, 50, 10, 10, 10]);
+        // tiles of one scale stay in ascending column order
+        for scale_items in items.chunks(3) {
+            assert_eq!(scale_items[0].col_start, 0);
+            assert_eq!(scale_items[1].col_start, 4);
+            assert_eq!(scale_items[2].col_start, 8);
+            assert_eq!(scale_items[2].col_len, 2);
+            assert!(scale_items.iter().all(|i| i.tiles_in_scale == 3));
+            assert_eq!(
+                scale_items.iter().map(|i| i.tile).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
+        }
+        // scale indices refer to the ORIGINAL ks positions
+        assert_eq!(items[0].scale, 1);
+        assert_eq!(items[3].scale, 2);
+        assert_eq!(items[6].scale, 0);
+    }
+
+    #[test]
+    fn sweep_queue_untiled_layout() {
+        let items = sweep_queue(&[7, 3], &[(0, 10)]);
+        assert_eq!(items.len(), 2);
+        assert!(items.iter().all(|i| i.col_len == 10 && i.tiles_in_scale == 1));
+    }
+
+    #[test]
+    fn auto_tile_prefers_scale_parallelism() {
+        // plenty of scales: no tiling
+        assert_eq!(auto_tile_cols(1000, 64, 8), 1000);
+        // single thread: never tile
+        assert_eq!(auto_tile_cols(1000, 1, 1), 1000);
+        // single scale on a wide machine: tiles sized for ~4 items/worker
+        let tile = auto_tile_cols(1000, 1, 8);
+        assert!((16..1000).contains(&tile), "tile = {tile}");
+        assert!(1000usize.div_ceil(tile) >= 8, "enough items to feed the pool");
+        // tiny column counts stay untiled regardless of width
+        assert_eq!(auto_tile_cols(12, 1, 64), 12);
     }
 
     #[test]

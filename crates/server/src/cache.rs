@@ -9,27 +9,102 @@
 //!
 //! Eviction is least-recently-used, bounded by **total body bytes** rather
 //! than entry count (reports range from a few KiB to MiB depending on grid
-//! size and `KeepPolicy`). Recency is a monotone touch stamp; eviction scans
-//! for the minimum, which is linear in the entry count — entries are
-//! multi-kilobyte reports, so populations stay in the thousands and the scan
-//! is noise next to the sweep the miss just paid for.
+//! size and `KeepPolicy`). Recency is an intrusive doubly-linked list over
+//! slab indices: every touch unlinks the entry and pushes it to the head,
+//! eviction pops the tail — all O(1), no allocation past the slab itself.
+//! (The previous design scanned all entries for the minimum touch stamp,
+//! linear per eviction; fine for thousands of multi-kilobyte reports,
+//! wrong once small per-tile fragments multiply the population.)
 
 use rustc_hash::FxHashMap;
 use serde::Serialize;
 use std::sync::{Arc, Mutex};
 
-struct Entry {
-    body: Arc<str>,
-    touched: u64,
+/// "No slot" sentinel for slab links.
+const NIL: usize = usize::MAX;
+
+/// One slab slot: a resident entry's body plus its recency-list links, or a
+/// vacancy in the free list (`body == None`, `next` = next free slot).
+struct Slot {
+    key: u128,
+    body: Option<Arc<str>>,
+    prev: usize,
+    next: usize,
 }
 
 struct Inner {
-    map: FxHashMap<u128, Entry>,
+    /// key → slab index of the resident entry.
+    map: FxHashMap<u128, usize>,
+    /// Slab of entries; vacancies are threaded through `free_head`.
+    slab: Vec<Slot>,
+    free_head: usize,
+    /// Most-recently-used entry (NIL when empty).
+    head: usize,
+    /// Least-recently-used entry (NIL when empty) — the eviction end.
+    tail: usize,
     bytes: usize,
-    clock: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+}
+
+impl Inner {
+    /// Unlinks slot `i` from the recency list (it must be linked).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Moves a linked slot to the head.
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Takes a vacant slot off the free list, or grows the slab.
+    fn alloc(&mut self, key: u128, body: Arc<str>) -> usize {
+        match self.free_head {
+            NIL => {
+                self.slab.push(Slot { key, body: Some(body), prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+            i => {
+                self.free_head = self.slab[i].next;
+                self.slab[i] = Slot { key, body: Some(body), prev: NIL, next: NIL };
+                i
+            }
+        }
+    }
+
+    /// Unlinks slot `i`, returns its body to the caller, and threads the
+    /// slot onto the free list.
+    fn release(&mut self, i: usize) -> Arc<str> {
+        self.unlink(i);
+        let body = self.slab[i].body.take().expect("resident slot has a body");
+        self.slab[i].next = self.free_head;
+        self.free_head = i;
+        body
+    }
 }
 
 /// Byte-bounded LRU of serialized reports, keyed by content fingerprint.
@@ -65,8 +140,11 @@ impl ReportCache {
         ReportCache {
             inner: Mutex::new(Inner {
                 map: FxHashMap::default(),
+                slab: Vec::new(),
+                free_head: NIL,
+                head: NIL,
+                tail: NIL,
                 bytes: 0,
-                clock: 0,
                 hits: 0,
                 misses: 0,
                 evictions: 0,
@@ -75,17 +153,14 @@ impl ReportCache {
         }
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
+    /// Looks up `key`, refreshing its recency on a hit. O(1).
     pub fn get(&self, key: u128) -> Option<Arc<str>> {
         let mut inner = self.inner.lock().expect("cache poisoned");
-        inner.clock += 1;
-        let stamp = inner.clock;
-        match inner.map.get_mut(&key) {
-            Some(entry) => {
-                entry.touched = stamp;
-                let body = Arc::clone(&entry.body);
+        match inner.map.get(&key).copied() {
+            Some(i) => {
+                inner.touch(i);
                 inner.hits += 1;
-                Some(body)
+                Some(Arc::clone(inner.slab[i].body.as_ref().expect("resident")))
             }
             None => {
                 inner.misses += 1;
@@ -94,29 +169,36 @@ impl ReportCache {
         }
     }
 
-    /// Inserts a body under `key`, evicting least-recently-used entries
-    /// until the byte budget holds. Bodies larger than the whole budget are
-    /// not cached; re-inserting an existing key refreshes body and recency.
+    /// Inserts a body under `key`, evicting from the recency list's tail
+    /// until the byte budget holds — O(1) per eviction. Bodies larger than
+    /// the whole budget are not cached; re-inserting an existing key
+    /// refreshes body and recency.
     pub fn insert(&self, key: u128, body: Arc<str>) {
         if body.len() > self.capacity_bytes {
             return;
         }
         let mut inner = self.inner.lock().expect("cache poisoned");
-        inner.clock += 1;
-        let stamp = inner.clock;
-        if let Some(old) = inner.map.insert(key, Entry { body: Arc::clone(&body), touched: stamp })
-        {
-            inner.bytes -= old.body.len();
+        if let Some(i) = inner.map.get(&key).copied() {
+            let old = inner.slab[i]
+                .body
+                .replace(Arc::clone(&body))
+                .expect("resident slot has a body");
+            inner.bytes -= old.len();
+            inner.bytes += body.len();
+            inner.touch(i);
+        } else {
+            let i = inner.alloc(key, Arc::clone(&body));
+            inner.push_front(i);
+            inner.map.insert(key, i);
+            inner.bytes += body.len();
         }
-        inner.bytes += body.len();
         while inner.bytes > self.capacity_bytes {
-            let Some((&victim, _)) =
-                inner.map.iter().min_by_key(|(_, entry)| entry.touched)
-            else {
-                break;
-            };
-            let evicted = inner.map.remove(&victim).expect("victim present");
-            inner.bytes -= evicted.body.len();
+            let victim = inner.tail;
+            debug_assert_ne!(victim, NIL, "over budget implies a resident entry");
+            let victim_key = inner.slab[victim].key;
+            let evicted = inner.release(victim);
+            inner.map.remove(&victim_key);
+            inner.bytes -= evicted.len();
             inner.evictions += 1;
         }
     }
@@ -190,5 +272,59 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.bytes, "a longer replacement body".len());
         assert_eq!(&*cache.get(1).unwrap(), "a longer replacement body");
+    }
+
+    /// Differential stress of the intrusive list against a naive model:
+    /// thousands of interleaved inserts/gets/evictions (the per-tile-
+    /// fragment population the list exists for) must match a reference LRU
+    /// exactly — residency, byte accounting, and eviction count.
+    #[test]
+    fn linked_list_matches_reference_lru_under_stress() {
+        use std::collections::VecDeque;
+        let capacity = 64usize;
+        let cache = ReportCache::new(capacity);
+        // reference: recency-ordered deque of (key, len), most recent front
+        let mut model: VecDeque<(u128, usize)> = VecDeque::new();
+        let mut model_evictions = 0u64;
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..4000 {
+            let key = (rng() % 48) as u128;
+            if rng() % 3 == 0 {
+                // get
+                let hit = cache.get(key).is_some();
+                let model_hit = model.iter().position(|&(k, _)| k == key);
+                assert_eq!(hit, model_hit.is_some(), "residency diverged for {key}");
+                if let Some(pos) = model_hit {
+                    let entry = model.remove(pos).unwrap();
+                    model.push_front(entry);
+                }
+            } else {
+                // insert a body of 1..=9 bytes
+                let len = 1 + (rng() % 9) as usize;
+                cache.insert(key, Arc::from("x".repeat(len)));
+                if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                    model.remove(pos);
+                }
+                model.push_front((key, len));
+                while model.iter().map(|&(_, l)| l).sum::<usize>() > capacity {
+                    model.pop_back();
+                    model_evictions += 1;
+                }
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.entries, model.len());
+            assert_eq!(stats.bytes, model.iter().map(|&(_, l)| l).sum::<usize>());
+            assert_eq!(stats.evictions, model_evictions);
+        }
+        // final residency set matches exactly
+        for &(key, _) in &model {
+            assert!(cache.get(key).is_some());
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! cold sweeps onto one process-wide [`WorkerPool`](saturn_core::parallel::WorkerPool).
 //!
 //! ```text
-//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1[&async=1]   trace body → occupancy report
+//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0[&async=1]   trace body → occupancy report
 //! POST /v1/validate?points=32&weighted=1&delta_min=1[&async=1]       trace body → loss curves
 //! POST /v1/stats?directed=1                                          trace body → stream statistics
 //! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
@@ -54,6 +54,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Sweep worker pool parallelism (0 = all available cores).
     pub threads: usize,
+    /// Target-tile width for analyze sweeps, in columns (0 = automatic).
+    /// Splits each scale's DP across the pool; purely an execution knob —
+    /// reports are bit-identical for every width, so it never enters cache
+    /// fingerprints. Overridable per request with `?tile=N`.
+    pub tile: usize,
     /// Report cache budget in bytes (0 disables caching).
     pub cache_bytes: usize,
     /// Maximum jobs waiting in the queue before submissions get 503.
@@ -69,6 +74,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".into(),
             threads: 0,
+            tile: 0,
             cache_bytes: 64 << 20,
             queue_depth: 64,
             max_body_bytes: 64 << 20,
@@ -83,6 +89,7 @@ struct ServerContext {
     /// can own a handle and populate it on completion.
     cache: Arc<ReportCache>,
     jobs: JobManager,
+    tile: usize,
     max_body_bytes: usize,
     max_connections: usize,
     active_connections: AtomicUsize,
@@ -105,6 +112,7 @@ impl Server {
             ctx: Arc::new(ServerContext {
                 cache: Arc::new(ReportCache::new(config.cache_bytes)),
                 jobs: JobManager::new(config.threads, config.queue_depth),
+                tile: config.tile,
                 max_body_bytes: config.max_body_bytes,
                 max_connections: config.max_connections,
                 active_connections: AtomicUsize::new(0),
@@ -348,6 +356,11 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
     let stream = parse_stream(request)?;
     let points = numeric(request, "points", 48usize)?;
     let targets = parse_targets(request)?;
+    // execution knob only: tiled reports are bit-identical to untiled ones,
+    // so `tile` stays OUT of the fingerprint — a request served from an
+    // entry computed under a different tiling returns the same bytes the
+    // cold run would have produced
+    let tile = numeric(request, "tile", ctx.tile)?;
     let grid = SweepGrid::Geometric { points };
 
     let mut digest = Digest::new("saturn.analyze.v1");
@@ -358,8 +371,11 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
 
     let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
     let work: jobs::JobWork = Box::new(move |pool| {
-        let report =
-            OccupancyMethod::new().grid(grid).targets(targets).run_on(&stream, pool);
+        let report = OccupancyMethod::new()
+            .grid(grid)
+            .targets(targets)
+            .tile(tile)
+            .run_on(&stream, pool);
         cache_insert(report.to_json())
     });
     cached_or_submitted(request, ctx, key, work)

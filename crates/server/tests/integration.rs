@@ -10,6 +10,7 @@ fn start(tweak: impl FnOnce(&mut ServerConfig)) -> saturn_server::ServerHandle {
     let mut config = ServerConfig {
         addr: "127.0.0.1:0".into(),
         threads: 2,
+        tile: 0,
         cache_bytes: 8 << 20,
         queue_depth: 16,
         max_body_bytes: 1 << 20,
@@ -110,6 +111,34 @@ fn stats_endpoint_shares_the_cli_shape() {
     assert_eq!(v["links"].as_u64(), Some(200));
     assert_eq!(v["dropped_duplicates"].as_u64(), Some(0));
     assert!(v["mean_inter_contact"].as_f64().unwrap() > 0.0);
+    server.stop();
+}
+
+#[test]
+fn tile_widths_return_byte_identical_reports() {
+    // caching disabled: every request is a genuinely cold sweep, so the
+    // byte equality below is tiling determinism, not a cache hit
+    let server = start(|config| {
+        config.cache_bytes = 0;
+        config.tile = 3;
+        config.threads = 4;
+    });
+    let body = trace(8, 200, 30);
+    let reference = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(reference.status, 200);
+    assert!(!json(&reference)["results"].as_array().unwrap().is_empty());
+    for target in
+        ["/v1/analyze?points=8&tile=1", "/v1/analyze?points=8&tile=100", "/v1/analyze?points=8&tile=0"]
+    {
+        let tiled = request(server.addr(), "POST", target, body.as_bytes());
+        assert_eq!(tiled.status, 200, "{target}");
+        assert_eq!(
+            reference.body, tiled.body,
+            "{target}: tiling must not change report bytes"
+        );
+    }
+    let bad = request(server.addr(), "POST", "/v1/analyze?points=8&tile=x", body.as_bytes());
+    assert_eq!(bad.status, 400);
     server.stop();
 }
 

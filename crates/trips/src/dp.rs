@@ -49,6 +49,28 @@
 //! * **CSR timelines.** Steps arrive as [`StepView`] slices into the
 //!   timeline's flat `edge_src` / `edge_dst` arrays ([`Timeline`] docs);
 //!   the engine walks them with zero per-step allocation.
+//! * **Tile locality.** The recurrence `ea[u][v] ← 1 + ea'[w][v]` never
+//!   reads a column other than `v`, so the engine can run on any contiguous
+//!   *column range* of the [`TargetSet`] in complete isolation
+//!   ([`earliest_arrival_dp_tile_in`]): the arena's tables, frontier bitmap
+//!   and snapshot slots are all sized `n × tile` (better cache residency at
+//!   large `n`), columns are tile-local (`global − col_start`), and reported
+//!   trips / distance sums / per-tile `OccupancyHistogram`s partition the
+//!   untiled run exactly — merging tiles in ascending column order
+//!   reproduces the untiled output bit for bit. Traversal counts are
+//!   per-edge, not per-column, so `DpStats::traversals` repeats per tile.
+//! * **Degree-1 snapshot bypass.** A step carrying a single edge `(u, w)`
+//!   skips the slot machinery entirely: direction `u → w` reads row `w`
+//!   *live* (nothing has written it yet this step — offers only touch the
+//!   reader's own row), and for undirected timelines row `u` alone is
+//!   snapshotted (one flat append) before direction `u → w` dirties it, so
+//!   direction `w → u` still sees pre-step values. The offer sequence is
+//!   identical to the general path's, so results are bit-identical; what is
+//!   saved is one row snapshot, all `slot_of` bookkeeping, and (directed)
+//!   every snapshot write. This attacks the snapshot-bound fine-scale tail
+//!   where nearly every non-empty window holds one edge.
+//!   [`DpOptions::no_degree1_fast_path`] forces the general path for
+//!   differential tests and benches.
 //!
 //! The pre-rework engine (full-row snapshots, per-run table allocation,
 //! `O(ncols)` chain scans) is preserved in [`baseline`] as the comparison
@@ -114,6 +136,12 @@ pub struct DpOptions {
     /// Accumulate the exact sums needed for mean `d_time` / `d_hops` over all
     /// departure steps (Figure 2, bottom row). Costs one extra `u32` table.
     pub collect_distances: bool,
+    /// Force single-edge steps through the general snapshot path instead of
+    /// the degree-1 bypass (module docs). Results are bit-identical either
+    /// way; the flag exists for differential tests and the
+    /// `degree1_fast_path` bench. Ignored by [`baseline`], which has no
+    /// fast path.
+    pub no_degree1_fast_path: bool,
 }
 
 /// Raw distance sums over every `(u, v, departure step)` triple with a finite
@@ -205,30 +233,41 @@ impl EngineArena {
     }
 
     /// Readies the arena for a run over an `nrows × ncols` table.
+    ///
+    /// Geometry changes reuse the cell buffer whenever it is large enough:
+    /// a stale stamp is always from a past epoch, so cells re-read under a
+    /// different `(nrows, ncols)` mapping are dead regardless of which
+    /// `(row, col)` wrote them. Workers of a tiled sweep alternate between
+    /// full tiles and the remainder tile, and must not reallocate per item.
     fn prepare(&mut self, nrows: usize, ncols: usize) {
-        if self.nrows != nrows || self.ncols != ncols {
-            let n_cells = nrows.checked_mul(ncols).expect("state table size overflow");
-            // ea/hops/set_at are garbage until stamped; only `stamp` needs
-            // real init
+        let n_cells = nrows.checked_mul(ncols).expect("state table size overflow");
+        if n_cells > self.cells.len() {
+            // grow: fresh allocation; ea/hops/set_at are garbage until
+            // stamped, only `stamp` needs real init
             self.cells =
                 vec![Cell { ea: NONE_EA, hops: 0, set_at: NEVER, stamp: 0 }; n_cells];
             self.epoch = 1;
+        } else if self.epoch == u32::MAX {
+            for cell in &mut self.cells {
+                cell.stamp = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        if self.nrows != nrows || self.ncols != ncols {
             self.words_per_row = ncols.div_ceil(64);
-            self.frontier = vec![0u64; nrows * self.words_per_row];
-            self.slot_of = vec![NEVER; nrows];
+            let words = nrows * self.words_per_row;
+            if words > self.frontier.len() {
+                self.frontier.resize(words, 0);
+            }
+            if nrows > self.slot_of.len() {
+                self.slot_of.resize(nrows, NEVER);
+            }
             self.nrows = nrows;
             self.ncols = ncols;
-        } else {
-            if self.epoch == u32::MAX {
-                for cell in &mut self.cells {
-                    cell.stamp = 0;
-                }
-                self.epoch = 1;
-            } else {
-                self.epoch += 1;
-            }
-            self.frontier.fill(0);
         }
+        self.frontier[..nrows * self.words_per_row].fill(0);
         self.slotted.clear();
         self.slot_bounds.clear();
         self.snap.clear();
@@ -244,6 +283,7 @@ impl EngineArena {
         &mut self,
         timeline: &Timeline,
         targets: &TargetSet,
+        col_start: u32,
         sink: &mut impl TripSink,
         options: DpOptions,
     ) -> DpStats {
@@ -265,6 +305,19 @@ impl EngineArena {
         let (nrows, ncols, epoch, words_per_row) = (*nrows, *ncols, *epoch, *words_per_row);
         let undirected = !timeline.is_directed();
         let collect = options.collect_distances;
+        let degree1 = !options.no_degree1_fast_path;
+        // Tile-local column of node `v`, if `v` is a destination inside
+        // `[col_start, col_start + ncols)` — one array read plus a wrapping
+        // range compare on the hot path.
+        let col_end = col_start as usize + ncols;
+        let local_col = |v: u32| -> Option<u32> {
+            match targets.col_of(v) {
+                Some(c) if (c as usize) >= col_start as usize && (c as usize) < col_end => {
+                    Some(c - col_start)
+                }
+                _ => None,
+            }
+        };
         let mut sums = DistanceSums::default();
         let mut trips = 0u64;
         let mut traversals = 0u64;
@@ -342,6 +395,91 @@ impl EngineArena {
         for step in timeline.steps_desc() {
             let k = step.index;
 
+            if degree1 && step.len() == 1 {
+                // Degree-1 fast path (module docs): one edge `(eu, ew)`,
+                // no slot machinery. Direction `eu -> ew` writes only row
+                // `eu`, so row `ew` stays pre-step and is read live; for the
+                // undirected reverse direction, row `eu`'s frontier is
+                // snapshotted (one flat append) *before* the forward
+                // direction dirties it — the strict inequality of Remark 1,
+                // with half the snapshot writes and zero bookkeeping. The
+                // offer sequence matches the general path exactly, so trips,
+                // distances, and dirty order are bit-identical.
+                let (eu, ew) = (step.src[0], step.dst[0]);
+                debug_assert_ne!(eu, ew, "streams never carry self-loops");
+                debug_assert!(snap.is_empty() && slotted.is_empty());
+                if undirected {
+                    let row = eu as usize * ncols;
+                    let words =
+                        &frontier[eu as usize * words_per_row..][..words_per_row];
+                    for (wi, &word) in words.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let c = (wi as u32) * 64 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            let cell = &cells[row + c as usize];
+                            snap.push(Snap { col: c, ea: cell.ea, hops: cell.hops });
+                        }
+                    }
+                }
+                // forward direction eu -> ew: chains over row ew, read live
+                {
+                    traversals += 1;
+                    let row = eu as usize * ncols;
+                    if let Some(c) = local_col(ew) {
+                        offer(
+                            cells, frontier, words_per_row, dirty, epoch,
+                            row + c as usize, eu, c, k, k, 1, collect, &mut sums,
+                        );
+                    }
+                    let diag = local_col(eu).unwrap_or(u32::MAX);
+                    let row_w = ew as usize * ncols;
+                    let fw = ew as usize * words_per_row;
+                    for wi in 0..words_per_row {
+                        // copy the word: offers touch row eu's words only,
+                        // never row ew's, so each copy is the pre-step value
+                        let mut bits = frontier[fw + wi];
+                        while bits != 0 {
+                            let c = (wi as u32) * 64 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            if c == diag {
+                                continue;
+                            }
+                            let (s_ea, s_hops) = {
+                                let cell = &cells[row_w + c as usize];
+                                (cell.ea, cell.hops)
+                            };
+                            offer(
+                                cells, frontier, words_per_row, dirty, epoch,
+                                row + c as usize, eu, c, k, s_ea, s_hops + 1,
+                                collect, &mut sums,
+                            );
+                        }
+                    }
+                }
+                // reverse direction ew -> eu: chains over the snapshot
+                if undirected {
+                    traversals += 1;
+                    let row = ew as usize * ncols;
+                    if let Some(c) = local_col(eu) {
+                        offer(
+                            cells, frontier, words_per_row, dirty, epoch,
+                            row + c as usize, ew, c, k, k, 1, collect, &mut sums,
+                        );
+                    }
+                    let diag = local_col(ew).unwrap_or(u32::MAX);
+                    for s in snap.iter() {
+                        if s.col == diag {
+                            continue;
+                        }
+                        offer(
+                            cells, frontier, words_per_row, dirty, epoch,
+                            row + s.col as usize, ew, s.col, k, s.ea, s.hops + 1,
+                            collect, &mut sums,
+                        );
+                    }
+                }
+            } else {
             // 1. Snapshot the pre-step frontier of every row that can be
             //    read as a continuation. Reads go through edge heads, but in
             //    a directed timeline a tail `u` can be the head of another
@@ -380,7 +518,7 @@ impl EngineArena {
                     traversals += 1;
                     let row = u as usize * ncols;
                     // single hop: u -> w at step k
-                    if let Some(c) = targets.col_of(w) {
+                    if let Some(c) = local_col(w) {
                         offer(
                             cells, frontier, words_per_row, dirty, epoch,
                             row + c as usize, u, c, k, k, 1, collect, &mut sums,
@@ -391,7 +529,7 @@ impl EngineArena {
                     let (start, len) = slot_bounds[slot];
                     // diagonal column to skip (no u -> u trips); NONE_COL
                     // sentinel can never equal a stored column
-                    let diag = targets.col_of(u).unwrap_or(u32::MAX);
+                    let diag = local_col(u).unwrap_or(u32::MAX);
                     for s in &snap[start as usize..(start + len) as usize] {
                         if s.col == diag {
                             continue;
@@ -414,6 +552,7 @@ impl EngineArena {
                     }
                 }
             }
+            }
 
             // 3. Report the minimal trips of this step with final values,
             //    in ascending (row, target-column) order — deterministic
@@ -426,7 +565,7 @@ impl EngineArena {
                 let cell = &cells[idx];
                 if cell.ea < pre_ea {
                     let u = (idx / ncols) as u32;
-                    let v = targets.node_of((idx % ncols) as u32);
+                    let v = targets.node_of(col_start + (idx % ncols) as u32);
                     sink.minimal_trip(u, v, k, cell.ea, cell.hops);
                     trips += 1;
                 }
@@ -502,8 +641,40 @@ pub fn earliest_arrival_dp_in(
     sink: &mut impl TripSink,
     options: DpOptions,
 ) -> DpStats {
-    arena.prepare(timeline.n() as usize, targets.len());
-    arena.run(timeline, targets, sink, options)
+    earliest_arrival_dp_tile_in(arena, timeline, targets, 0, targets.len(), sink, options)
+}
+
+/// Runs the backward DP over a contiguous *column range* of `targets`:
+/// destinations `targets.node_of(c)` for `c` in
+/// `col_start .. col_start + col_len`. Because the recurrence never reads
+/// across columns, tile runs are completely independent: the per-tile trips
+/// (reported with their global node ids), distance sums, and histograms
+/// partition the untiled run exactly, and merging tiles in ascending
+/// `col_start` order reproduces its output bit for bit. Arena state is
+/// sized `n × col_len` — the tiled sweep's memory/cache lever.
+///
+/// `DpStats::traversals` counts every edge traversal of the timeline and is
+/// therefore repeated per tile, not partitioned.
+///
+/// # Panics
+/// Panics if the range is empty or exceeds `targets.len()`.
+pub fn earliest_arrival_dp_tile_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    col_start: u32,
+    col_len: usize,
+    sink: &mut impl TripSink,
+    options: DpOptions,
+) -> DpStats {
+    assert!(col_len > 0, "empty target tile");
+    assert!(
+        col_start as usize + col_len <= targets.len(),
+        "tile [{col_start}, {col_start}+{col_len}) out of range for {} targets",
+        targets.len()
+    );
+    arena.prepare(timeline.n() as usize, col_len);
+    arena.run(timeline, targets, col_start, sink, options)
 }
 
 pub mod baseline {
@@ -850,7 +1021,7 @@ mod tests {
             &t,
             &TargetSet::all(3),
             &mut NullSink,
-            DpOptions { collect_distances: true },
+            DpOptions { collect_distances: true, ..Default::default() },
         );
         let d = stats.distances.unwrap();
         assert_eq!(d.finite_triples, 7);
@@ -886,7 +1057,7 @@ mod tests {
                 &t,
                 &TargetSet::all(4),
                 &mut fresh_sink,
-                DpOptions { collect_distances: true },
+                DpOptions { collect_distances: true, ..Default::default() },
             );
             let mut reused_sink = Collect::default();
             let reused = earliest_arrival_dp_in(
@@ -894,7 +1065,7 @@ mod tests {
                 &t,
                 &TargetSet::all(4),
                 &mut reused_sink,
-                DpOptions { collect_distances: true },
+                DpOptions { collect_distances: true, ..Default::default() },
             );
             assert_eq!(fresh_sink.0, reused_sink.0, "k={k}");
             assert_eq!(fresh.trips, reused.trips, "k={k}");
@@ -914,6 +1085,129 @@ mod tests {
         assert_eq!(a_sink.0, f_sink.0);
     }
 
+    /// Tile runs partition the untiled run exactly: for every tile size,
+    /// concatenating per-tile trips (each tile's stream re-sorted) and
+    /// summing distance stats reproduces the full run.
+    #[test]
+    fn tiled_runs_partition_the_untiled_run()
+    {
+        let s = saturn_linkstream::io::read_str(
+            "a b 0\nc d 3\nb c 7\nd e 9\na e 14\nb d 18\nc e 21\na c 25\n",
+            Directedness::Undirected,
+        )
+        .unwrap();
+        let targets = TargetSet::all(5);
+        let mut arena = EngineArena::new();
+        for &k in &[1u64, 3, 9, 25] {
+            let t = Timeline::aggregated(&s, k);
+            let mut full_sink = Collect::default();
+            let full = earliest_arrival_dp(
+                &t,
+                &targets,
+                &mut full_sink,
+                DpOptions { collect_distances: true, ..Default::default() },
+            );
+            let mut full_trips = full_sink.0;
+            full_trips.sort_unstable();
+            for tile in [1usize, 2, 3, 5] {
+                let mut trips = Vec::new();
+                let mut trip_count = 0u64;
+                let mut sums = DistanceSums::default();
+                for (start, len) in targets.tile_ranges(tile) {
+                    let mut sink = Collect::default();
+                    let stats = earliest_arrival_dp_tile_in(
+                        &mut arena,
+                        &t,
+                        &targets,
+                        start,
+                        len as usize,
+                        &mut sink,
+                        DpOptions { collect_distances: true, ..Default::default() },
+                    );
+                    assert_eq!(stats.traversals, full.traversals, "k={k} tile={tile}");
+                    trip_count += stats.trips;
+                    let d = stats.distances.unwrap();
+                    sums.sum_dtime_steps += d.sum_dtime_steps;
+                    sums.sum_dhops += d.sum_dhops;
+                    sums.finite_triples += d.finite_triples;
+                    trips.extend(sink.0);
+                }
+                trips.sort_unstable();
+                assert_eq!(trips, full_trips, "k={k} tile={tile}");
+                assert_eq!(trip_count, full.trips, "k={k} tile={tile}");
+                let fd = full.distances.unwrap();
+                assert_eq!(sums.sum_dtime_steps, fd.sum_dtime_steps, "k={k} tile={tile}");
+                assert_eq!(sums.sum_dhops, fd.sum_dhops, "k={k} tile={tile}");
+                assert_eq!(sums.finite_triples, fd.finite_triples, "k={k} tile={tile}");
+            }
+        }
+    }
+
+    /// A single tile over a middle column range must equal the column
+    /// restriction of the full run, with global node ids in the reports.
+    #[test]
+    fn middle_tile_reports_global_node_ids() {
+        let s = saturn_linkstream::io::read_str(
+            "a b 0\nb c 5\nc d 10\nd e 15\n",
+            Directedness::Undirected,
+        )
+        .unwrap();
+        let targets = TargetSet::all(5);
+        let t = Timeline::aggregated(&s, 4);
+        let mut full = Collect::default();
+        earliest_arrival_dp(&t, &targets, &mut full, DpOptions::default());
+        let expected: Vec<_> =
+            full.0.iter().copied().filter(|&(_, v, ..)| v == 2 || v == 3).collect();
+        let mut tile = Collect::default();
+        let mut arena = EngineArena::new();
+        earliest_arrival_dp_tile_in(
+            &mut arena, &t, &targets, 2, 2, &mut tile, DpOptions::default(),
+        );
+        assert_eq!(tile.0, expected);
+    }
+
+    /// The degree-1 bypass must be invisible: identical trip streams (order
+    /// included), stats, and distance sums with the fast path on and off,
+    /// on directed and undirected timelines alike.
+    #[test]
+    fn degree1_fast_path_is_invisible() {
+        let text = "a b 0\nb c 7\nc d 13\nd a 20\na c 27\nb d 33\nc e 41\ne a 47\n";
+        for directedness in [Directedness::Undirected, Directedness::Directed] {
+            let s = saturn_linkstream::io::read_str(text, directedness).unwrap();
+            for &k in &[2u64, 5, 13, 47] {
+                let t = Timeline::aggregated(&s, k);
+                assert!(
+                    k < 13 || t.steps_desc().any(|step| step.len() == 1),
+                    "fine scales must exercise single-edge steps (k={k})"
+                );
+                let mut fast = Collect::default();
+                let fs = earliest_arrival_dp(
+                    &t,
+                    &TargetSet::all(5),
+                    &mut fast,
+                    DpOptions { collect_distances: true, ..Default::default() },
+                );
+                let mut general = Collect::default();
+                let gs = earliest_arrival_dp(
+                    &t,
+                    &TargetSet::all(5),
+                    &mut general,
+                    DpOptions {
+                        collect_distances: true,
+                        no_degree1_fast_path: true,
+                    },
+                );
+                assert_eq!(fast.0, general.0, "{directedness:?} k={k}");
+                assert_eq!(fs.trips, gs.trips, "{directedness:?} k={k}");
+                assert_eq!(fs.traversals, gs.traversals, "{directedness:?} k={k}");
+                let (fd, gd) = (fs.distances.unwrap(), gs.distances.unwrap());
+                assert_eq!(fd.sum_dtime_steps, gd.sum_dtime_steps, "{directedness:?} k={k}");
+                assert_eq!(fd.sum_dhops, gd.sum_dhops, "{directedness:?} k={k}");
+                assert_eq!(fd.finite_triples, gd.finite_triples, "{directedness:?} k={k}");
+            }
+        }
+    }
+
     /// The frontier-pruned engine and the baseline full-scan engine must be
     /// indistinguishable, including trip report order.
     #[test]
@@ -930,14 +1224,14 @@ mod tests {
                 &t,
                 &TargetSet::all(5),
                 &mut fast,
-                DpOptions { collect_distances: true },
+                DpOptions { collect_distances: true, ..Default::default() },
             );
             let mut slow = Collect::default();
             let b = baseline::earliest_arrival_dp(
                 &t,
                 &TargetSet::all(5),
                 &mut slow,
-                DpOptions { collect_distances: true },
+                DpOptions { collect_distances: true, ..Default::default() },
             );
             assert_eq!(fast.0, slow.0, "k={k}");
             assert_eq!(f.trips, b.trips, "k={k}");

@@ -61,11 +61,13 @@ pub mod transitions;
 
 pub use distances::{distance_means, distance_means_on, DistanceMeans};
 pub use dp::{
-    earliest_arrival_dp, earliest_arrival_dp_in, DpOptions, DpStats, EngineArena, TripSink,
+    earliest_arrival_dp, earliest_arrival_dp_in, earliest_arrival_dp_tile_in, DpOptions,
+    DpStats, EngineArena, TripSink,
 };
 pub use elongation::{elongation_stats, elongation_stats_on, ElongationStats};
 pub use occupancy::{
-    occupancy_histogram, occupancy_histogram_in, occupancy_histogram_on, OccupancyHistogram,
+    occupancy_histogram, occupancy_histogram_in, occupancy_histogram_on,
+    occupancy_histogram_tile_in, OccupancyHistogram,
 };
 pub use stream_trips::{stream_minimal_trips, PairTrips, StreamTrips};
 pub use target::TargetSet;

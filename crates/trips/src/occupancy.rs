@@ -6,7 +6,10 @@
 //! rationals; the histogram therefore keys on the reduced `(hops, duration)`
 //! pair so no two distinct rates are ever merged by floating-point rounding.
 
-use crate::{earliest_arrival_dp_in, DpOptions, EngineArena, TargetSet, Timeline, TripSink};
+use crate::{
+    earliest_arrival_dp_in, earliest_arrival_dp_tile_in, DpOptions, EngineArena, TargetSet,
+    Timeline, TripSink,
+};
 use rustc_hash::FxHashMap;
 use saturn_linkstream::LinkStream;
 use serde::Serialize;
@@ -77,15 +80,20 @@ impl OccupancyHistogram {
     }
 
     /// Mean occupancy rate.
+    ///
+    /// Summation runs in sorted key order: tiled sweeps merge per-tile
+    /// histograms whose map insertion order differs from an untiled run's,
+    /// and the float accumulation must not depend on hash iteration order
+    /// for reports to stay bit-identical across tilings.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
             return f64::NAN;
         }
-        let s: f64 = self
-            .counts
-            .iter()
-            .map(|(&(h, d), &c)| c as f64 * h as f64 / d as f64)
-            .sum();
+        let mut entries: Vec<((u32, u32), u64)> =
+            self.counts.iter().map(|(&key, &c)| (key, c)).collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let s: f64 =
+            entries.iter().map(|&((h, d), c)| c as f64 * h as f64 / d as f64).sum();
         s / self.total as f64
     }
 
@@ -138,6 +146,31 @@ pub fn occupancy_histogram_in(
 ) -> OccupancyHistogram {
     let mut sink = HistogramSink(OccupancyHistogram::new());
     earliest_arrival_dp_in(arena, timeline, targets, &mut sink, DpOptions::default());
+    sink.0
+}
+
+/// The histogram of one *target tile* — minimal trips toward destinations
+/// `col_start .. col_start + col_len` of `targets` only (see
+/// [`earliest_arrival_dp_tile_in`]). Tiles partition the trips of the
+/// untiled run exactly, so [`OccupancyHistogram::merge`]-ing the tiles of a
+/// [`TargetSet::tile_ranges`] cover reproduces [`occupancy_histogram_in`].
+pub fn occupancy_histogram_tile_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    col_start: u32,
+    col_len: usize,
+) -> OccupancyHistogram {
+    let mut sink = HistogramSink(OccupancyHistogram::new());
+    earliest_arrival_dp_tile_in(
+        arena,
+        timeline,
+        targets,
+        col_start,
+        col_len,
+        &mut sink,
+        DpOptions::default(),
+    );
     sink.0
 }
 

@@ -96,6 +96,24 @@ impl TargetSet {
     pub fn nodes(&self) -> &[u32] {
         &self.node_of
     }
+
+    /// Partitions the columns into contiguous tiles of at most `tile`
+    /// columns, as `(col_start, col_len)` pairs in ascending column order —
+    /// the unit of [`crate::earliest_arrival_dp_tile_in`]. All tiles carry
+    /// exactly `tile` columns except possibly the last; `tile >= len()` (or
+    /// `tile == 0`, treated as "untiled") yields one full-range tile.
+    pub fn tile_ranges(&self, tile: usize) -> Vec<(u32, u32)> {
+        let ncols = self.len();
+        let tile = if tile == 0 { ncols } else { tile.min(ncols) };
+        let mut ranges = Vec::with_capacity(ncols.div_ceil(tile));
+        let mut start = 0usize;
+        while start < ncols {
+            let len = tile.min(ncols - start);
+            ranges.push((start as u32, len as u32));
+            start += len;
+        }
+        ranges
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +165,28 @@ mod tests {
         let t = TargetSet::sample(5, 50, 1);
         assert_eq!(t.len(), 5);
         assert!(t.is_all());
+    }
+
+    #[test]
+    fn tile_ranges_cover_exactly_once() {
+        let t = TargetSet::all(10);
+        assert_eq!(t.tile_ranges(4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(t.tile_ranges(10), vec![(0, 10)]);
+        assert_eq!(t.tile_ranges(0), vec![(0, 10)]);
+        assert_eq!(t.tile_ranges(100), vec![(0, 10)]);
+        let ones = t.tile_ranges(1);
+        assert_eq!(ones.len(), 10);
+        for (i, &(s, l)) in ones.iter().enumerate() {
+            assert_eq!((s, l), (i as u32, 1));
+        }
+        // every partition covers [0, len) without gaps or overlaps
+        for tile in 1..=11 {
+            let r = t.tile_ranges(tile);
+            assert_eq!(r[0].0, 0);
+            assert_eq!(r.last().unwrap().0 + r.last().unwrap().1, 10);
+            for w in r.windows(2) {
+                assert_eq!(w[0].0 + w[0].1, w[1].0);
+            }
+        }
     }
 }

@@ -8,8 +8,8 @@ use saturn_linkstream::{Directedness, LinkStreamBuilder};
 use saturn_trips::dp::{baseline, NullSink};
 use saturn_trips::reference::earliest_arrival_bruteforce;
 use saturn_trips::{
-    earliest_arrival_dp, earliest_arrival_dp_in, DpOptions, EngineArena, TargetSet, Timeline,
-    TripSink,
+    earliest_arrival_dp, earliest_arrival_dp_in, earliest_arrival_dp_tile_in, DpOptions,
+    EngineArena, TargetSet, Timeline, TripSink,
 };
 
 #[derive(Default)]
@@ -50,7 +50,7 @@ proptest! {
     fn frontier_equals_baseline_undirected(stream in arb_stream(false), k in 1u64..24) {
         let k = if stream.span() == 0 { 1 } else { k };
         let timeline = Timeline::aggregated(&stream, k);
-        let options = DpOptions { collect_distances: true };
+        let options = DpOptions { collect_distances: true, ..Default::default() };
         let targets = TargetSet::all(6);
 
         let mut fast = Collect::default();
@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn frontier_equals_baseline_directed_exact(stream in arb_stream(true)) {
         let timeline = Timeline::exact(&stream);
-        let options = DpOptions { collect_distances: true };
+        let options = DpOptions { collect_distances: true, ..Default::default() };
         let targets = TargetSet::all(6);
 
         let mut fast = Collect::default();
@@ -114,7 +114,7 @@ proptest! {
             &timeline,
             &TargetSet::all(6),
             &mut NullSink,
-            DpOptions { collect_distances: true },
+            DpOptions { collect_distances: true, ..Default::default() },
         );
         let d = stats.distances.unwrap();
         prop_assert_eq!(d.sum_dtime_steps, ref_dtime);
@@ -134,7 +134,7 @@ proptest! {
         for &k in &ks {
             let k = if stream.span() == 0 { 1 } else { k };
             let timeline = Timeline::aggregated(&stream, k);
-            let options = DpOptions { collect_distances: true };
+            let options = DpOptions { collect_distances: true, ..Default::default() };
 
             let mut reused = Collect::default();
             let rs = earliest_arrival_dp_in(
@@ -170,5 +170,86 @@ proptest! {
         let mut slow = Collect::default();
         baseline::earliest_arrival_dp(&timeline, &tset, &mut slow, DpOptions::default());
         prop_assert_eq!(fast.0, slow.0);
+    }
+
+    /// Target-tiled execution partitions the untiled run exactly: for any
+    /// tile size, one arena carried across all tiles yields trips, trip
+    /// counts, and distance sums that merge to the full run's.
+    #[test]
+    fn tiled_runs_merge_to_the_untiled_run(
+        stream in arb_stream(false),
+        k in 1u64..24,
+        tile in 1usize..7,
+    ) {
+        let k = if stream.span() == 0 { 1 } else { k };
+        let timeline = Timeline::aggregated(&stream, k);
+        let targets = TargetSet::all(6);
+        let options = DpOptions { collect_distances: true, ..Default::default() };
+
+        let mut full_sink = Collect::default();
+        let full = earliest_arrival_dp(&timeline, &targets, &mut full_sink, options);
+        let mut full_trips = full_sink.0;
+        full_trips.sort_unstable();
+
+        let mut arena = EngineArena::new();
+        let mut trips = Vec::new();
+        let mut count = 0u64;
+        let mut dtime = 0i128;
+        let mut dhops = 0i128;
+        let mut triples = 0i128;
+        for (start, len) in targets.tile_ranges(tile) {
+            let mut sink = Collect::default();
+            let stats = earliest_arrival_dp_tile_in(
+                &mut arena, &timeline, &targets, start, len as usize, &mut sink, options,
+            );
+            trips.extend(sink.0);
+            count += stats.trips;
+            let d = stats.distances.unwrap();
+            dtime += d.sum_dtime_steps;
+            dhops += d.sum_dhops;
+            triples += d.finite_triples;
+        }
+        trips.sort_unstable();
+        prop_assert_eq!(trips, full_trips);
+        prop_assert_eq!(count, full.trips);
+        let fd = full.distances.unwrap();
+        prop_assert_eq!(dtime, fd.sum_dtime_steps);
+        prop_assert_eq!(dhops, fd.sum_dhops);
+        prop_assert_eq!(triples, fd.finite_triples);
+    }
+
+    /// The degree-1 snapshot bypass is invisible on random streams, both
+    /// directednesses: same trip stream (order included), same stats.
+    #[test]
+    fn degree1_bypass_is_invisible(
+        stream in arb_stream(true),
+        k in 1u64..24,
+        directed_timeline in any::<bool>(),
+    ) {
+        let k = if stream.span() == 0 { 1 } else { k };
+        let timeline = if directed_timeline {
+            Timeline::exact(&stream)
+        } else {
+            Timeline::aggregated(&stream, k)
+        };
+        let options = DpOptions { collect_distances: true, ..Default::default() };
+        let targets = TargetSet::all(6);
+
+        let mut with = Collect::default();
+        let ws = earliest_arrival_dp(&timeline, &targets, &mut with, options);
+        let mut without = Collect::default();
+        let os = earliest_arrival_dp(
+            &timeline,
+            &targets,
+            &mut without,
+            DpOptions { no_degree1_fast_path: true, ..options },
+        );
+        prop_assert_eq!(with.0, without.0);
+        prop_assert_eq!(ws.trips, os.trips);
+        prop_assert_eq!(ws.traversals, os.traversals);
+        let (wd, od) = (ws.distances.unwrap(), os.distances.unwrap());
+        prop_assert_eq!(wd.sum_dtime_steps, od.sum_dtime_steps);
+        prop_assert_eq!(wd.sum_dhops, od.sum_dhops);
+        prop_assert_eq!(wd.finite_triples, od.finite_triples);
     }
 }

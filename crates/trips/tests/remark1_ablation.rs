@@ -116,6 +116,45 @@ fn variants_agree_when_no_same_step_chaining_is_possible() {
     assert_eq!(naive, engine);
 }
 
+/// The degree-1 snapshot bypass must agree with the general snapshot path
+/// on exactly the fixtures of this ablation suite — the streams engineered
+/// to punish any Remark-1 ordering mistake. The bypass reads the
+/// continuation row live and pre-snapshots only the written row, which is a
+/// different mechanism than the slot machinery; this pins down that it is
+/// not a different *semantics*.
+#[test]
+fn degree1_fast_path_matches_general_path_on_fixtures() {
+    let fixtures: [(&str, Directedness); 3] = [
+        ("b c 5\na b 0\n", Directedness::Undirected),
+        ("a b 0\nb c 10\nc d 20\nd a 30\n", Directedness::Undirected),
+        ("a b 0\nb a 1\nb c 2\n", Directedness::Directed),
+    ];
+    for (text, directedness) in fixtures {
+        let s = io::read_str(text, directedness).unwrap();
+        let n = s.node_count() as u32;
+        for k in [1u64, 2, 4, s.span().max(1) as u64] {
+            let timeline = Timeline::aggregated(&s, k);
+            let mut fast = Collect::default();
+            let fs = earliest_arrival_dp(
+                &timeline,
+                &TargetSet::all(n),
+                &mut fast,
+                DpOptions::default(),
+            );
+            let mut general = Collect::default();
+            let gs = earliest_arrival_dp(
+                &timeline,
+                &TargetSet::all(n),
+                &mut general,
+                DpOptions { no_degree1_fast_path: true, ..Default::default() },
+            );
+            assert_eq!(fast.0, general.0, "{text:?} k={k}");
+            assert_eq!(fs.trips, gs.trips, "{text:?} k={k}");
+            assert_eq!(fs.traversals, gs.traversals, "{text:?} k={k}");
+        }
+    }
+}
+
 /// Directed same-step cycles are the nastiest case: a->b and b->a in one
 /// window must not make a reach itself or chain further.
 #[test]
