@@ -2,14 +2,19 @@
 //! committed to the repository so future PRs can track speedups/regressions
 //! without re-running the whole suite.
 //!
-//! Two workloads bracket the engine's regimes:
+//! Three workloads bracket the engine's regimes:
 //!
 //! * `dense_uniform` — all-pairs activity on 60 nodes: rows saturate almost
 //!   immediately, so the frontier bitmap degenerates to a sequential row
 //!   walk (this bounds the *overhead* of the pruning machinery);
 //! * `sparse_ring` — 600 nodes on a ring: per-row reachability stays far
 //!   below `n` for most of the backward sweep (the regime of the paper's
-//!   sparse contact datasets), where the pruning pays off outright.
+//!   sparse contact datasets), where the pruning pays off outright;
+//! * `sparse_burst` — 600 nodes with bursty contact trains (face-to-face
+//!   dataset texture): the same edge recurs across consecutive fine-scale
+//!   windows with unchanged continuation rows, the regime the engine's
+//!   delta propagation targets (tracked in the `delta` section, with
+//!   hard-asserted delta-on == delta-off checksums on all three workloads).
 //!
 //! Per scale, both the pre-rework pipeline (per-call timeline build + the
 //! retained baseline engine with fresh tables) and the current pipeline
@@ -28,8 +33,8 @@ use saturn_linkstream::{Directedness, LinkStream, LinkStreamBuilder};
 use saturn_synth::TimeUniform;
 use saturn_trips::dp::{baseline, NullSink};
 use saturn_trips::{
-    earliest_arrival_dp_in, occupancy_histogram_tile_in, DpOptions, EngineArena, EventView,
-    OccupancyHistogram, TargetSet, Timeline,
+    earliest_arrival_dp_in, occupancy_histogram_tile_in, DpOptions, DpStats, EngineArena,
+    EventView, OccupancyHistogram, TargetSet, Timeline,
 };
 use serde_json::Value;
 use std::time::Instant;
@@ -64,6 +69,27 @@ fn sparse_ring(n: u32, reps: i64) -> LinkStream {
     for rep in 0..reps {
         for i in 0..n {
             b.add_indexed(i, (i + 1) % n, rep * 1000 + (i as i64 % 997));
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Bursty contact trains: every ring pair is active in short trains of
+/// closely spaced events separated by long silences — the temporal texture
+/// of face-to-face contact datasets (and the regime `dense_uniform` /
+/// `sparse_ring` don't cover). Within a train the same edge fires in many
+/// consecutive fine-scale windows while the rest of the graph is quiet, so
+/// its continuation rows almost never change between firings: the workload
+/// where delta propagation should shine.
+fn sparse_burst(n: u32, trains: i64, burst: i64) -> LinkStream {
+    let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, n);
+    for train in 0..trains {
+        for i in 0..n {
+            // deterministic per-pair jitter desynchronizes train starts
+            let start = train * 10_000 + (i as i64 * 389) % 7_919;
+            for e in 0..burst {
+                b.add_indexed(i, (i + 1) % n, start + e * 3);
+            }
         }
     }
     b.build().unwrap()
@@ -286,6 +312,93 @@ fn measure_intra_scale(
     ])
 }
 
+/// A full-result checksum of one engine run — a mixing fold over the trip
+/// stream (order-sensitive) plus the exact distance sums — together with
+/// the run's [`DpStats`] (offer/snapshot counters for the JSON). Delta
+/// propagation claims bit-identical results, so any checksum divergence is
+/// a correctness bug, not noise.
+fn engine_checksum(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    options: DpOptions,
+) -> ((u64, i128, i128, i128), DpStats) {
+    let mut acc = 0u64;
+    let mut sink = |u: u32, v: u32, dep: u32, arr: u32, hops: u32| {
+        let mut x = acc ^ (u as u64 | (v as u64) << 32);
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        x ^= dep as u64 | (arr as u64) << 20 | (hops as u64) << 44;
+        acc = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    };
+    let stats = earliest_arrival_dp_in(
+        arena,
+        timeline,
+        targets,
+        &mut sink,
+        DpOptions { collect_distances: true, ..options },
+    );
+    let d = stats.distances.unwrap();
+    ((acc ^ stats.trips, d.sum_dtime_steps, d.sum_dhops, d.finite_triples), stats)
+}
+
+/// The `delta` section: change-driven offers (watermark filtering) on vs
+/// off, per scale, on all three workloads. Checksums (trip stream +
+/// distance sums) are hard-asserted equal — delta propagation must be
+/// invisible in results, visible only in wall time.
+fn measure_delta(workloads: &[(&str, &LinkStream)], scales: &[u64], reps: usize) -> Value {
+    let mut sections = Vec::new();
+    let mut all_match = true;
+    for &(name, stream) in workloads {
+        let targets = TargetSet::all(stream.node_count() as u32);
+        let view = EventView::new(stream);
+        let mut arena = EngineArena::new();
+        let mut per_scale = Vec::new();
+        for &k in scales {
+            let timeline = Timeline::aggregated_from_view(&view, k);
+            let off_opts = DpOptions { no_delta_propagation: true, ..Default::default() };
+            let on_opts = DpOptions::default();
+            let (sum_off, stats_off) = engine_checksum(&mut arena, &timeline, &targets, off_opts);
+            let (sum_on, stats_on) = engine_checksum(&mut arena, &timeline, &targets, on_opts);
+            let ok = sum_off == sum_on;
+            all_match &= ok;
+            assert!(ok, "delta-on vs delta-off checksum diverged: {name} k={k}");
+            let t_off = time_median(reps, || {
+                earliest_arrival_dp_in(&mut arena, &timeline, &targets, &mut NullSink, off_opts)
+            });
+            let t_on = time_median(reps, || {
+                earliest_arrival_dp_in(&mut arena, &timeline, &targets, &mut NullSink, on_opts)
+            });
+            let speedup = t_off / t_on;
+            println!(
+                "  delta {name} k={k:>7}  off {:>9.3} ms  on {:>9.3} ms  ({speedup:.2}x)  \
+                 offers {} -> {}  snap {} -> {}",
+                t_off * 1e3,
+                t_on * 1e3,
+                stats_off.chain_offers,
+                stats_on.chain_offers,
+                stats_off.snap_entries,
+                stats_on.snap_entries,
+            );
+            per_scale.push(obj(vec![
+                ("k", Value::Int(k as i128)),
+                ("delta_off_seconds", Value::Float(t_off)),
+                ("delta_on_seconds", Value::Float(t_on)),
+                ("speedup", Value::Float(speedup)),
+                ("chain_offers_off", Value::Int(stats_off.chain_offers as i128)),
+                ("chain_offers_on", Value::Int(stats_on.chain_offers as i128)),
+                ("snap_entries_off", Value::Int(stats_off.snap_entries as i128)),
+                ("snap_entries_on", Value::Int(stats_on.snap_entries as i128)),
+                ("trips", Value::Int(stats_on.trips as i128)),
+                ("checksum_match", Value::Bool(ok)),
+            ]));
+        }
+        sections.push((name, Value::Array(per_scale)));
+    }
+    let mut entries: Vec<(&str, Value)> = vec![("checksums_match", Value::Bool(all_match))];
+    entries.extend(sections);
+    obj(entries)
+}
+
 fn main() {
     let fast = saturn_bench::fast_mode();
     let reps = if fast { 3 } else { 5 };
@@ -296,11 +409,20 @@ fn main() {
         TimeUniform { nodes: 60, links_per_pair: 6, span: 100_000, seed: 7 }.generate()
     };
     let sparse = if fast { sparse_ring(120, 10) } else { sparse_ring(600, 40) };
+    let burst = if fast { sparse_burst(120, 4, 6) } else { sparse_burst(600, 8, 8) };
     let scales: Vec<u64> =
         if fast { vec![100, 1_000, 10_000] } else { vec![1_000, 2_000, 10_000, 20_000, 100_000] };
 
     let (dense_json, dl, dc) = measure_workload("dense_uniform", &dense, &scales, reps);
     let (sparse_json, sl, sc) = measure_workload("sparse_ring", &sparse, &scales, reps);
+    let (burst_json, bl, bc) = measure_workload("sparse_burst", &burst, &scales, reps);
+
+    println!("delta propagation (change-driven offers) on vs off:");
+    let delta = measure_delta(
+        &[("dense_uniform", &dense), ("sparse_ring", &sparse), ("sparse_burst", &burst)],
+        &scales,
+        reps,
+    );
 
     println!("intra-scale parallelism (target tiling + degree-1 fast path):");
     let intra_scale = measure_intra_scale(&dense, &sparse, fast, reps);
@@ -323,8 +445,8 @@ fn main() {
         ]));
     }
 
-    let aggregate = (dl + sl) / (dc + sc);
-    println!("aggregate pipeline speedup over both workloads: {aggregate:.2}x");
+    let aggregate = (dl + sl + bl) / (dc + sc + bc);
+    println!("aggregate pipeline speedup over all workloads: {aggregate:.2}x");
 
     let mut top = vec![
         (
@@ -353,6 +475,8 @@ fn main() {
         ),
         ("dense_uniform", dense_json),
         ("sparse_ring", sparse_json),
+        ("sparse_burst", burst_json),
+        ("delta", delta),
         ("intra_scale", intra_scale),
         ("end_to_end", Value::Array(end_to_end)),
         ("aggregate_pipeline_speedup", Value::Float(aggregate)),

@@ -59,6 +59,8 @@ USAGE:
       --threads N         worker threads (default: $SATURN_THREADS, else all cores)
       --tile N            target-tile width in columns (default 0 = auto);
                           execution knob only — reports are bit-identical
+      --no-delta          disable DP delta propagation (ablation; reports
+                          are bit-identical either way)
       --unit s|m|h|d      display unit for Δ (ticks are seconds; default h)
       --json              emit the full report as JSON
   saturn validate <file>  information-loss curves (lost transitions, elongation)
@@ -71,6 +73,8 @@ USAGE:
       --threads N         sweep worker pool size, shared across requests
       --tile N            default target-tile width for analyze sweeps
                           (0 = auto; requests may override with ?tile=N)
+      --no-delta          default delta-propagation setting for analyze
+                          sweeps (requests may override with ?no_delta=1)
       --cache-mb M        report cache budget in MiB (default 64; 0 disables)
       --queue N           job queue depth before 503 backpressure (default 64)
   saturn synth <name>     generate a dataset stand-in (irvine, facebook,
@@ -95,6 +99,7 @@ struct Flags {
     sample: Option<u32>,
     threads: usize,
     tile: usize,
+    no_delta: bool,
     json: bool,
     unit: (f64, &'static str),
     seed: u64,
@@ -113,6 +118,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         sample: None,
         threads: env_threads(),
         tile: 0,
+        no_delta: false,
         json: false,
         unit: (3600.0, "h"),
         seed: 1,
@@ -143,6 +149,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--tile" => {
                 f.tile = value("--tile")?.parse().map_err(|e| format!("--tile: {e}"))?
             }
+            "--no-delta" => f.no_delta = true,
             "--addr" => f.addr = value("--addr")?,
             "--cache-mb" => {
                 f.cache_mb =
@@ -195,6 +202,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .targets(targets(&f))
         .threads(f.threads)
         .tile(f.tile)
+        .no_delta_propagation(f.no_delta)
         .run(&stream);
     if f.json {
         println!("{}", report.to_json());
@@ -260,6 +268,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         addr: f.addr.clone(),
         threads: f.threads,
         tile: f.tile,
+        no_delta: f.no_delta,
         cache_bytes: f.cache_mb << 20,
         queue_depth: f.queue,
         ..ServerConfig::default()
@@ -356,6 +365,12 @@ mod tests {
         assert_eq!(flags(&["t.txt", "--tile", "64"]).unwrap().tile, 64);
         assert!(flags(&["--tile", "wide"]).unwrap_err().contains("--tile"));
         assert!(flags(&["--tile"]).unwrap_err().contains("--tile"));
+    }
+
+    #[test]
+    fn no_delta_flag_parses_and_defaults_off() {
+        assert!(!flags(&["t.txt"]).unwrap().no_delta);
+        assert!(flags(&["t.txt", "--no-delta"]).unwrap().no_delta);
     }
 
     #[test]

@@ -210,6 +210,33 @@ mod tests {
         );
     }
 
+    /// Pinned key values: the report cache survives engine reworks only if
+    /// fingerprints never move (a moved key silently invalidates every
+    /// cached report and breaks cold/cached byte-identity guarantees made
+    /// to clients). These constants were recorded when the digest scheme
+    /// was introduced; an engine or digest change that shifts them must be
+    /// a deliberate, versioned decision (bump the domain tags), not an
+    /// accident — this test makes the accident loud. Execution knobs
+    /// (`tile`, `no_delta_propagation`) must never feed these digests.
+    #[test]
+    fn fingerprints_are_pinned() {
+        let s = io::read_str("a b 1\nb c 5\nc a 9\n", Directedness::Undirected).unwrap();
+        assert_eq!(
+            hex(stream_digest(&s)),
+            "99bdfba880adc220837ee81b786ac528",
+            "stream digest moved"
+        );
+        let mut d = Digest::new("saturn.analyze.v1");
+        d.write_u128(stream_digest(&s));
+        write_grid(&mut d, &SweepGrid::Geometric { points: 16 });
+        write_targets(&mut d, &TargetSpec::All);
+        assert_eq!(
+            hex(d.finish()),
+            "1d8eaee1c57818b6acd707e5584443d1",
+            "analyze request digest moved"
+        );
+    }
+
     #[test]
     fn domains_are_disjoint_and_hex_is_stable() {
         let mut a = Digest::new("saturn.analyze.v1");

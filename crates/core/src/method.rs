@@ -6,8 +6,8 @@ use crate::SweepGrid;
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
-    occupancy_histogram_tile_in, EngineArena, EventView, OccupancyHistogram, TargetSet,
-    Timeline,
+    occupancy_histogram_tile_opts_in, DpOptions, EngineArena, EventView, OccupancyHistogram,
+    TargetSet, Timeline,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -143,6 +143,7 @@ pub struct OccupancyMethod {
     refine_rounds: usize,
     refine_points: usize,
     tile: usize,
+    no_delta: bool,
 }
 
 impl Default for OccupancyMethod {
@@ -157,6 +158,7 @@ impl Default for OccupancyMethod {
             refine_rounds: 2,
             refine_points: 8,
             tile: 0,
+            no_delta: false,
         }
     }
 }
@@ -224,6 +226,16 @@ impl OccupancyMethod {
         self
     }
 
+    /// Disables the DP engine's delta propagation (change-driven offers +
+    /// bitmap dirty sets; see `saturn_trips::dp` module docs). Results are
+    /// bit-identical either way, so — exactly like [`tile`](Self::tile) —
+    /// this is a pure execution knob for ablation benchmarking and never
+    /// enters content fingerprints.
+    pub fn no_delta_propagation(mut self, no_delta: bool) -> Self {
+        self.no_delta = no_delta;
+        self
+    }
+
     /// Scores one scale's merged histogram.
     fn delta_result(&self, span: i64, k: u64, hist: &OccupancyHistogram) -> DeltaResult {
         let dist = WeightedDist::from_pairs(hist.sorted_rates());
@@ -278,15 +290,18 @@ impl OccupancyMethod {
                 remaining: AtomicUsize::new(tiles_in_scale),
             })
             .collect();
+        let dp_options =
+            DpOptions { no_delta_propagation: self.no_delta, ..Default::default() };
         let parts: Vec<OccupancyHistogram> = pool.map(&items, |wid, item| {
             let mut arena = arenas[wid].lock().expect("arena poisoned");
             let tile = |timeline: &Timeline, arena: &mut EngineArena| {
-                occupancy_histogram_tile_in(
+                occupancy_histogram_tile_opts_in(
                     arena,
                     timeline,
                     targets,
                     item.col_start,
                     item.col_len as usize,
+                    dp_options,
                 )
             };
             if item.tiles_in_scale == 1 {
@@ -554,6 +569,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn no_delta_propagation_is_bit_identical() {
+        let s = ring_stream(9, 90, 6);
+        let with_delta = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 10 })
+            .threads(2)
+            .refine(1, 4)
+            .run(&s)
+            .to_json();
+        let without = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 10 })
+            .threads(2)
+            .refine(1, 4)
+            .no_delta_propagation(true)
+            .run(&s)
+            .to_json();
+        assert_eq!(with_delta, without, "delta propagation must not change the report");
     }
 
     #[test]

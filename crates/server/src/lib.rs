@@ -11,7 +11,7 @@
 //! cold sweeps onto one process-wide [`WorkerPool`](saturn_core::parallel::WorkerPool).
 //!
 //! ```text
-//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0[&async=1]   trace body → occupancy report
+//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0&no_delta=0[&async=1]   trace body → occupancy report
 //! POST /v1/validate?points=32&weighted=1&delta_min=1[&async=1]       trace body → loss curves
 //! POST /v1/stats?directed=1                                          trace body → stream statistics
 //! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
@@ -59,6 +59,11 @@ pub struct ServerConfig {
     /// reports are bit-identical for every width, so it never enters cache
     /// fingerprints. Overridable per request with `?tile=N`.
     pub tile: usize,
+    /// Disable the DP engine's delta propagation for analyze sweeps. Like
+    /// `tile`, an execution knob for ablation scripting: results are
+    /// bit-identical either way, so it never enters cache fingerprints.
+    /// Overridable per request with `?no_delta=1`.
+    pub no_delta: bool,
     /// Report cache budget in bytes (0 disables caching).
     pub cache_bytes: usize,
     /// Maximum jobs waiting in the queue before submissions get 503.
@@ -75,6 +80,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             threads: 0,
             tile: 0,
+            no_delta: false,
             cache_bytes: 64 << 20,
             queue_depth: 64,
             max_body_bytes: 64 << 20,
@@ -90,6 +96,7 @@ struct ServerContext {
     cache: Arc<ReportCache>,
     jobs: JobManager,
     tile: usize,
+    no_delta: bool,
     max_body_bytes: usize,
     max_connections: usize,
     active_connections: AtomicUsize,
@@ -113,6 +120,7 @@ impl Server {
                 cache: Arc::new(ReportCache::new(config.cache_bytes)),
                 jobs: JobManager::new(config.threads, config.queue_depth),
                 tile: config.tile,
+                no_delta: config.no_delta,
                 max_body_bytes: config.max_body_bytes,
                 max_connections: config.max_connections,
                 active_connections: AtomicUsize::new(0),
@@ -356,11 +364,13 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
     let stream = parse_stream(request)?;
     let points = numeric(request, "points", 48usize)?;
     let targets = parse_targets(request)?;
-    // execution knob only: tiled reports are bit-identical to untiled ones,
-    // so `tile` stays OUT of the fingerprint — a request served from an
-    // entry computed under a different tiling returns the same bytes the
-    // cold run would have produced
+    // execution knobs only: tiled and delta-filtered reports are
+    // bit-identical to untiled / unfiltered ones, so `tile` and `no_delta`
+    // stay OUT of the fingerprint — a request served from an entry computed
+    // under different execution settings returns the same bytes the cold
+    // run would have produced
     let tile = numeric(request, "tile", ctx.tile)?;
+    let no_delta = numeric::<u8>(request, "no_delta", ctx.no_delta as u8)? != 0;
     let grid = SweepGrid::Geometric { points };
 
     let mut digest = Digest::new("saturn.analyze.v1");
@@ -375,6 +385,7 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
             .grid(grid)
             .targets(targets)
             .tile(tile)
+            .no_delta_propagation(no_delta)
             .run_on(&stream, pool);
         cache_insert(report.to_json())
     });

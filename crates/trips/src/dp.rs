@@ -72,6 +72,66 @@
 //!   [`DpOptions::no_degree1_fast_path`] forces the general path for
 //!   differential tests and benches.
 //!
+//! # Delta propagation invariants
+//!
+//! The fine-scale tail is *offer-bound*: the same few edges fire step after
+//! step, and each firing re-offers every live column of its continuation
+//! row even though almost none of them changed since the previous firing.
+//! The engine therefore tracks change, and only emits chain offers for
+//! columns that actually changed:
+//!
+//! * **Per-(edge, direction) watermarks.** The timeline assigns every
+//!   distinct `(src, dst)` pair a stable id ([`crate::StepView::pair`]); the arena
+//!   keeps, at `wm[2 · pair + direction]`, the step at which that traversal
+//!   direction last consumed its continuation row. Watermarks are
+//!   epoch-stamped like cells, so arena reuse across scales/tiles (whose
+//!   pair ids mean different edges) needs no clearing.
+//! * **Change record = `set_at`.** A cell's `set_at` is by construction the
+//!   step of its most recent `(ea, hops)` change. With the backward sweep
+//!   running `k = K-1 .. 0`, "cell changed since direction `d` last fired
+//!   at step `L`" is exactly `set_at <= L` (snapshot values always have
+//!   `set_at >= k + 1`, so same-step writes never leak in). Alongside, a
+//!   per-row mark (`row_changed_at`, the minimum live `set_at` of the row)
+//!   lets a consumer skip the *whole* row scan when `row_changed_at > L`.
+//! * **Correctness (why skipped offers are no-ops).** Inductive invariant:
+//!   after direction `(u, w)` fires at step `L`, every chain candidate
+//!   `(ea'[w][v], hops'[w][v] + 1)` built from row `w`'s pre-step-`L`
+//!   values has been offered to `(u, v)`, so `cell[u][v]` is at least as
+//!   good (first on `ea`, then `hops`) as that candidate — and cells only
+//!   improve monotonically. At a later (smaller) step `k`, an entry with
+//!   `set_at > L` still holds the *same* value it held at step `L`, so its
+//!   candidate is already dominated and cannot pass `offer`'s strict
+//!   improvement test. Offers that cannot improve have *zero* side effects
+//!   (no cell write, no `dirty` push, no distance flush), hence the
+//!   filtered run's cell states, trip stream, and distance sums are
+//!   bit-identical to the unfiltered run's — enforced differentially
+//!   against both the frontier engine with delta off and [`baseline`] in
+//!   `proptest_frontier.rs`, and across delta × tile × thread combinations
+//!   in `core/tests/tiling_determinism.rs`. The single-hop offer
+//!   `(k, 1)` is never filtered: its candidate is new every step.
+//! * **Filtered snapshots.** Remark-1 snapshots stay the value source, but
+//!   are built *already filtered*: a pre-pass over the step's edges
+//!   computes, per slotted row, the most permissive consumer watermark
+//!   (`slot_maxlast`), and the snapshot keeps only entries with
+//!   `set_at <= slot_maxlast` (each direction then re-filters by its own
+//!   watermark). Rows with no consumer in the step — e.g. directed tails —
+//!   and rows unchanged since every consumer's last visit skip the
+//!   frontier scan outright. This composes with the degree-1 bypass: a
+//!   single-edge step whose rows are unchanged since the edge last fired
+//!   does no snapshot work and no chain scan at all, which is the common
+//!   case on bursty contact trains.
+//! * **Interaction with Remark 1 and the degree-1 bypass.** Filters only
+//!   ever *remove* offers whose values are pre-step by the existing
+//!   snapshot discipline; they never change which values are read, so the
+//!   strict inequality of Remark 1 is untouched. In the degree-1 forward
+//!   direction the row is read live (nothing has written it this step) and
+//!   its live `row_changed_at` / `set_at` are therefore pre-step exact; the
+//!   reverse-direction snapshot is taken before the forward offers dirty
+//!   row `eu`, watermark filtering included.
+//! * [`DpOptions::no_delta_propagation`] restores the emit-everything
+//!   behavior for differential tests and the `delta_propagation` bench;
+//!   results are bit-identical with the flag on or off.
+//!
 //! The pre-rework engine (full-row snapshots, per-run table allocation,
 //! `O(ncols)` chain scans) is preserved in [`baseline`] as the comparison
 //! oracle for differential tests and the speedup benches.
@@ -142,6 +202,14 @@ pub struct DpOptions {
     /// `degree1_fast_path` bench. Ignored by [`baseline`], which has no
     /// fast path.
     pub no_degree1_fast_path: bool,
+    /// Disable delta propagation: emit every chain offer at every step
+    /// instead of only those whose source-row column changed since the same
+    /// (edge, direction) last consumed the row (module docs). Results are
+    /// bit-identical either way — skipped offers are provably
+    /// non-improving — so the flag exists purely for differential tests and
+    /// the `delta_propagation` bench/ablation. Ignored by [`baseline`],
+    /// which keeps no watermarks.
+    pub no_delta_propagation: bool,
 }
 
 /// Raw distance sums over every `(u, v, departure step)` triple with a finite
@@ -164,6 +232,13 @@ pub struct DpStats {
     pub trips: u64,
     /// Total edge traversals processed (`M`, doubled for undirected).
     pub traversals: u64,
+    /// Chain offers actually emitted (after delta filtering; excludes the
+    /// per-traversal single-hop offer). The delta bench reports this next
+    /// to wall time: it is the work the watermark filters eliminate.
+    pub chain_offers: u64,
+    /// Snapshot entries appended across all steps (after snapshot-side
+    /// delta filtering).
+    pub snap_entries: u64,
     /// Distance sums, if requested.
     pub distances: Option<DistanceSums>,
 }
@@ -184,13 +259,18 @@ struct Cell {
     stamp: u32,
 }
 
-/// One snapshotted frontier entry of a continuation row.
+/// One snapshotted frontier entry of a continuation row. `set_at` is the
+/// pre-step install step of the value — consumers with a live delta
+/// watermark `L` skip entries with `set_at > L` (unchanged since they last
+/// consumed the row; module docs). 16 bytes keeps the flat snapshot buffer
+/// quarter-cache-line aligned.
 #[repr(C)]
 #[derive(Clone, Copy, Debug)]
 struct Snap {
     col: u32,
     ea: u32,
     hops: u32,
+    set_at: u32,
 }
 
 /// Reusable per-worker engine state; see the module docs for the epoch and
@@ -216,12 +296,46 @@ pub struct EngineArena {
     snap: Vec<Snap>,
     /// Per snapshot slot: `(start, len)` into `snap`.
     slot_bounds: Vec<(u32, u32)>,
+    /// Per snapshot slot: the most permissive delta watermark among the
+    /// step's consumers of the row (`0` = no consumer, `NEVER` = some
+    /// consumer needs everything). Snapshots are filtered to entries with
+    /// `set_at <= slot_maxlast[slot]`.
+    slot_maxlast: Vec<u32>,
     /// node -> snapshot slot (`NEVER` = none), plus the slotted-node list.
     slot_of: Vec<u32>,
     slotted: Vec<u32>,
     /// `(cell index, pre-step ea)` of cells first touched in the current
-    /// step.
+    /// step — the pre-delta dirty set, used only under
+    /// [`DpOptions::no_delta_propagation`] (it needs an `O(n log n)`
+    /// per-step sort to report trips in canonical order).
     dirty: Vec<(usize, u32)>,
+    /// The delta path's dirty-column set: one `words_per_row` bitmap tile
+    /// per snapshot slot, bit set iff the cell changed this step. Iterating
+    /// set bits (slots in ascending node order) reproduces the canonical
+    /// ascending `(row, col)` report order with no sort at all.
+    dirty_bits: Vec<u64>,
+    /// Same geometry: bit set iff the cell's `ea` strictly improved this
+    /// step — exactly the minimal-trip condition, so trip reporting is a
+    /// walk of these bits.
+    ea_bits: Vec<u64>,
+    /// Reporting scratch: the step's `(node, slot)` pairs, sorted ascending
+    /// by node before the report walk.
+    report_order: Vec<(u32, u32)>,
+    /// Per row: step of the row's most recent cell change (live iff
+    /// `row_changed_stamp` matches the epoch; dead = never changed this
+    /// run). Equals the minimum `set_at` over the row's live cells, so a
+    /// consumer watermark `L < row_changed_at[row]` proves the whole row
+    /// unchanged since that consumer's last visit.
+    row_changed_at: Vec<u32>,
+    row_changed_stamp: Vec<u32>,
+    /// Delta watermarks, indexed `2 * pair_id + direction` over the
+    /// timeline's distinct edge pairs: the step at which that (edge,
+    /// direction) last consumed its continuation row (live iff `wm_stamp`
+    /// matches the epoch; dead = never fired this run). Sized for the
+    /// largest timeline seen; stale stamps from other timelines/scales are
+    /// dead by the epoch invariant, exactly like cells.
+    wm: Vec<u32>,
+    wm_stamp: Vec<u32>,
 }
 
 impl EngineArena {
@@ -241,19 +355,28 @@ impl EngineArena {
     /// full tiles and the remainder tile, and must not reallocate per item.
     fn prepare(&mut self, nrows: usize, ncols: usize) {
         let n_cells = nrows.checked_mul(ncols).expect("state table size overflow");
+        let mut epoch_restarted = false;
         if n_cells > self.cells.len() {
             // grow: fresh allocation; ea/hops/set_at are garbage until
             // stamped, only `stamp` needs real init
             self.cells =
                 vec![Cell { ea: NONE_EA, hops: 0, set_at: NEVER, stamp: 0 }; n_cells];
             self.epoch = 1;
+            epoch_restarted = true;
         } else if self.epoch == u32::MAX {
             for cell in &mut self.cells {
                 cell.stamp = 0;
             }
             self.epoch = 1;
+            epoch_restarted = true;
         } else {
             self.epoch += 1;
+        }
+        if epoch_restarted {
+            // every stamped side table restarts with the epoch counter, or
+            // stale entries from before the restart would read as live
+            self.wm_stamp.fill(0);
+            self.row_changed_stamp.fill(0);
         }
         if self.nrows != nrows || self.ncols != ncols {
             self.words_per_row = ncols.div_ceil(64);
@@ -264,15 +387,25 @@ impl EngineArena {
             if nrows > self.slot_of.len() {
                 self.slot_of.resize(nrows, NEVER);
             }
+            if nrows > self.row_changed_stamp.len() {
+                self.row_changed_at.resize(nrows, 0);
+                self.row_changed_stamp.resize(nrows, 0);
+            }
             self.nrows = nrows;
             self.ncols = ncols;
         }
         self.frontier[..nrows * self.words_per_row].fill(0);
         self.slotted.clear();
         self.slot_bounds.clear();
+        self.slot_maxlast.clear();
         self.snap.clear();
         self.dirty.clear();
-        // normally all NEVER already (step 4 of run releases slots), but a
+        // normally already zero (the report walk clears the words it
+        // visits), but a sink panic can abandon a run mid-step
+        self.dirty_bits.fill(0);
+        self.ea_bits.fill(0);
+        self.report_order.clear();
+        // normally all NEVER already (step 5 of run releases slots), but a
         // sink panic caught by the caller can abandon a run mid-step and
         // leave stale slot indices behind; O(nrows) is noise next to the
         // table itself
@@ -298,14 +431,56 @@ impl EngineArena {
             words_per_row,
             snap,
             slot_bounds,
+            slot_maxlast,
             slot_of,
             slotted,
             dirty,
+            dirty_bits,
+            ea_bits,
+            report_order,
+            row_changed_at,
+            row_changed_stamp,
+            wm,
+            wm_stamp,
         } = self;
         let (nrows, ncols, epoch, words_per_row) = (*nrows, *ncols, *epoch, *words_per_row);
         let undirected = !timeline.is_directed();
         let collect = options.collect_distances;
         let degree1 = !options.no_degree1_fast_path;
+        let delta = !options.no_delta_propagation;
+        // Watermark storage: two slots (one per direction) for each distinct
+        // edge pair of this timeline. Capacity is kept across runs; entries
+        // stamped by earlier runs — including runs over other timelines,
+        // whose pair ids mean something else — are dead by the epoch check.
+        let wm_len = timeline.distinct_pairs() as usize * 2;
+        if wm.len() < wm_len {
+            wm.resize(wm_len, 0);
+            wm_stamp.resize(wm_len, 0);
+        }
+
+        /// The delta watermark of one (edge, direction): the step at which
+        /// it last consumed its continuation row, or `NEVER` when it has not
+        /// fired this run (or delta propagation is off) — `NEVER` passes
+        /// every `set_at <= last` filter, i.e. "offer everything".
+        #[inline(always)]
+        fn wm_last(wm: &[u32], wm_stamp: &[u32], epoch: u32, idx: usize, delta: bool) -> u32 {
+            if delta && wm_stamp[idx] == epoch {
+                wm[idx]
+            } else {
+                NEVER
+            }
+        }
+
+        /// The step of `row`'s most recent change, or `NEVER` when the row
+        /// has not changed this run (its frontier is then empty anyway).
+        #[inline(always)]
+        fn row_mark(at: &[u32], stamp: &[u32], epoch: u32, row: usize) -> u32 {
+            if stamp[row] == epoch {
+                at[row]
+            } else {
+                NEVER
+            }
+        }
         // Tile-local column of node `v`, if `v` is a destination inside
         // `[col_start, col_start + ncols)` — one array read plus a wrapping
         // range compare on the hot path.
@@ -321,10 +496,20 @@ impl EngineArena {
         let mut sums = DistanceSums::default();
         let mut trips = 0u64;
         let mut traversals = 0u64;
+        let mut chain_offers = 0u64;
+        let mut snap_entries = 0u64;
 
         /// The DP update for one candidate `(arrival, hops)` at cell `idx`
         /// (= row `row_node` × column `col`) during step `k`. A free fn over
         /// the split-out arena parts so callers can keep disjoint borrows.
+        ///
+        /// Change tracking is dual-mode (`delta`): the delta path records
+        /// changes in the caller's per-slot bitmaps at `bit_base`
+        /// (idempotent ORs; `ea_bits` additionally marks strict `ea`
+        /// improvements — the minimal-trip condition), the pre-delta path
+        /// pushes `(idx, pre-step ea)` onto the sorted-later `dirty` vec.
+        /// `delta` is constant within a run, so the branches predict
+        /// perfectly.
         #[allow(clippy::too_many_arguments)] // hot inner call; a params struct costs moves
         #[inline(always)]
         fn offer(
@@ -332,6 +517,10 @@ impl EngineArena {
             frontier: &mut [u64],
             words_per_row: usize,
             dirty: &mut Vec<(usize, u32)>,
+            dirty_bits: &mut [u64],
+            ea_bits: &mut [u64],
+            delta: bool,
+            bit_base: usize,
             epoch: u32,
             idx: usize,
             row_node: u32,
@@ -352,25 +541,40 @@ impl EngineArena {
                     cell.set_at = k;
                     frontier[row_node as usize * words_per_row + (col as usize >> 6)] |=
                         1u64 << (col & 63);
-                    dirty.push((idx, NONE_EA));
+                    if !delta {
+                        dirty.push((idx, NONE_EA));
+                    }
                 } else if cell.set_at != k {
                     if collect {
                         flush_distances(cell, k, sums);
                     }
-                    dirty.push((idx, cur));
+                    if !delta {
+                        dirty.push((idx, cur));
+                    }
                     cell.set_at = k;
                 }
                 cell.ea = arr;
                 cell.hops = h;
+                if delta {
+                    let w = bit_base + (col as usize >> 6);
+                    let bit = 1u64 << (col & 63);
+                    dirty_bits[w] |= bit;
+                    ea_bits[w] |= bit;
+                }
             } else if arr == cur && arr != NONE_EA && h < cell.hops {
                 if cell.set_at != k {
                     if collect {
                         flush_distances(cell, k, sums);
                     }
-                    dirty.push((idx, cur));
+                    if !delta {
+                        dirty.push((idx, cur));
+                    }
                     cell.set_at = k;
                 }
                 cell.hops = h;
+                if delta {
+                    dirty_bits[bit_base + (col as usize >> 6)] |= 1u64 << (col & 63);
+                }
             }
         }
 
@@ -402,13 +606,46 @@ impl EngineArena {
                 // undirected reverse direction, row `eu`'s frontier is
                 // snapshotted (one flat append) *before* the forward
                 // direction dirties it — the strict inequality of Remark 1,
-                // with half the snapshot writes and zero bookkeeping. The
-                // offer sequence matches the general path exactly, so trips,
-                // distances, and dirty order are bit-identical.
+                // with half the snapshot writes and zero bookkeeping.
+                // Delta propagation applies per direction: a continuation
+                // row unchanged since the direction's last visit is skipped
+                // outright (for the reverse direction that skips building
+                // the snapshot at all — the tail's dominant cost), and a
+                // changed row only offers the entries installed since.
                 let (eu, ew) = (step.src[0], step.dst[0]);
                 debug_assert_ne!(eu, ew, "streams never carry self-loops");
                 debug_assert!(snap.is_empty() && slotted.is_empty());
-                if undirected {
+                if delta {
+                    // fixed dirty-bitmap slots: row eu -> 0, row ew -> 1
+                    let need = 2 * words_per_row;
+                    if dirty_bits.len() < need {
+                        dirty_bits.resize(need, 0);
+                        ea_bits.resize(need, 0);
+                    }
+                    report_order.push((eu, 0));
+                    if undirected {
+                        report_order.push((ew, 1));
+                    }
+                }
+                let wi_fwd = step.pair[0] as usize * 2;
+                let last_fwd = wm_last(wm, wm_stamp, epoch, wi_fwd, delta);
+                let last_rev = if undirected {
+                    wm_last(wm, wm_stamp, epoch, wi_fwd + 1, delta)
+                } else {
+                    0
+                };
+                if delta {
+                    wm[wi_fwd] = k;
+                    wm_stamp[wi_fwd] = epoch;
+                    if undirected {
+                        wm[wi_fwd + 1] = k;
+                        wm_stamp[wi_fwd + 1] = epoch;
+                    }
+                }
+                if undirected
+                    && row_mark(row_changed_at, row_changed_stamp, epoch, eu as usize)
+                        <= last_rev
+                {
                     let row = eu as usize * ncols;
                     let words =
                         &frontier[eu as usize * words_per_row..][..words_per_row];
@@ -418,7 +655,14 @@ impl EngineArena {
                             let c = (wi as u32) * 64 + bits.trailing_zeros();
                             bits &= bits - 1;
                             let cell = &cells[row + c as usize];
-                            snap.push(Snap { col: c, ea: cell.ea, hops: cell.hops });
+                            if cell.set_at <= last_rev {
+                                snap.push(Snap {
+                                    col: c,
+                                    ea: cell.ea,
+                                    hops: cell.hops,
+                                    set_at: cell.set_at,
+                                });
+                            }
                         }
                     }
                 }
@@ -428,42 +672,55 @@ impl EngineArena {
                     let row = eu as usize * ncols;
                     if let Some(c) = local_col(ew) {
                         offer(
-                            cells, frontier, words_per_row, dirty, epoch,
-                            row + c as usize, eu, c, k, k, 1, collect, &mut sums,
+                            cells, frontier, words_per_row, dirty, dirty_bits,
+                            ea_bits, delta, 0, epoch, row + c as usize, eu, c, k,
+                            k, 1, collect, &mut sums,
                         );
                     }
-                    let diag = local_col(eu).unwrap_or(u32::MAX);
-                    let row_w = ew as usize * ncols;
-                    let fw = ew as usize * words_per_row;
-                    for wi in 0..words_per_row {
-                        // copy the word: offers touch row eu's words only,
-                        // never row ew's, so each copy is the pre-step value
-                        let mut bits = frontier[fw + wi];
-                        while bits != 0 {
-                            let c = (wi as u32) * 64 + bits.trailing_zeros();
-                            bits &= bits - 1;
-                            if c == diag {
-                                continue;
+                    if row_mark(row_changed_at, row_changed_stamp, epoch, ew as usize)
+                        <= last_fwd
+                    {
+                        let diag = local_col(eu).unwrap_or(u32::MAX);
+                        let row_w = ew as usize * ncols;
+                        let fw = ew as usize * words_per_row;
+                        for wi in 0..words_per_row {
+                            // copy the word: offers touch row eu's words
+                            // only, never row ew's, so each copy is the
+                            // pre-step value
+                            let mut bits = frontier[fw + wi];
+                            while bits != 0 {
+                                let c = (wi as u32) * 64 + bits.trailing_zeros();
+                                bits &= bits - 1;
+                                if c == diag {
+                                    continue;
+                                }
+                                let (s_ea, s_hops, s_set_at) = {
+                                    let cell = &cells[row_w + c as usize];
+                                    (cell.ea, cell.hops, cell.set_at)
+                                };
+                                if s_set_at > last_fwd {
+                                    continue;
+                                }
+                                chain_offers += 1;
+                                offer(
+                                    cells, frontier, words_per_row, dirty,
+                                    dirty_bits, ea_bits, delta, 0, epoch,
+                                    row + c as usize, eu, c, k, s_ea, s_hops + 1,
+                                    collect, &mut sums,
+                                );
                             }
-                            let (s_ea, s_hops) = {
-                                let cell = &cells[row_w + c as usize];
-                                (cell.ea, cell.hops)
-                            };
-                            offer(
-                                cells, frontier, words_per_row, dirty, epoch,
-                                row + c as usize, eu, c, k, s_ea, s_hops + 1,
-                                collect, &mut sums,
-                            );
                         }
                     }
                 }
-                // reverse direction ew -> eu: chains over the snapshot
+                // reverse direction ew -> eu: chains over the (already
+                // delta-filtered) snapshot
                 if undirected {
                     traversals += 1;
                     let row = ew as usize * ncols;
                     if let Some(c) = local_col(eu) {
                         offer(
-                            cells, frontier, words_per_row, dirty, epoch,
+                            cells, frontier, words_per_row, dirty, dirty_bits,
+                            ea_bits, delta, words_per_row, epoch,
                             row + c as usize, ew, c, k, k, 1, collect, &mut sums,
                         );
                     }
@@ -472,27 +729,70 @@ impl EngineArena {
                         if s.col == diag {
                             continue;
                         }
+                        chain_offers += 1;
                         offer(
-                            cells, frontier, words_per_row, dirty, epoch,
+                            cells, frontier, words_per_row, dirty, dirty_bits,
+                            ea_bits, delta, words_per_row, epoch,
                             row + s.col as usize, ew, s.col, k, s.ea, s.hops + 1,
                             collect, &mut sums,
                         );
                     }
                 }
             } else {
-            // 1. Snapshot the pre-step frontier of every row that can be
-            //    read as a continuation. Reads go through edge heads, but in
-            //    a directed timeline a tail `u` can be the head of another
-            //    edge of the same step, so both endpoints are snapshotted
-            //    uniformly — only pre-step values are ever read, which is
-            //    exactly the strict inequality of Remark 1.
+            // 1. Assign snapshot slots to every endpoint of the step. Reads
+            //    go through edge heads, but in a directed timeline a tail
+            //    `u` can be the head of another edge of the same step, so
+            //    both endpoints are slotted uniformly.
             debug_assert!(slotted.is_empty());
             for &node in step.src.iter().chain(step.dst.iter()) {
                 if slot_of[node as usize] == NEVER {
                     let slot = slotted.len() as u32;
                     slot_of[node as usize] = slot;
                     slotted.push(node);
-                    let start = snap.len() as u32;
+                    // 0 = "no consumer yet": live watermarks and row marks
+                    // at step k are always >= k + 1 >= 1, so 0 filters
+                    // everything out
+                    slot_maxlast.push(if delta { 0 } else { NEVER });
+                    if delta {
+                        report_order.push((node, slot));
+                    }
+                }
+            }
+            if delta {
+                let need = slotted.len() * words_per_row;
+                if dirty_bits.len() < need {
+                    dirty_bits.resize(need, 0);
+                    ea_bits.resize(need, 0);
+                }
+            }
+            // 1b. (delta) Per slot, the most permissive consumer watermark:
+            //     the snapshot below keeps exactly the entries at least one
+            //     of the step's consuming directions still needs.
+            if delta {
+                for e in 0..step.len() {
+                    let wi = step.pair[e] as usize * 2;
+                    let heads: [(usize, u32); 2] =
+                        [(wi, step.dst[e]), (wi + 1, step.src[e])];
+                    let nheads = if undirected { 2 } else { 1 };
+                    for &(wi, head) in &heads[..nheads] {
+                        let last = wm_last(wm, wm_stamp, epoch, wi, true);
+                        let slot = slot_of[head as usize] as usize;
+                        slot_maxlast[slot] = slot_maxlast[slot].max(last);
+                    }
+                }
+            }
+            // 2. Snapshot the pre-step frontier of every slotted row — only
+            //    pre-step values are ever read, which is exactly the strict
+            //    inequality of Remark 1 — filtered to the entries installed
+            //    since some consumer's last visit. A row whose most recent
+            //    change predates every consumer's watermark skips the scan
+            //    outright (its entries all have `set_at > maxlast`).
+            for (si, &node) in slotted.iter().enumerate() {
+                let start = snap.len() as u32;
+                let maxlast = slot_maxlast[si];
+                if row_mark(row_changed_at, row_changed_stamp, epoch, node as usize)
+                    <= maxlast
+                {
                     let row = node as usize * ncols;
                     let words =
                         &frontier[node as usize * words_per_row..][..words_per_row];
@@ -502,43 +802,68 @@ impl EngineArena {
                             let c = (wi as u32) * 64 + bits.trailing_zeros();
                             bits &= bits - 1;
                             let cell = &cells[row + c as usize];
-                            snap.push(Snap { col: c, ea: cell.ea, hops: cell.hops });
+                            if cell.set_at <= maxlast {
+                                snap.push(Snap {
+                                    col: c,
+                                    ea: cell.ea,
+                                    hops: cell.hops,
+                                    set_at: cell.set_at,
+                                });
+                            }
                         }
                     }
-                    slot_bounds.push((start, snap.len() as u32 - start));
                 }
+                slot_bounds.push((start, snap.len() as u32 - start));
             }
 
-            // 2. Process every traversal of the step against the snapshots.
+            // 3. Process every traversal of the step against the snapshots,
+            //    each direction filtering by its own watermark (the shared
+            //    snapshot was filtered by the *max* over consumers).
             for e in 0..step.len() {
                 let (eu, ew) = (step.src[e], step.dst[e]);
-                let dirs: [(u32, u32); 2] = [(eu, ew), (ew, eu)];
+                let wi = step.pair[e] as usize * 2;
+                let dirs: [(u32, u32, usize); 2] = [(eu, ew, wi), (ew, eu, wi + 1)];
                 let ndirs = if undirected { 2 } else { 1 };
-                for &(u, w) in &dirs[..ndirs] {
+                for &(u, w, wi) in &dirs[..ndirs] {
                     traversals += 1;
                     let row = u as usize * ncols;
-                    // single hop: u -> w at step k
+                    // dirty-bitmap tile of the written row (= row u)
+                    let bit_base = slot_of[u as usize] as usize * words_per_row;
+                    // single hop: u -> w at step k (never delta-filtered —
+                    // its candidate `(k, 1)` is new every step)
                     if let Some(c) = local_col(w) {
                         offer(
-                            cells, frontier, words_per_row, dirty, epoch,
-                            row + c as usize, u, c, k, k, 1, collect, &mut sums,
+                            cells, frontier, words_per_row, dirty, dirty_bits,
+                            ea_bits, delta, bit_base, epoch, row + c as usize,
+                            u, c, k, k, 1, collect, &mut sums,
                         );
                     }
-                    // chain: u -(k)-> w, then w's pre-step frontier
+                    let last = wm_last(wm, wm_stamp, epoch, wi, delta);
+                    if delta {
+                        wm[wi] = k;
+                        wm_stamp[wi] = epoch;
+                    }
+                    // chain: u -(k)-> w, then w's pre-step frontier entries
+                    // changed since this direction last consumed them
                     let slot = slot_of[w as usize] as usize;
                     let (start, len) = slot_bounds[slot];
                     // diagonal column to skip (no u -> u trips); NONE_COL
                     // sentinel can never equal a stored column
                     let diag = local_col(u).unwrap_or(u32::MAX);
                     for s in &snap[start as usize..(start + len) as usize] {
-                        if s.col == diag {
+                        if s.col == diag || s.set_at > last {
                             continue;
                         }
+                        chain_offers += 1;
                         offer(
                             cells,
                             frontier,
                             words_per_row,
                             dirty,
+                            dirty_bits,
+                            ea_bits,
+                            delta,
+                            bit_base,
                             epoch,
                             row + s.col as usize,
                             u,
@@ -554,30 +879,77 @@ impl EngineArena {
             }
             }
 
-            // 3. Report the minimal trips of this step with final values,
+            // 4. Report the minimal trips of this step with final values,
             //    in ascending (row, target-column) order — deterministic
             //    regardless of frontier insertion order. (Equal to (u, v)
             //    order when the TargetSet's columns are node-sorted, which
             //    all built-in constructors guarantee except a caller-ordered
             //    TargetSet::from_nodes.)
-            dirty.sort_unstable_by_key(|&(idx, _)| idx);
-            for &(idx, pre_ea) in dirty.iter() {
-                let cell = &cells[idx];
-                if cell.ea < pre_ea {
-                    let u = (idx / ncols) as u32;
-                    let v = targets.node_of(col_start + (idx % ncols) as u32);
-                    sink.minimal_trip(u, v, k, cell.ea, cell.hops);
-                    trips += 1;
+            if delta {
+                // Walk the per-slot dirty bitmaps with slots in ascending
+                // node order: set bits ascend within a row, so the
+                // canonical order falls out with no per-step sort (the
+                // pre-delta path below pays an O(changes log changes) sort
+                // here — the dominant cost at trip-dense fine scales). An
+                // `ea_bits` bit is set iff the cell's ea strictly improved
+                // this step — exactly the minimal-trip condition — while
+                // `dirty_bits` (any change, hops ties included) feeds the
+                // per-row change marks the delta filters read.
+                report_order.sort_unstable();
+                for &(node, slot) in report_order.iter() {
+                    let base = slot as usize * words_per_row;
+                    let row = node as usize * ncols;
+                    let mut row_changed = false;
+                    for (wi, dirty_word) in
+                        dirty_bits[base..base + words_per_row].iter_mut().enumerate()
+                    {
+                        if *dirty_word == 0 {
+                            continue;
+                        }
+                        *dirty_word = 0;
+                        row_changed = true;
+                        let ea_word = &mut ea_bits[base + wi];
+                        let mut bits = *ea_word;
+                        *ea_word = 0;
+                        while bits != 0 {
+                            let c = (wi as u32) * 64 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            let cell = &cells[row + c as usize];
+                            let v = targets.node_of(col_start + c);
+                            sink.minimal_trip(node, v, k, cell.ea, cell.hops);
+                            trips += 1;
+                        }
+                    }
+                    if row_changed {
+                        row_changed_at[node as usize] = k;
+                        row_changed_stamp[node as usize] = epoch;
+                    }
                 }
+                report_order.clear();
+            } else {
+                // pre-delta path: sort the flat dirty list into canonical
+                // order, report strict ea improvements vs the pre-step value
+                dirty.sort_unstable_by_key(|&(idx, _)| idx);
+                for &(idx, pre_ea) in dirty.iter() {
+                    let cell = &cells[idx];
+                    if cell.ea < pre_ea {
+                        let u = (idx / ncols) as u32;
+                        let v = targets.node_of(col_start + (idx % ncols) as u32);
+                        sink.minimal_trip(u, v, k, cell.ea, cell.hops);
+                        trips += 1;
+                    }
+                }
+                dirty.clear();
             }
-            dirty.clear();
 
-            // 4. Release snapshot slots and buffers (capacity kept).
+            // 5. Release snapshot slots and buffers (capacity kept).
+            snap_entries += snap.len() as u64;
             for &node in slotted.iter() {
                 slot_of[node as usize] = NEVER;
             }
             slotted.clear();
             slot_bounds.clear();
+            slot_maxlast.clear();
             snap.clear();
         }
 
@@ -608,7 +980,7 @@ impl EngineArena {
             None
         };
 
-        DpStats { trips, traversals, distances }
+        DpStats { trips, traversals, chain_offers, snap_entries, distances }
     }
 }
 
@@ -781,6 +1153,8 @@ pub mod baseline {
             let ncols = self.ncols;
             let mut trips = 0u64;
             let mut traversals = 0u64;
+            let mut chain_offers = 0u64;
+            let mut snap_entries = 0u64;
 
             for step in timeline.steps_desc() {
                 let k = step.index;
@@ -800,6 +1174,7 @@ pub mod baseline {
                             .copy_from_slice(&self.ea[src..src + ncols]);
                         self.scratch_hops[slot * ncols..need]
                             .copy_from_slice(&self.hops[src..src + ncols]);
+                        snap_entries += ncols as u64;
                     }
                 }
 
@@ -824,6 +1199,7 @@ pub mod baseline {
                             if su_col == Some(c as u32) {
                                 continue;
                             }
+                            chain_offers += 1;
                             let h = 1 + self.scratch_hops[base + c];
                             self.offer(row + c, k, a, h);
                         }
@@ -866,7 +1242,7 @@ pub mod baseline {
                 None
             };
 
-            DpStats { trips, traversals, distances }
+            DpStats { trips, traversals, chain_offers, snap_entries, distances }
         }
     }
 }
@@ -1195,6 +1571,7 @@ mod tests {
                     DpOptions {
                         collect_distances: true,
                         no_degree1_fast_path: true,
+                        ..Default::default()
                     },
                 );
                 assert_eq!(fast.0, general.0, "{directedness:?} k={k}");
@@ -1204,6 +1581,97 @@ mod tests {
                 assert_eq!(fd.sum_dtime_steps, gd.sum_dtime_steps, "{directedness:?} k={k}");
                 assert_eq!(fd.sum_dhops, gd.sum_dhops, "{directedness:?} k={k}");
                 assert_eq!(fd.finite_triples, gd.finite_triples, "{directedness:?} k={k}");
+            }
+        }
+    }
+
+    /// Delta propagation must be invisible: identical trip streams (order
+    /// included), stats, and distance sums with the watermark filters on
+    /// and off, across directednesses, scales, and one arena reused for
+    /// all runs (watermark state from earlier scales must stay dead).
+    #[test]
+    fn delta_propagation_is_invisible() {
+        let text = "a b 0\nb c 7\nc d 13\nd a 20\na c 27\nb d 33\nc e 41\ne a 47\n\
+                    a b 50\nb c 57\nc d 63\nd a 70\n";
+        let mut arena = EngineArena::new();
+        for directedness in [Directedness::Undirected, Directedness::Directed] {
+            let s = saturn_linkstream::io::read_str(text, directedness).unwrap();
+            for &k in &[1u64, 2, 5, 13, 29, 70] {
+                let t = Timeline::aggregated(&s, k);
+                let mut on = Collect::default();
+                let on_stats = earliest_arrival_dp_in(
+                    &mut arena,
+                    &t,
+                    &TargetSet::all(5),
+                    &mut on,
+                    DpOptions { collect_distances: true, ..Default::default() },
+                );
+                let mut off = Collect::default();
+                let off_stats = earliest_arrival_dp_in(
+                    &mut arena,
+                    &t,
+                    &TargetSet::all(5),
+                    &mut off,
+                    DpOptions {
+                        collect_distances: true,
+                        no_delta_propagation: true,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(on.0, off.0, "{directedness:?} k={k}");
+                assert_eq!(on_stats.trips, off_stats.trips, "{directedness:?} k={k}");
+                assert_eq!(
+                    on_stats.traversals, off_stats.traversals,
+                    "{directedness:?} k={k}"
+                );
+                let (od, fd) =
+                    (on_stats.distances.unwrap(), off_stats.distances.unwrap());
+                assert_eq!(od.sum_dtime_steps, fd.sum_dtime_steps, "{directedness:?} k={k}");
+                assert_eq!(od.sum_dhops, fd.sum_dhops, "{directedness:?} k={k}");
+                assert_eq!(od.finite_triples, fd.finite_triples, "{directedness:?} k={k}");
+            }
+        }
+    }
+
+    /// Delta filtering composes with tiling: every tile cover with delta on
+    /// merges to the delta-off untiled run.
+    #[test]
+    fn delta_propagation_composes_with_tiles() {
+        let s = saturn_linkstream::io::read_str(
+            "a b 0\nc d 3\nb c 7\nd e 9\na e 14\nb d 18\nc e 21\na c 25\nb c 31\nd e 37\n",
+            Directedness::Undirected,
+        )
+        .unwrap();
+        let targets = TargetSet::all(5);
+        let mut arena = EngineArena::new();
+        for &k in &[3u64, 9, 37] {
+            let t = Timeline::aggregated(&s, k);
+            let mut full_sink = Collect::default();
+            earliest_arrival_dp(
+                &t,
+                &targets,
+                &mut full_sink,
+                DpOptions { no_delta_propagation: true, ..Default::default() },
+            );
+            let mut full_trips = full_sink.0;
+            full_trips.sort_unstable();
+            for tile in [1usize, 2, 5] {
+                let mut trips = Vec::new();
+                for (start, len) in targets.tile_ranges(tile) {
+                    let mut sink = Collect::default();
+                    earliest_arrival_dp_tile_in(
+                        &mut arena,
+                        &t,
+                        &targets,
+                        start,
+                        len as usize,
+                        &mut sink,
+                        DpOptions::default(),
+                    );
+                    trips.extend(sink.0);
+                }
+                trips.sort_unstable();
+                assert_eq!(trips, full_trips, "k={k} tile={tile}");
             }
         }
     }

@@ -161,6 +161,28 @@ pub fn occupancy_histogram_tile_in(
     col_start: u32,
     col_len: usize,
 ) -> OccupancyHistogram {
+    occupancy_histogram_tile_opts_in(
+        arena,
+        timeline,
+        targets,
+        col_start,
+        col_len,
+        DpOptions::default(),
+    )
+}
+
+/// [`occupancy_histogram_tile_in`] with explicit engine options — the sweep
+/// scheduler's entry point, used to thread execution knobs that do not
+/// change results (e.g. [`DpOptions::no_delta_propagation`] for the delta
+/// ablation) through the tiled path.
+pub fn occupancy_histogram_tile_opts_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    col_start: u32,
+    col_len: usize,
+    options: DpOptions,
+) -> OccupancyHistogram {
     let mut sink = HistogramSink(OccupancyHistogram::new());
     earliest_arrival_dp_tile_in(
         arena,
@@ -169,7 +191,7 @@ pub fn occupancy_histogram_tile_in(
         col_start,
         col_len,
         &mut sink,
-        DpOptions::default(),
+        options,
     );
     sink.0
 }

@@ -42,6 +42,12 @@ pub struct StepView<'a> {
     pub src: &'a [u32],
     /// Destination endpoints, parallel to `src`.
     pub dst: &'a [u32],
+    /// Stable pair id of each edge, parallel to `src`: every distinct
+    /// `(src, dst)` pair of the timeline gets one id in
+    /// `0..`[`Timeline::distinct_pairs`], identical across all the steps in
+    /// which the pair recurs. The delta-propagation engine keys its
+    /// per-(edge, direction) watermarks on these.
+    pub pair: &'a [u32],
 }
 
 impl<'a> StepView<'a> {
@@ -141,6 +147,11 @@ pub struct Timeline {
     edge_src: Vec<u32>,
     /// Edge destinations, parallel to `edge_src`.
     edge_dst: Vec<u32>,
+    /// Stable pair id of each edge, parallel to `edge_src` (see
+    /// [`StepView::pair`]).
+    edge_pair: Vec<u32>,
+    /// Number of distinct `(src, dst)` pairs across all steps.
+    distinct_pairs: u32,
     /// For exact timelines: tick of each step index (ascending). Empty for
     /// aggregated timelines.
     ticks: Vec<i64>,
@@ -179,23 +190,33 @@ impl Timeline {
 
         // 1. One pass over the pair-sorted view: map each event to its
         //    window and drop same-pair-same-window repeats (within a pair,
-        //    ticks ascend, so repeats are adjacent).
+        //    ticks ascend, so repeats are adjacent). The same sort order
+        //    makes all occurrences of one pair adjacent, so stable pair ids
+        //    are assigned here by neighbor comparison — no hashing.
         let len = view.len();
         let mut win: Vec<u32> = Vec::with_capacity(len);
         let mut src: Vec<u32> = Vec::with_capacity(len);
         let mut dst: Vec<u32> = Vec::with_capacity(len);
+        let mut pair: Vec<u32> = Vec::with_capacity(len);
+        let mut next_pair = 0u32;
         for i in 0..len {
             let w = partition.index(saturn_linkstream::Time::new(view.ticks[i])) as u32;
             if let Some(last) = win.last() {
                 let j = src.len() - 1;
-                if *last == w && src[j] == view.src[i] && dst[j] == view.dst[i] {
+                let same_pair = src[j] == view.src[i] && dst[j] == view.dst[i];
+                if *last == w && same_pair {
                     continue;
+                }
+                if !same_pair {
+                    next_pair += 1;
                 }
             }
             win.push(w);
             src.push(view.src[i]);
             dst.push(view.dst[i]);
+            pair.push(next_pair);
         }
+        let distinct_pairs = if pair.is_empty() { 0 } else { next_pair + 1 };
 
         // 2. Stable LSD radix scatter by window. Stability preserves the
         //    pair-sorted order within each window, so every step's edges end
@@ -203,7 +224,7 @@ impl Timeline {
         //    used to produce. (The u32 bound is guaranteed by EventView::new,
         //    asserted here too since the radix offsets are u32 arithmetic.)
         assert!(src.len() < u32::MAX as usize, "edge count exceeds engine limit");
-        let (win, src, dst) = radix_by_window(win, src, dst, k as u32);
+        let (win, src, dst, pair) = radix_by_window(win, src, dst, pair, k as u32);
 
         // 3. Fold runs of equal windows into the CSR arrays.
         let mut step_index = Vec::new();
@@ -228,6 +249,8 @@ impl Timeline {
             step_offsets,
             edge_src: src,
             edge_dst: dst,
+            edge_pair: pair,
+            distinct_pairs,
             ticks: Vec::new(),
         }
     }
@@ -249,6 +272,12 @@ impl Timeline {
         let mut step_offsets = vec![0u32];
         let mut edge_src = Vec::new();
         let mut edge_dst = Vec::new();
+        let mut edge_pair = Vec::new();
+        // events are (t, u, v)-sorted, so one pair's occurrences are NOT
+        // adjacent here (unlike the aggregated path) — a build-time hash
+        // assigns the stable pair ids
+        let mut pair_ids: rustc_hash::FxHashMap<(u32, u32), u32> =
+            rustc_hash::FxHashMap::default();
         for (t, links) in stream.timestamp_groups() {
             let index = ticks.len() as u32;
             assert!(index < u32::MAX, "too many distinct timestamps");
@@ -265,6 +294,8 @@ impl Timeline {
                         continue;
                     }
                 }
+                let next = pair_ids.len() as u32;
+                edge_pair.push(*pair_ids.entry((u, v)).or_insert(next));
                 edge_src.push(u);
                 edge_dst.push(v);
             }
@@ -279,6 +310,8 @@ impl Timeline {
             step_offsets,
             edge_src,
             edge_dst,
+            edge_pair,
+            distinct_pairs: pair_ids.len() as u32,
             ticks,
         }
     }
@@ -312,6 +345,7 @@ impl Timeline {
             index: self.step_index[i],
             src: &self.edge_src[lo..hi],
             dst: &self.edge_dst[lo..hi],
+            pair: &self.edge_pair[lo..hi],
         }
     }
 
@@ -331,6 +365,13 @@ impl Timeline {
         self.edge_src.len()
     }
 
+    /// Number of distinct `(src, dst)` pairs across all steps — the id
+    /// space of [`StepView::pair`]. The DP engine sizes its per-(edge,
+    /// direction) delta watermarks as `2 × distinct_pairs`.
+    pub fn distinct_pairs(&self) -> u32 {
+        self.distinct_pairs
+    }
+
     /// For exact timelines, the tick of step `index`; for aggregated
     /// timelines, `None`.
     pub fn tick_of(&self, index: u32) -> Option<i64> {
@@ -343,24 +384,25 @@ impl Timeline {
     }
 }
 
-/// Stable counting-sort of the `(win, src, dst)` triples by `win`: one pass
-/// when every window index fits 16 bits, else a classic two-pass LSD radix
-/// (low 16 bits, then high bits). Returns the reordered arrays.
+/// Stable counting-sort of the `(win, src, dst, pair)` quads by `win`: one
+/// pass when every window index fits 16 bits, else a classic two-pass LSD
+/// radix (low 16 bits, then high bits). Returns the reordered arrays.
 fn radix_by_window(
     win: Vec<u32>,
     src: Vec<u32>,
     dst: Vec<u32>,
+    pair: Vec<u32>,
     k: u32,
-) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
     if win.is_empty() {
-        return (win, src, dst);
+        return (win, src, dst, pair);
     }
     if (k as usize) <= RADIX_SIZE {
         let mut counts = vec![0u32; k.max(1) as usize];
-        radix_pass((win, src, dst), &mut counts, |w| w as usize)
+        radix_pass((win, src, dst, pair), &mut counts, |w| w as usize)
     } else {
         let mut lo_counts = vec![0u32; RADIX_SIZE];
-        let cur = radix_pass((win, src, dst), &mut lo_counts, |w| {
+        let cur = radix_pass((win, src, dst, pair), &mut lo_counts, |w| {
             (w as usize) & (RADIX_SIZE - 1)
         });
         let mut hi_counts = vec![0u32; (((k - 1) as usize) >> RADIX_BITS) + 1];
@@ -369,10 +411,10 @@ fn radix_by_window(
 }
 
 fn radix_pass(
-    (win, src, dst): (Vec<u32>, Vec<u32>, Vec<u32>),
+    (win, src, dst, pair): (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>),
     counts: &mut [u32],
     bucket: impl Fn(u32) -> usize,
-) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
     for &w in &win {
         counts[bucket(w)] += 1;
     }
@@ -386,6 +428,7 @@ fn radix_pass(
     let mut out_win = vec![0u32; len];
     let mut out_src = vec![0u32; len];
     let mut out_dst = vec![0u32; len];
+    let mut out_pair = vec![0u32; len];
     for i in 0..len {
         let b = bucket(win[i]);
         let pos = counts[b] as usize;
@@ -393,8 +436,9 @@ fn radix_pass(
         out_win[pos] = win[i];
         out_src[pos] = src[i];
         out_dst[pos] = dst[i];
+        out_pair[pos] = pair[i];
     }
-    (out_win, out_src, out_dst)
+    (out_win, out_src, out_dst, out_pair)
 }
 
 #[cfg(test)]
@@ -495,6 +539,34 @@ mod tests {
                 let edges: Vec<(u32, u32)> = step.edges().collect();
                 assert!(edges.windows(2).all(|w| w[0] < w[1]), "k={k} step={}", step.index);
             }
+        }
+    }
+
+    /// Pair ids are a bijection with the distinct `(src, dst)` pairs: the
+    /// same pair carries the same id in every step it recurs in, different
+    /// pairs never share an id, and ids cover `0..distinct_pairs` — on both
+    /// the aggregated and the exact construction paths.
+    #[test]
+    fn pair_ids_are_stable_across_steps() {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 10);
+        for i in 0..400i64 {
+            b.add_indexed((i * 3 % 10) as u32, (i * 7 % 10) as u32, i % 83);
+        }
+        let s = b.build().unwrap();
+        let timelines =
+            [Timeline::exact(&s), Timeline::aggregated(&s, 5), Timeline::aggregated(&s, 80)];
+        for t in &timelines {
+            let mut id_of = std::collections::HashMap::new();
+            for step in t.steps_asc() {
+                for ((u, v), &p) in step.edges().zip(step.pair.iter()) {
+                    assert!(p < t.distinct_pairs());
+                    assert_eq!(*id_of.entry((u, v)).or_insert(p), p, "pair ({u},{v})");
+                }
+            }
+            assert_eq!(id_of.len(), t.distinct_pairs() as usize);
+            let distinct_ids: std::collections::HashSet<u32> =
+                id_of.values().copied().collect();
+            assert_eq!(distinct_ids.len(), t.distinct_pairs() as usize);
         }
     }
 

@@ -44,8 +44,9 @@ fn arb_stream(directed: bool) -> impl Strategy<Value = saturn_linkstream::LinkSt
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
 
-    /// Frontier engine == baseline engine: identical trip streams (same
-    /// order), traversal counts, and distance sums — undirected.
+    /// Frontier engine (delta propagation on AND off) == baseline engine:
+    /// identical trip streams (same order), traversal counts, and distance
+    /// sums — undirected.
     #[test]
     fn frontier_equals_baseline_undirected(stream in arb_stream(false), k in 1u64..24) {
         let k = if stream.span() == 0 { 1 } else { k };
@@ -53,18 +54,20 @@ proptest! {
         let options = DpOptions { collect_distances: true, ..Default::default() };
         let targets = TargetSet::all(6);
 
-        let mut fast = Collect::default();
-        let fs = earliest_arrival_dp(&timeline, &targets, &mut fast, options);
         let mut slow = Collect::default();
         let bs = baseline::earliest_arrival_dp(&timeline, &targets, &mut slow, options);
-
-        prop_assert_eq!(fast.0, slow.0);
-        prop_assert_eq!(fs.trips, bs.trips);
-        prop_assert_eq!(fs.traversals, bs.traversals);
-        let (fd, bd) = (fs.distances.unwrap(), bs.distances.unwrap());
-        prop_assert_eq!(fd.sum_dtime_steps, bd.sum_dtime_steps);
-        prop_assert_eq!(fd.sum_dhops, bd.sum_dhops);
-        prop_assert_eq!(fd.finite_triples, bd.finite_triples);
+        for no_delta in [false, true] {
+            let options = DpOptions { no_delta_propagation: no_delta, ..options };
+            let mut fast = Collect::default();
+            let fs = earliest_arrival_dp(&timeline, &targets, &mut fast, options);
+            prop_assert_eq!(&fast.0, &slow.0, "no_delta={}", no_delta);
+            prop_assert_eq!(fs.trips, bs.trips);
+            prop_assert_eq!(fs.traversals, bs.traversals);
+            let (fd, bd) = (fs.distances.unwrap(), bs.distances.unwrap());
+            prop_assert_eq!(fd.sum_dtime_steps, bd.sum_dtime_steps);
+            prop_assert_eq!(fd.sum_dhops, bd.sum_dhops);
+            prop_assert_eq!(fd.finite_triples, bd.finite_triples);
+        }
     }
 
     /// Same equivalence for directed streams on the exact timeline.
@@ -74,17 +77,19 @@ proptest! {
         let options = DpOptions { collect_distances: true, ..Default::default() };
         let targets = TargetSet::all(6);
 
-        let mut fast = Collect::default();
-        let fs = earliest_arrival_dp(&timeline, &targets, &mut fast, options);
         let mut slow = Collect::default();
         let bs = baseline::earliest_arrival_dp(&timeline, &targets, &mut slow, options);
-
-        prop_assert_eq!(fast.0, slow.0);
-        prop_assert_eq!(fs.trips, bs.trips);
-        let (fd, bd) = (fs.distances.unwrap(), bs.distances.unwrap());
-        prop_assert_eq!(fd.sum_dtime_steps, bd.sum_dtime_steps);
-        prop_assert_eq!(fd.sum_dhops, bd.sum_dhops);
-        prop_assert_eq!(fd.finite_triples, bd.finite_triples);
+        for no_delta in [false, true] {
+            let options = DpOptions { no_delta_propagation: no_delta, ..options };
+            let mut fast = Collect::default();
+            let fs = earliest_arrival_dp(&timeline, &targets, &mut fast, options);
+            prop_assert_eq!(&fast.0, &slow.0, "no_delta={}", no_delta);
+            prop_assert_eq!(fs.trips, bs.trips);
+            let (fd, bd) = (fs.distances.unwrap(), bs.distances.unwrap());
+            prop_assert_eq!(fd.sum_dtime_steps, bd.sum_dtime_steps);
+            prop_assert_eq!(fd.sum_dhops, bd.sum_dhops);
+            prop_assert_eq!(fd.finite_triples, bd.finite_triples);
+        }
     }
 
     /// Frontier engine == naive earliest-arrival reference: earliest
@@ -124,17 +129,24 @@ proptest! {
 
     /// One arena carried across runs over random streams and scales is
     /// indistinguishable from fresh allocation every run — the epoch
-    /// stamping never leaks state between scales.
+    /// stamping never leaks state between scales. Delta propagation is
+    /// toggled per run, so stale watermarks / row marks / dirty bitmaps
+    /// from a previous scale (whose pair ids mean different edges) must
+    /// stay dead too.
     #[test]
     fn arena_epoch_reuse_never_leaks(
         stream in arb_stream(false),
         ks in proptest::collection::vec(1u64..24, 1..6),
     ) {
         let mut arena = EngineArena::new();
-        for &k in &ks {
+        for (i, &k) in ks.iter().enumerate() {
             let k = if stream.span() == 0 { 1 } else { k };
             let timeline = Timeline::aggregated(&stream, k);
-            let options = DpOptions { collect_distances: true, ..Default::default() };
+            let options = DpOptions {
+                collect_distances: true,
+                no_delta_propagation: i % 2 == 1,
+                ..Default::default()
+            };
 
             let mut reused = Collect::default();
             let rs = earliest_arrival_dp_in(
@@ -174,23 +186,32 @@ proptest! {
 
     /// Target-tiled execution partitions the untiled run exactly: for any
     /// tile size, one arena carried across all tiles yields trips, trip
-    /// counts, and distance sums that merge to the full run's.
+    /// counts, and distance sums that merge to the full run's. The untiled
+    /// reference runs with delta propagation *off* while the tiles run with
+    /// the sampled setting, so the partition property holds across engine
+    /// modes, not just within one.
     #[test]
     fn tiled_runs_merge_to_the_untiled_run(
         stream in arb_stream(false),
         k in 1u64..24,
         tile in 1usize..7,
+        tiles_no_delta in any::<bool>(),
     ) {
         let k = if stream.span() == 0 { 1 } else { k };
         let timeline = Timeline::aggregated(&stream, k);
         let targets = TargetSet::all(6);
-        let options = DpOptions { collect_distances: true, ..Default::default() };
+        let options = DpOptions {
+            collect_distances: true,
+            no_delta_propagation: true,
+            ..Default::default()
+        };
 
         let mut full_sink = Collect::default();
         let full = earliest_arrival_dp(&timeline, &targets, &mut full_sink, options);
         let mut full_trips = full_sink.0;
         full_trips.sort_unstable();
 
+        let tile_options = DpOptions { no_delta_propagation: tiles_no_delta, ..options };
         let mut arena = EngineArena::new();
         let mut trips = Vec::new();
         let mut count = 0u64;
@@ -200,7 +221,8 @@ proptest! {
         for (start, len) in targets.tile_ranges(tile) {
             let mut sink = Collect::default();
             let stats = earliest_arrival_dp_tile_in(
-                &mut arena, &timeline, &targets, start, len as usize, &mut sink, options,
+                &mut arena, &timeline, &targets, start, len as usize, &mut sink,
+                tile_options,
             );
             trips.extend(sink.0);
             count += stats.trips;
@@ -218,10 +240,12 @@ proptest! {
         prop_assert_eq!(triples, fd.finite_triples);
     }
 
-    /// The degree-1 snapshot bypass is invisible on random streams, both
-    /// directednesses: same trip stream (order included), same stats.
+    /// The degree-1 snapshot bypass and delta propagation are invisible in
+    /// every combination on random streams, both directednesses: the full
+    /// 2×2 matrix of {degree-1 on/off} × {delta on/off} yields one trip
+    /// stream (order included) and one set of stats.
     #[test]
-    fn degree1_bypass_is_invisible(
+    fn degree1_and_delta_matrix_is_invisible(
         stream in arb_stream(true),
         k in 1u64..24,
         directed_timeline in any::<bool>(),
@@ -235,21 +259,35 @@ proptest! {
         let options = DpOptions { collect_distances: true, ..Default::default() };
         let targets = TargetSet::all(6);
 
-        let mut with = Collect::default();
-        let ws = earliest_arrival_dp(&timeline, &targets, &mut with, options);
-        let mut without = Collect::default();
-        let os = earliest_arrival_dp(
-            &timeline,
-            &targets,
-            &mut without,
-            DpOptions { no_degree1_fast_path: true, ..options },
-        );
-        prop_assert_eq!(with.0, without.0);
-        prop_assert_eq!(ws.trips, os.trips);
-        prop_assert_eq!(ws.traversals, os.traversals);
-        let (wd, od) = (ws.distances.unwrap(), os.distances.unwrap());
-        prop_assert_eq!(wd.sum_dtime_steps, od.sum_dtime_steps);
-        prop_assert_eq!(wd.sum_dhops, od.sum_dhops);
-        prop_assert_eq!(wd.finite_triples, od.finite_triples);
+        let mut reference = Collect::default();
+        let rs = earliest_arrival_dp(&timeline, &targets, &mut reference, options);
+        for no_degree1 in [false, true] {
+            for no_delta in [false, true] {
+                if !no_degree1 && !no_delta {
+                    continue; // the reference itself
+                }
+                let mut run = Collect::default();
+                let os = earliest_arrival_dp(
+                    &timeline,
+                    &targets,
+                    &mut run,
+                    DpOptions {
+                        no_degree1_fast_path: no_degree1,
+                        no_delta_propagation: no_delta,
+                        ..options
+                    },
+                );
+                prop_assert_eq!(
+                    &run.0, &reference.0,
+                    "no_degree1={} no_delta={}", no_degree1, no_delta
+                );
+                prop_assert_eq!(os.trips, rs.trips);
+                prop_assert_eq!(os.traversals, rs.traversals);
+                let (od, rd) = (os.distances.unwrap(), rs.distances.unwrap());
+                prop_assert_eq!(od.sum_dtime_steps, rd.sum_dtime_steps);
+                prop_assert_eq!(od.sum_dhops, rd.sum_dhops);
+                prop_assert_eq!(od.finite_triples, rd.finite_triples);
+            }
+        }
     }
 }
