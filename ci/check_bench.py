@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_sweep.json: per-section schema validation.
+
+The sweep bench is the repository's perf trajectory record *and* its
+cross-engine correctness oracle: the intra_scale, delta, and timeline
+sections each carry hard checksum comparisons (tiled vs untiled, delta-on
+vs delta-off, merged vs scratch timelines) that must all hold — a
+divergence is a correctness bug in an execution knob that claims to be
+invisible, not benchmark noise. This script fails loudly, naming the
+workload and scale that diverged, if any section is missing, any checksum
+mismatches, or a section's shape degenerates (empty scale lists, zero
+timings).
+
+Usage:
+    python3 ci/check_bench.py --file /tmp/bench_sweep.json
+    python3 ci/check_bench.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+WORKLOADS = ("dense_uniform", "sparse_ring", "sparse_burst")
+
+
+class GateFailure(Exception):
+    """A named, human-actionable gate violation."""
+
+
+def require(condition, message):
+    if not condition:
+        raise GateFailure(message)
+
+
+def section(bench, name):
+    require(name in bench, f"section `{name}` is missing from the bench JSON")
+    return bench[name]
+
+
+def check_workloads(bench):
+    """The per-workload pipeline sections: legacy vs current per scale."""
+    for workload in WORKLOADS:
+        rows = section(bench, workload).get("per_scale")
+        require(rows, f"{workload}: per_scale is missing or empty")
+        for row in rows:
+            k = row.get("k")
+            require(
+                row.get("current_pipeline_seconds", 0) > 0,
+                f"{workload} k={k}: current_pipeline_seconds must be > 0",
+            )
+            require(
+                row.get("legacy_pipeline_seconds", 0) > 0,
+                f"{workload} k={k}: legacy_pipeline_seconds must be > 0",
+            )
+
+
+def check_intra_scale(bench):
+    """Target tiling + degree-1 fast path: checksums and shape."""
+    intra = section(bench, "intra_scale")
+    require(
+        intra.get("checksums_match") is True,
+        "intra_scale: tiled vs untiled checksum mismatch",
+    )
+    require(intra.get("tile_sensitivity"), "intra_scale: no tile sensitivity points")
+    require(
+        intra.get("single_scale_threads"), "intra_scale: no single-scale thread points"
+    )
+    degree1 = intra.get("degree1") or {}
+    require(
+        degree1.get("fast_path_seconds", 0) > 0,
+        "intra_scale.degree1: fast_path_seconds must be > 0",
+    )
+    require(
+        degree1.get("single_edge_steps", 0) > 0,
+        "intra_scale.degree1: no single-edge steps measured",
+    )
+
+
+def check_delta(bench):
+    """Delta propagation ablation: per-workload per-scale checksums."""
+    delta = section(bench, "delta")
+    require(
+        delta.get("checksums_match") is True,
+        "delta: delta-on vs delta-off checksum mismatch",
+    )
+    for workload in WORKLOADS:
+        rows = delta.get(workload)
+        require(rows, f"delta: section has no {workload} scales")
+        for row in rows:
+            k = row.get("k")
+            require(
+                row.get("checksum_match") is True,
+                f"delta: {workload} k={k} checksum diverged",
+            )
+            require(
+                row.get("delta_on_seconds", 0) > 0,
+                f"delta: {workload} k={k} delta_on_seconds must be > 0",
+            )
+
+
+def check_timeline(bench):
+    """Incremental (adjacent-window merge) timeline construction: the
+    merged timeline must be field-for-field identical to the scratch build
+    at every ladder step of every workload."""
+    timeline = section(bench, "timeline")
+    require(
+        timeline.get("checksums_match") is True,
+        "timeline: merged vs scratch checksum mismatch",
+    )
+    for workload in WORKLOADS:
+        rows = timeline.get(workload)
+        require(rows, f"timeline: section has no {workload} ladder")
+        for row in rows:
+            k, from_k = row.get("k"), row.get("from_k")
+            where = f"timeline: {workload} {from_k} -> {k}"
+            require(
+                row.get("checksum_match") is True,
+                f"{where}: merged timeline diverged from scratch build",
+            )
+            require(
+                row.get("scratch_seconds", 0) > 0,
+                f"{where}: scratch_seconds must be > 0",
+            )
+            require(
+                row.get("incremental_seconds", 0) > 0,
+                f"{where}: incremental_seconds must be > 0",
+            )
+            require(
+                from_k and k and from_k % k == 0,
+                f"{where}: ladder scales must be divisor-related",
+            )
+
+
+CHECKS = (check_workloads, check_intra_scale, check_delta, check_timeline)
+
+
+def run_gate(bench):
+    for check in CHECKS:
+        check(bench)
+
+
+def self_test():
+    """The gate must reject every class of violation it exists to catch."""
+    with open("BENCH_sweep.json", encoding="utf-8") as f:
+        good = json.load(f)
+    run_gate(good)  # the committed record must itself pass
+
+    def failing(mutate, expect):
+        bench = json.loads(json.dumps(good))
+        mutate(bench)
+        try:
+            run_gate(bench)
+        except GateFailure as e:
+            assert expect in str(e), f"wrong message: {e!r} (wanted {expect!r})"
+        else:
+            raise AssertionError(f"gate accepted a bench violating: {expect}")
+
+    failing(lambda b: b.pop("timeline"), "`timeline` is missing")
+    failing(lambda b: b.pop("delta"), "`delta` is missing")
+    failing(lambda b: b.pop("intra_scale"), "`intra_scale` is missing")
+    failing(
+        lambda b: b["timeline"].update(checksums_match=False),
+        "merged vs scratch checksum mismatch",
+    )
+    failing(
+        lambda b: b["timeline"]["sparse_ring"][0].update(checksum_match=False),
+        "merged timeline diverged",
+    )
+    failing(
+        lambda b: b["timeline"]["sparse_burst"][0].update(incremental_seconds=0),
+        "incremental_seconds must be > 0",
+    )
+    failing(lambda b: b["timeline"].update(sparse_ring=[]), "no sparse_ring ladder")
+    failing(
+        lambda b: b["delta"]["sparse_ring"][0].update(checksum_match=False),
+        "checksum diverged",
+    )
+    failing(
+        lambda b: b["intra_scale"].update(checksums_match=False),
+        "tiled vs untiled checksum mismatch",
+    )
+    failing(
+        lambda b: b["sparse_burst"].update(per_scale=[]),
+        "per_scale is missing or empty",
+    )
+    print("check_bench self-test: all violation classes rejected")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--file",
+        default="BENCH_sweep.json",
+        help="bench JSON to validate (default: the committed BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate rejects known-bad mutations of the committed record",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        self_test()
+        return
+    with open(args.file, encoding="utf-8") as f:
+        bench = json.load(f)
+    try:
+        run_gate(bench)
+    except GateFailure as e:
+        print(f"check_bench: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: {args.file} passes all section gates")
+
+
+if __name__ == "__main__":
+    main()

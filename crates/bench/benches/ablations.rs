@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use saturn_core::{OccupancyMethod, SweepGrid};
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_synth::TimeUniform;
-use saturn_trips::{earliest_arrival_dp, dp::NullSink, DpOptions, TargetSet, Timeline};
+use saturn_trips::{dp::NullSink, earliest_arrival_dp, DpOptions, TargetSet, Timeline};
 
 fn workload() -> saturn_linkstream::LinkStream {
     TimeUniform { nodes: 30, links_per_pair: 8, span: 50_000, seed: 5 }.generate()

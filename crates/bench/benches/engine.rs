@@ -19,8 +19,8 @@ fn bench_dp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_nm_scaling");
     group.sample_size(10);
     for n in [20u32, 40, 80] {
-        let stream = TimeUniform { nodes: n, links_per_pair: 6, span: 50_000, seed: 1 }
-            .generate();
+        let stream =
+            TimeUniform { nodes: n, links_per_pair: 6, span: 50_000, seed: 1 }.generate();
         let timeline = Timeline::aggregated(&stream, 2_000);
         let work = (n as u64) * timeline.total_edges() as u64; // n·M units
         group.throughput(Throughput::Elements(work));
@@ -98,8 +98,7 @@ fn sparse_ring(n: u32, reps: i64) -> saturn_linkstream::LinkStream {
 /// `BENCH_sweep.json` emitter records the same ratios; this group isolates
 /// the DP itself.
 fn bench_baseline_vs_frontier(c: &mut Criterion) {
-    let dense =
-        TimeUniform { nodes: 60, links_per_pair: 6, span: 100_000, seed: 7 }.generate();
+    let dense = TimeUniform { nodes: 60, links_per_pair: 6, span: 100_000, seed: 7 }.generate();
     let sparse = sparse_ring(600, 40);
     let workloads =
         [("dense60", &dense, TargetSet::all(60)), ("ring600", &sparse, TargetSet::all(600))];
@@ -219,9 +218,7 @@ fn bench_delta_propagation(c: &mut Criterion) {
     let burst = sparse_burst(600, 8, 8);
     let mut group = c.benchmark_group("delta_propagation");
     group.sample_size(10);
-    for (label, stream, k) in
-        [("ring600", &ring, 2_000u64), ("burst600", &burst, 10_000)]
-    {
+    for (label, stream, k) in [("ring600", &ring, 2_000u64), ("burst600", &burst, 10_000)] {
         let timeline = Timeline::aggregated(stream, k);
         let targets = TargetSet::all(600);
         group.throughput(Throughput::Elements(timeline.total_edges() as u64));
@@ -272,14 +269,44 @@ fn bench_view_aggregation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental timeline construction at bracketing scale ratios: deriving
+/// the coarse timeline by adjacent-window merging
+/// (`Timeline::aggregated_by_merge`) vs re-scattering the shared event view
+/// from scratch. Ratio 2 is the common case of sweep divisor chains (the
+/// two-way merge fast path); ratio 10 exercises the pair-id bitmap union
+/// taken by wider windows.
+/// Merged timelines are field-for-field identical to scratch ones
+/// (`timeline_incremental.rs`), so this group is pure build cost.
+fn bench_timeline_build(c: &mut Criterion) {
+    let stream = sparse_ring(400, 30);
+    let view = EventView::new(&stream);
+    let mut group = c.benchmark_group("timeline_build");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (fine_k, k) in [(40_000u64, 20_000u64), (40_000, 4_000)] {
+        let fine = Timeline::aggregated_from_view(&view, fine_k);
+        assert_eq!(
+            fine.aggregated_by_merge(k).checksum(),
+            Timeline::aggregated_from_view(&view, k).checksum(),
+            "merged vs scratch checksum diverged at {fine_k} -> {k}"
+        );
+        group.bench_with_input(BenchmarkId::new("scratch", k), &k, |b, &k| {
+            b.iter(|| Timeline::aggregated_from_view(&view, k))
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("merge_ratio{}", fine_k / k), k),
+            &k,
+            |b, &k| b.iter(|| fine.aggregated_by_merge(k)),
+        );
+    }
+    group.finish();
+}
+
 /// Exact-timeline (stream) trip enumeration, the Section 8 reference.
 fn bench_stream_trips(c: &mut Criterion) {
     let stream =
         TimeUniform { nodes: 40, links_per_pair: 10, span: 100_000, seed: 4 }.generate();
     c.bench_function("stream_minimal_trips", |b| {
-        b.iter(|| {
-            saturn_trips::stream_minimal_trips(&stream, &TargetSet::all(40), true)
-        })
+        b.iter(|| saturn_trips::stream_minimal_trips(&stream, &TargetSet::all(40), true))
     });
 }
 
@@ -290,6 +317,7 @@ criterion_group!(
     bench_baseline_vs_frontier,
     bench_degree1_fast_path,
     bench_delta_propagation,
+    bench_timeline_build,
     bench_view_aggregation,
     bench_aggregation,
     bench_mk_distance,

@@ -65,13 +65,13 @@ fn bench_per_scale_cost(c: &mut Criterion) {
 
 /// Exact all-pairs vs sampled destinations.
 fn bench_target_sampling(c: &mut Criterion) {
-    let stream = TimeUniform { nodes: 100, links_per_pair: 4, span: 50_000, seed: 6 }.generate();
+    let stream =
+        TimeUniform { nodes: 100, links_per_pair: 4, span: 50_000, seed: 6 }.generate();
     let mut group = c.benchmark_group("target_sampling");
     group.sample_size(10);
-    for (label, spec) in [
-        ("all_100", TargetSpec::All),
-        ("sample_20", TargetSpec::Sample { size: 20, seed: 1 }),
-    ] {
+    for (label, spec) in
+        [("all_100", TargetSpec::All), ("sample_20", TargetSpec::Sample { size: 20, seed: 1 })]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
             b.iter(|| {
                 OccupancyMethod::new()

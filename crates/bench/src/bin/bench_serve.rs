@@ -64,11 +64,9 @@ fn main() {
         profile.name, cold_requests, hit_requests
     );
 
-    let server = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        ..ServerConfig::default()
-    })
-    .expect("bind");
+    let server =
+        Server::bind(&ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() })
+            .expect("bind");
     let addr = server.local_addr().expect("addr");
     let server = server.spawn().expect("spawn");
     let target = format!("/v1/analyze?points={points}&directed=1");

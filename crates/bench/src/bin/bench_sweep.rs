@@ -133,7 +133,13 @@ fn measure_workload(
         let mut arena = EngineArena::new();
         let t_current = time_median(reps, || {
             let t = Timeline::aggregated_from_view(&view, k);
-            earliest_arrival_dp_in(&mut arena, &t, &targets, &mut NullSink, DpOptions::default())
+            earliest_arrival_dp_in(
+                &mut arena,
+                &t,
+                &targets,
+                &mut NullSink,
+                DpOptions::default(),
+            )
         });
         total_legacy += t_legacy;
         total_current += t_current;
@@ -152,10 +158,7 @@ fn measure_workload(
             ("legacy_pipeline_seconds", Value::Float(t_legacy)),
             ("current_pipeline_seconds", Value::Float(t_current)),
             ("speedup", Value::Float(speedup)),
-            (
-                "traversals_per_second",
-                Value::Float(traversals as f64 / t_current),
-            ),
+            ("traversals_per_second", Value::Float(traversals as f64 / t_current)),
         ]));
     }
     let json = obj(vec![
@@ -218,9 +221,7 @@ fn measure_intra_scale(
     for tiles in [2usize, 4, 8] {
         let tile = ncols.div_ceil(tiles).max(1);
         let ranges = targets.tile_ranges(tile);
-        let t = time_median(reps, || {
-            tiled_histogram(&mut arena, &timeline, &targets, &ranges)
-        });
+        let t = time_median(reps, || tiled_histogram(&mut arena, &timeline, &targets, &ranges));
         let merged = tiled_histogram(&mut arena, &timeline, &targets, &ranges);
         let ok = histograms_match(&merged, &reference);
         checksums_match &= ok;
@@ -264,8 +265,7 @@ fn measure_intra_scale(
     let stargets = TargetSet::all(sparse.node_count() as u32);
     let sview = EventView::new(sparse);
     let stimeline = Timeline::aggregated_from_view(&sview, kd);
-    let degree1_steps =
-        stimeline.steps_desc().filter(|s| s.len() == 1).count();
+    let degree1_steps = stimeline.steps_desc().filter(|s| s.len() == 1).count();
     let t_general = time_median(reps, || {
         earliest_arrival_dp_in(
             &mut arena,
@@ -357,7 +357,8 @@ fn measure_delta(workloads: &[(&str, &LinkStream)], scales: &[u64], reps: usize)
             let timeline = Timeline::aggregated_from_view(&view, k);
             let off_opts = DpOptions { no_delta_propagation: true, ..Default::default() };
             let on_opts = DpOptions::default();
-            let (sum_off, stats_off) = engine_checksum(&mut arena, &timeline, &targets, off_opts);
+            let (sum_off, stats_off) =
+                engine_checksum(&mut arena, &timeline, &targets, off_opts);
             let (sum_on, stats_on) = engine_checksum(&mut arena, &timeline, &targets, on_opts);
             let ok = sum_off == sum_on;
             all_match &= ok;
@@ -399,6 +400,64 @@ fn measure_delta(workloads: &[(&str, &LinkStream)], scales: &[u64], reps: usize)
     obj(entries)
 }
 
+/// The `timeline` section: per-scale CSR timeline build cost, scratch (the
+/// full radix scatter off the shared event view) vs incremental
+/// (adjacent-window merge from the previously built finer scale,
+/// `Timeline::aggregated_by_merge`), along a divisor ladder per workload.
+/// Merged-vs-scratch checksums are hard-asserted — the merge claims
+/// field-for-field identity, so any divergence is a correctness bug, not
+/// noise.
+fn measure_timeline(workloads: &[(&str, &LinkStream)], fast: bool, reps: usize) -> Value {
+    // consecutive entries divide (ratios 2/5/5/2/10), so every scale after
+    // the first takes the merge path — the access pattern of a sweep's
+    // fine-scale tail, where the per-scale build is a visible wall-time
+    // fraction since the delta engine closed the offer-bound tail
+    let ladder: Vec<u64> = if fast {
+        vec![10_000, 5_000, 1_000, 200, 100]
+    } else {
+        vec![100_000, 50_000, 10_000, 2_000, 1_000, 100]
+    };
+    let mut sections = Vec::new();
+    let mut all_match = true;
+    for &(name, stream) in workloads {
+        let view = EventView::new(stream);
+        let mut rows = Vec::new();
+        let mut fine = Timeline::aggregated_from_view(&view, ladder[0]);
+        for pair in ladder.windows(2) {
+            let (from_k, k) = (pair[0], pair[1]);
+            let merged = fine.aggregated_by_merge(k);
+            let scratch = Timeline::aggregated_from_view(&view, k);
+            let ok = merged.checksum() == scratch.checksum();
+            all_match &= ok;
+            assert!(ok, "merged vs scratch timeline checksum diverged: {name} k={k}");
+            let t_scratch = time_median(reps, || Timeline::aggregated_from_view(&view, k));
+            let t_inc = time_median(reps, || fine.aggregated_by_merge(k));
+            let speedup = t_scratch / t_inc;
+            println!(
+                "  timeline {name} k={from_k:>7} -> {k:>7}  scratch {:>9.3} ms  \
+                 merge {:>9.3} ms  ({speedup:.2}x)",
+                t_scratch * 1e3,
+                t_inc * 1e3,
+            );
+            rows.push(obj(vec![
+                ("k", Value::Int(k as i128)),
+                ("from_k", Value::Int(from_k as i128)),
+                ("ratio", Value::Int((from_k / k) as i128)),
+                ("edges", Value::Int(scratch.total_edges() as i128)),
+                ("scratch_seconds", Value::Float(t_scratch)),
+                ("incremental_seconds", Value::Float(t_inc)),
+                ("speedup", Value::Float(speedup)),
+                ("checksum_match", Value::Bool(ok)),
+            ]));
+            fine = merged;
+        }
+        sections.push((name, Value::Array(rows)));
+    }
+    let mut entries: Vec<(&str, Value)> = vec![("checksums_match", Value::Bool(all_match))];
+    entries.extend(sections);
+    obj(entries)
+}
+
 fn main() {
     let fast = saturn_bench::fast_mode();
     let reps = if fast { 3 } else { 5 };
@@ -410,8 +469,11 @@ fn main() {
     };
     let sparse = if fast { sparse_ring(120, 10) } else { sparse_ring(600, 40) };
     let burst = if fast { sparse_burst(120, 4, 6) } else { sparse_burst(600, 8, 8) };
-    let scales: Vec<u64> =
-        if fast { vec![100, 1_000, 10_000] } else { vec![1_000, 2_000, 10_000, 20_000, 100_000] };
+    let scales: Vec<u64> = if fast {
+        vec![100, 1_000, 10_000]
+    } else {
+        vec![1_000, 2_000, 10_000, 20_000, 100_000]
+    };
 
     let (dense_json, dl, dc) = measure_workload("dense_uniform", &dense, &scales, reps);
     let (sparse_json, sl, sc) = measure_workload("sparse_ring", &sparse, &scales, reps);
@@ -427,16 +489,19 @@ fn main() {
     println!("intra-scale parallelism (target tiling + degree-1 fast path):");
     let intra_scale = measure_intra_scale(&dense, &sparse, fast, reps);
 
+    println!("incremental timeline construction (adjacent-window merge) vs scratch:");
+    let timeline = measure_timeline(
+        &[("dense_uniform", &dense), ("sparse_ring", &sparse), ("sparse_burst", &burst)],
+        fast,
+        reps,
+    );
+
     // --- end-to-end method timings on the dense workload ------------------
     let grid = SweepGrid::Geometric { points: if fast { 10 } else { 16 } };
     let mut end_to_end = Vec::new();
     for threads in [1usize, 2, 4] {
         let t = time_median(reps.min(3), || {
-            OccupancyMethod::new()
-                .grid(grid.clone())
-                .threads(threads)
-                .refine(2, 6)
-                .run(&dense)
+            OccupancyMethod::new().grid(grid.clone()).threads(threads).refine(2, 6).run(&dense)
         });
         println!("method threads={threads}: {t:.3} s");
         end_to_end.push(obj(vec![
@@ -478,6 +543,7 @@ fn main() {
         ("sparse_burst", burst_json),
         ("delta", delta),
         ("intra_scale", intra_scale),
+        ("timeline", timeline),
         ("end_to_end", Value::Array(end_to_end)),
         ("aggregate_pipeline_speedup", Value::Float(aggregate)),
     ];

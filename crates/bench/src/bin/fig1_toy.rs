@@ -69,10 +69,7 @@ fn main() {
     let cb_stream = has(&stream_trips, "c", "b");
     println!("c ~> b  (the light-pink path): stream {cb_stream}, series {cb_series}");
     assert!(cb_stream, "the pink path exists in the stream");
-    assert!(
-        !cb_series,
-        "the pink path must be lost in the series (both hops share window 3)"
-    );
+    assert!(!cb_series, "the pink path must be lost in the series (both hops share window 3)");
 
     println!(
         "\n==> aggregation erased the order of c-d and d-b inside window 3,\n    \

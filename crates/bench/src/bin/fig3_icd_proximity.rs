@@ -63,7 +63,9 @@ fn main() {
     let last = report.results().last().unwrap();
     assert!(first.mean_rate < 0.5, "fine scales concentrate near 0");
     assert!(last.fraction_at_one > 0.99, "Δ = T concentrates at 1");
-    assert!(gamma.score >= first.scores.mk_proximity && gamma.score >= last.scores.mk_proximity);
+    assert!(
+        gamma.score >= first.scores.mk_proximity && gamma.score >= last.scores.mk_proximity
+    );
 
     saturn_bench::append_summary(
         "Figure 3 (Irvine stand-in)",

@@ -10,11 +10,9 @@ use saturn_synth::DatasetProfile;
 use saturn_trips::{occupancy_histogram, TargetSet};
 
 fn main() {
-    for profile in [
-        DatasetProfile::facebook(),
-        DatasetProfile::enron(),
-        DatasetProfile::manufacturing(),
-    ] {
+    for profile in
+        [DatasetProfile::facebook(), DatasetProfile::enron(), DatasetProfile::manufacturing()]
+    {
         let profile = dataset(profile);
         println!("Figure 4 — occupancy ICDs ({} stand-in)", profile.name);
         let stream = profile.generate(1);

@@ -8,11 +8,9 @@ use saturn_synth::DatasetProfile;
 
 fn main() {
     let mut lines = Vec::new();
-    for profile in [
-        DatasetProfile::facebook(),
-        DatasetProfile::enron(),
-        DatasetProfile::manufacturing(),
-    ] {
+    for profile in
+        [DatasetProfile::facebook(), DatasetProfile::enron(), DatasetProfile::manufacturing()]
+    {
         let profile = dataset(profile);
         println!("Figure 5 — M-K proximity ({} stand-in)", profile.name);
         let stream = profile.generate(1);

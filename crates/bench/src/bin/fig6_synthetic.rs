@@ -22,12 +22,14 @@ fn gamma_of(stream: &LinkStream, points: usize) -> f64 {
 }
 
 fn main() {
-    let (nodes, span, points) = if fast_mode() { (20u32, 20_000i64, 16) } else { (50, 100_000, 28) };
+    let (nodes, span, points) =
+        if fast_mode() { (20u32, 20_000i64, 16) } else { (50, 100_000, 28) };
 
     // --- left panel: time-uniform networks --------------------------------
     println!("Figure 6 left — time-uniform networks (n = {nodes}, T = {span} s)");
     println!("{:>4} {:>16} {:>10} {:>8}", "N", "inter-contact", "γ (s)", "γ/ict");
-    let sweep: &[u32] = if fast_mode() { &[5, 10, 20] } else { &[4, 6, 10, 16, 25, 40, 64, 100] };
+    let sweep: &[u32] =
+        if fast_mode() { &[5, 10, 20] } else { &[4, 6, 10, 16, 25, 40, 64, 100] };
     let mut left = Vec::new();
     let mut ratios = Vec::new();
     for &links_per_pair in sweep {
@@ -84,10 +86,7 @@ fn main() {
         g_mid < (g0 + g100) / 2.0
     );
     assert!(g100 > 3.0 * g0, "pure low activity must have a much larger γ");
-    assert!(
-        g_mid < (g0 + g100) / 2.0,
-        "γ must favor the high-activity mode, not the average"
-    );
+    assert!(g_mid < (g0 + g100) / 2.0, "γ must favor the high-activity mode, not the average");
 
     saturn_bench::append_summary(
         "Figure 6 (synthetic networks)",

@@ -39,21 +39,11 @@ fn main() {
         }
 
         // right panel: normalized curves
-        let curve: Vec<(f64, f64)> = cmp
-            .normalized_curve(*metric)
-            .into_iter()
-            .map(|(d, s)| (d / HOUR, s))
-            .collect();
+        let curve: Vec<(f64, f64)> =
+            cmp.normalized_curve(*metric).into_iter().map(|(d, s)| (d / HOUR, s)).collect();
         if !curve.is_empty() {
-            let slug = metric
-                .to_string()
-                .replace([' ', '(', ')', '-'], "_")
-                .to_lowercase();
-            write_series(
-                &format!("fig7_curve_{slug}.dat"),
-                "delta_h normalized_score",
-                &curve,
-            );
+            let slug = metric.to_string().replace([' ', '(', ')', '-'], "_").to_lowercase();
+            write_series(&format!("fig7_curve_{slug}.dat"), "delta_h normalized_score", &curve);
         }
 
         // left panel: ICD of the selected distribution (recomputed for just
@@ -63,10 +53,7 @@ fn main() {
             let hist =
                 occupancy_histogram(&stream, g.k, &TargetSet::all(stream.node_count() as u32));
             let dist = WeightedDist::from_pairs(hist.sorted_rates());
-            let slug = metric
-                .to_string()
-                .replace([' ', '(', ')', '-'], "_")
-                .to_lowercase();
+            let slug = metric.to_string().replace([' ', '(', ')', '-'], "_").to_lowercase();
             write_series(
                 &format!("fig7_icd_{slug}.dat"),
                 &format!("ICD selected by {metric} at Δ = {:.2} h", g.delta_ticks / HOUR),
@@ -92,12 +79,18 @@ fn main() {
     let sh100 = delta(SelectionMetric::ShannonEntropy { slots: 100 });
 
     let close = |a: f64, b: f64| a.max(b) / a.min(b) <= 4.0;
-    println!("\nM-K ≈ std-dev ≈ Shannon(10) ≈ CRE: {}", close(mk, sd) && close(mk, sh10) && close(mk, cre));
+    println!(
+        "\nM-K ≈ std-dev ≈ Shannon(10) ≈ CRE: {}",
+        close(mk, sd) && close(mk, sh10) && close(mk, cre)
+    );
     println!("variation coefficient degenerates fine-ward: {}", cv <= mk);
     println!("Shannon(100) selects a finer scale than Shannon(10): {}", sh100 <= sh10);
 
     assert!(close(mk, sd) && close(mk, sh10) && close(mk, cre), "reasonable methods disagree");
     assert!(cv <= mk, "cv should select a (much) finer scale");
 
-    saturn_bench::append_summary("Figure 7 (selection methods, Irvine stand-in)", &summary.join("; "));
+    saturn_bench::append_summary(
+        "Figure 7 (selection methods, Irvine stand-in)",
+        &summary.join("; "),
+    );
 }

@@ -8,7 +8,9 @@
 //! around γ.
 
 use saturn_bench::{dataset, grid_points, write_series, HOUR};
-use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions};
+use saturn_core::{
+    validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
+};
 use saturn_synth::DatasetProfile;
 
 fn main() {

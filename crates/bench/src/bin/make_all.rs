@@ -35,11 +35,8 @@ fn main() {
     )
     .expect("cannot write summary.md");
 
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("own path").parent().expect("bin dir").to_path_buf();
 
     let mut failures = Vec::new();
     for bin in BINS {
@@ -48,7 +45,11 @@ fn main() {
         let status = Command::new(exe_dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("cannot launch {bin}: {e} (build with --bins first)"));
-        println!("=== {bin}: {} in {:.1?} ===", if status.success() { "ok" } else { "FAILED" }, t0.elapsed());
+        println!(
+            "=== {bin}: {} in {:.1?} ===",
+            if status.success() { "ok" } else { "FAILED" },
+            t0.elapsed()
+        );
         if !status.success() {
             failures.push(bin);
         }

@@ -55,11 +55,7 @@ fn main() {
         "Section 5 table (γ per dataset)",
         &format!(
             "{}; low-activity γ exceeds high-activity γ: {ordering_holds}",
-            gammas
-                .iter()
-                .map(|(n, g)| format!("{n} {g:.1}h"))
-                .collect::<Vec<_>>()
-                .join(", ")
+            gammas.iter().map(|(n, g)| format!("{n} {g:.1}h")).collect::<Vec<_>>().join(", ")
         ),
     );
 }

@@ -7,11 +7,7 @@ use std::process::Command;
 #[test]
 fn fig1_toy_asserts_both_path_phenomena() {
     let out = Command::new(env!("CARGO_BIN_EXE_fig1_toy")).output().expect("runs");
-    assert!(
-        out.status.success(),
-        "fig1_toy failed:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "fig1_toy failed:\n{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("stream true, series true"), "{text}");
     assert!(text.contains("stream true, series false"), "{text}");

@@ -6,7 +6,7 @@
 //! This binary is that tool.
 //!
 //! ```text
-//! saturn analyze <file> [--directed] [--points N] [--sample N] [--threads N] [--tile N] [--json] [--unit s|m|h|d]
+//! saturn analyze <file> [--directed] [--points N] [--sample N] [--threads N] [--tile N] [--no-delta] [--no-incremental] [--json] [--unit s|m|h|d]
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
 //! saturn validate <file> [--directed] [--points N] [--threads N]
 //! saturn stats <file> [--directed] [--json]
@@ -14,7 +14,9 @@
 //! saturn help
 //! ```
 
-use saturn_core::{validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions};
+use saturn_core::{
+    validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
+};
 use saturn_linkstream::{io, Directedness, LinkStream};
 use saturn_server::{Server, ServerConfig};
 use saturn_synth::DatasetProfile;
@@ -61,6 +63,9 @@ USAGE:
                           execution knob only — reports are bit-identical
       --no-delta          disable DP delta propagation (ablation; reports
                           are bit-identical either way)
+      --no-incremental    build every scale's timeline from scratch instead
+                          of merging adjacent windows of a finer scale
+                          (ablation; reports are bit-identical either way)
       --unit s|m|h|d      display unit for Δ (ticks are seconds; default h)
       --json              emit the full report as JSON
   saturn validate <file>  information-loss curves (lost transitions, elongation)
@@ -75,6 +80,8 @@ USAGE:
                           (0 = auto; requests may override with ?tile=N)
       --no-delta          default delta-propagation setting for analyze
                           sweeps (requests may override with ?no_delta=1)
+      --no-incremental    default incremental-timeline setting for analyze
+                          sweeps (requests may override with ?no_incremental=1)
       --cache-mb M        report cache budget in MiB (default 64; 0 disables)
       --queue N           job queue depth before 503 backpressure (default 64)
   saturn synth <name>     generate a dataset stand-in (irvine, facebook,
@@ -100,6 +107,7 @@ struct Flags {
     threads: usize,
     tile: usize,
     no_delta: bool,
+    no_incremental: bool,
     json: bool,
     unit: (f64, &'static str),
     seed: u64,
@@ -119,6 +127,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: env_threads(),
         tile: 0,
         no_delta: false,
+        no_incremental: false,
         json: false,
         unit: (3600.0, "h"),
         seed: 1,
@@ -144,12 +153,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     Some(value("--sample")?.parse().map_err(|e| format!("--sample: {e}"))?)
             }
             "--threads" => {
-                f.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                f.threads =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
             }
             "--tile" => {
                 f.tile = value("--tile")?.parse().map_err(|e| format!("--tile: {e}"))?
             }
             "--no-delta" => f.no_delta = true,
+            "--no-incremental" => f.no_incremental = true,
             "--addr" => f.addr = value("--addr")?,
             "--cache-mb" => {
                 f.cache_mb =
@@ -158,7 +169,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--queue" => {
                 f.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
             }
-            "--seed" => f.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                f.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
             "--scale" => {
                 f.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?
             }
@@ -203,6 +216,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .threads(f.threads)
         .tile(f.tile)
         .no_delta_propagation(f.no_delta)
+        .no_incremental_timeline(f.no_incremental)
         .run(&stream);
     if f.json {
         println!("{}", report.to_json());
@@ -226,7 +240,10 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let (per, unit) = f.unit;
-    println!("{} shortest transitions, {} stream trips", report.reference_transitions, report.reference_trips);
+    println!(
+        "{} shortest transitions, {} stream trips",
+        report.reference_transitions, report.reference_trips
+    );
     println!("{:>14} {:>12} {:>12}", format!("Δ ({unit})"), "lost", "elongation");
     for p in &report.points {
         println!(
@@ -262,13 +279,16 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args)?;
     if let Some(file) = &f.file {
-        return Err(format!("serve takes no input file (got `{file}`); traces arrive in request bodies"));
+        return Err(format!(
+            "serve takes no input file (got `{file}`); traces arrive in request bodies"
+        ));
     }
     let config = ServerConfig {
         addr: f.addr.clone(),
         threads: f.threads,
         tile: f.tile,
         no_delta: f.no_delta,
+        no_incremental: f.no_incremental,
         cache_bytes: f.cache_mb << 20,
         queue_depth: f.queue,
         ..ServerConfig::default()
@@ -286,7 +306,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     server.run().map_err(|e| format!("serve: {e}"))
 }
-
 
 fn cmd_synth(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("synth needs a profile name")?.clone();
@@ -334,8 +353,21 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let f = flags(&[
-            "t.txt", "--directed", "--points", "12", "--sample", "30", "--json", "--unit",
-            "m", "--seed", "9", "--scale", "0.5", "--out", "x.txt",
+            "t.txt",
+            "--directed",
+            "--points",
+            "12",
+            "--sample",
+            "30",
+            "--json",
+            "--unit",
+            "m",
+            "--seed",
+            "9",
+            "--scale",
+            "0.5",
+            "--out",
+            "x.txt",
         ])
         .unwrap();
         assert!(f.directed && f.json);
@@ -349,8 +381,17 @@ mod tests {
 
     #[test]
     fn server_and_thread_flags_parse() {
-        let f = flags(&["--addr", "0.0.0.0:9090", "--threads", "4", "--cache-mb", "16", "--queue", "8"])
-            .unwrap();
+        let f = flags(&[
+            "--addr",
+            "0.0.0.0:9090",
+            "--threads",
+            "4",
+            "--cache-mb",
+            "16",
+            "--queue",
+            "8",
+        ])
+        .unwrap();
         assert_eq!(f.addr, "0.0.0.0:9090");
         assert_eq!(f.threads, 4);
         assert_eq!(f.cache_mb, 16);
@@ -371,6 +412,12 @@ mod tests {
     fn no_delta_flag_parses_and_defaults_off() {
         assert!(!flags(&["t.txt"]).unwrap().no_delta);
         assert!(flags(&["t.txt", "--no-delta"]).unwrap().no_delta);
+    }
+
+    #[test]
+    fn no_incremental_flag_parses_and_defaults_off() {
+        assert!(!flags(&["t.txt"]).unwrap().no_incremental);
+        assert!(flags(&["t.txt", "--no-incremental"]).unwrap().no_incremental);
     }
 
     #[test]

@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn saturn(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_saturn"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_saturn")).args(args).output().expect("binary runs")
 }
 
 fn tmp_trace() -> std::path::PathBuf {
@@ -55,8 +52,7 @@ fn analyze_finds_gamma_and_json_is_valid() {
 
     let out = saturn(&["analyze", path.to_str().unwrap(), "--points", "10", "--json"]);
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
     assert!(v["results"].as_array().unwrap().len() >= 5);
 }
 
@@ -122,14 +118,47 @@ fn synth_analyze_json_end_to_end() {
     for r in results {
         assert!(r["delta_ticks"].as_f64().unwrap() > 0.0);
         assert!(r["k"].as_u64().unwrap() >= 1);
-        assert!(r["scores"]["mk_proximity"].is_null() || r["scores"]["mk_proximity"].as_f64().is_some());
+        assert!(
+            r["scores"]["mk_proximity"].is_null()
+                || r["scores"]["mk_proximity"].as_f64().is_some()
+        );
     }
     // deterministic across thread counts: --threads 1 gives the same bytes
     let again = saturn(&[
-        "analyze", path.to_str().unwrap(), "--directed", "--points", "8", "--threads", "1",
+        "analyze",
+        path.to_str().unwrap(),
+        "--directed",
+        "--points",
+        "8",
+        "--threads",
+        "1",
         "--json",
     ]);
     assert_eq!(out.stdout, again.stdout, "thread count must not change the report");
+}
+
+/// The execution-knob matrix the CI job scripts: every combination of
+/// `--no-delta`, `--no-incremental`, `--tile`, and thread count must emit
+/// byte-identical JSON — the property that lets ops flip any knob on a
+/// live deployment without reports moving.
+#[test]
+fn execution_knobs_do_not_change_report_bytes() {
+    let path = tmp_trace();
+    let path = path.to_str().unwrap();
+    let baseline = saturn(&["analyze", path, "--points", "8", "--threads", "2", "--json"]);
+    assert!(baseline.status.success(), "{}", String::from_utf8_lossy(&baseline.stderr));
+    for knobs in [
+        &["--no-incremental"][..],
+        &["--no-delta"],
+        &["--tile", "7"],
+        &["--no-incremental", "--no-delta", "--tile", "3", "--threads", "1"],
+    ] {
+        let mut args = vec!["analyze", path, "--points", "8", "--threads", "2", "--json"];
+        args.extend_from_slice(knobs);
+        let out = saturn(&args);
+        assert!(out.status.success(), "{knobs:?}: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(baseline.stdout, out.stdout, "{knobs:?} must not change the report bytes");
+    }
 }
 
 #[test]
@@ -170,12 +199,7 @@ fn serve_answers_an_analyze_request() {
     let mut lines = BufReader::new(child.stdout.take().expect("stdout piped"));
     let mut first = String::new();
     lines.read_line(&mut first).expect("banner line");
-    let addr = first
-        .trim()
-        .rsplit("http://")
-        .next()
-        .expect("address in banner")
-        .to_string();
+    let addr = first.trim().rsplit("http://").next().expect("address in banner").to_string();
 
     let trace = "a b 1\nb c 5\nc d 9\na c 13\nb d 17\na d 21\n".repeat(20);
     let body: String = trace

@@ -68,7 +68,8 @@ mod tests {
     #[test]
     fn monotone_drifts_match_the_paper() {
         let s = stream();
-        let pts = classic_sweep(&s, &SweepGrid::Geometric { points: 10 }, TargetSpec::All, 2, 1);
+        let pts =
+            classic_sweep(&s, &SweepGrid::Geometric { points: 10 }, TargetSpec::All, 2, 1);
         assert!(pts.len() >= 5);
         let first = pts.first().unwrap(); // finest Δ
         let last = pts.last().unwrap(); // Δ = T

@@ -204,10 +204,7 @@ mod tests {
         let sampled = TargetSpec::Sample { size: 8, seed: 3 };
         assert_ne!(key(16, &all), key(24, &all));
         assert_ne!(key(16, &all), key(16, &sampled));
-        assert_ne!(
-            key(16, &sampled),
-            key(16, &TargetSpec::Sample { size: 8, seed: 4 })
-        );
+        assert_ne!(key(16, &sampled), key(16, &TargetSpec::Sample { size: 8, seed: 4 }));
     }
 
     /// Pinned key values: the report cache survives engine reworks only if

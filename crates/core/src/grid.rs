@@ -69,9 +69,7 @@ impl SweepGrid {
                     })
                     .collect()
             }
-            SweepGrid::ExplicitK(ks) => {
-                ks.iter().map(|&k| k.clamp(1, k_max)).collect()
-            }
+            SweepGrid::ExplicitK(ks) => ks.iter().map(|&k| k.clamp(1, k_max)).collect(),
         };
         ks.sort_unstable_by(|a, b| b.cmp(a));
         ks.dedup();

@@ -132,12 +132,9 @@ pub fn segment_activity(stream: &LinkStream, bins: usize) -> Vec<ActivitySegment
         }];
     }
     let bins = bins.min(span as usize).max(1);
-    let partition = saturn_linkstream::WindowPartition::new(
-        stream.t_begin(),
-        stream.t_end(),
-        bins as u64,
-    )
-    .expect("bins validated");
+    let partition =
+        saturn_linkstream::WindowPartition::new(stream.t_begin(), stream.t_end(), bins as u64)
+            .expect("bins validated");
     let mut counts = vec![0usize; bins];
     for (w, links) in partition.window_slices(stream) {
         counts[w as usize] = links.len();
@@ -186,12 +183,7 @@ pub fn heterogeneous_analysis(
         .threads(config.threads)
         .refine(1, 6);
 
-    let whole = method
-        .clone()
-        .run(stream)
-        .gamma()
-        .map(|g| g.delta_ticks)
-        .unwrap_or(f64::NAN);
+    let whole = method.clone().run(stream).gamma().map(|g| g.delta_ticks).unwrap_or(f64::NAN);
 
     for seg in &mut segments {
         if seg.events < config.min_segment_events {
@@ -241,8 +233,7 @@ mod tests {
         let values = [1.0, 1.1, 0.9, 10.0, 9.8, 10.4, 1.05];
         let (classes, (lo, hi)) = two_means(&values);
         assert!(lo < 2.0 && hi > 9.0);
-        let highs: Vec<bool> =
-            classes.iter().map(|c| *c == ActivityClass::High).collect();
+        let highs: Vec<bool> = classes.iter().map(|c| *c == ActivityClass::High).collect();
         assert_eq!(highs, vec![false, false, false, true, true, true, false]);
     }
 
@@ -251,11 +242,7 @@ mod tests {
         let s = two_mode_stream();
         let segments = segment_activity(&s, 40);
         // 4 alternations of high+low => ~8 segments (boundary bins may merge)
-        assert!(
-            (4..=12).contains(&segments.len()),
-            "found {} segments",
-            segments.len()
-        );
+        assert!((4..=12).contains(&segments.len()), "found {} segments", segments.len());
         // classes alternate
         for pair in segments.windows(2) {
             assert_ne!(pair[0].class, pair[1].class, "adjacent segments merged");
@@ -276,8 +263,9 @@ mod tests {
 
     #[test]
     fn uniform_stream_is_one_segment_class() {
-        let s = saturn_synth::TimeUniform { nodes: 10, links_per_pair: 10, span: 10_000, seed: 2 }
-            .generate();
+        let s =
+            saturn_synth::TimeUniform { nodes: 10, links_per_pair: 10, span: 10_000, seed: 2 }
+                .generate();
         let segments = segment_activity(&s, 20);
         // two-means on near-uniform rates: segments may exist but rates are close
         let rates: Vec<f64> = segments.iter().map(|s| s.rate).collect();
@@ -291,7 +279,12 @@ mod tests {
         let s = two_mode_stream();
         let report = heterogeneous_analysis(
             &s,
-            HeterogeneityConfig { bins: 40, grid_points: 14, min_segment_events: 30, threads: 2 },
+            HeterogeneityConfig {
+                bins: 40,
+                grid_points: 14,
+                min_segment_events: 30,
+                threads: 2,
+            },
         );
         let high_gammas: Vec<f64> = report
             .segments

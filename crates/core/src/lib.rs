@@ -55,6 +55,5 @@ pub use method::{DeltaResult, KeepPolicy, OccupancyMethod, TargetSpec, Uniformit
 pub use report::{GammaResult, OccupancyReport};
 pub use selection::{compare_selection_methods, SelectionComparison};
 pub use validation::{
-    validation_sweep, validation_sweep_on, ValidationOptions, ValidationPoint,
-    ValidationReport,
+    validation_sweep, validation_sweep_on, ValidationOptions, ValidationPoint, ValidationReport,
 };

@@ -1,6 +1,6 @@
 //! The occupancy method driver (Section 4 of the paper).
 
-use crate::parallel::{auto_tile_cols, sweep_queue, WorkerPool};
+use crate::parallel::{auto_tile_cols, merge_sources, sweep_queue, WorkerPool};
 use crate::report::OccupancyReport;
 use crate::SweepGrid;
 use saturn_distrib::{SelectionMetric, WeightedDist};
@@ -144,6 +144,7 @@ pub struct OccupancyMethod {
     refine_points: usize,
     tile: usize,
     no_delta: bool,
+    no_incremental: bool,
 }
 
 impl Default for OccupancyMethod {
@@ -159,6 +160,7 @@ impl Default for OccupancyMethod {
             refine_points: 8,
             tile: 0,
             no_delta: false,
+            no_incremental: false,
         }
     }
 }
@@ -236,6 +238,20 @@ impl OccupancyMethod {
         self
     }
 
+    /// Disables incremental timeline construction: every scale's timeline is
+    /// built from scratch off the shared event view instead of merging
+    /// adjacent windows of an already-built divisor-compatible finer scale
+    /// (`Timeline::aggregated_by_merge`; see the timeline module's "Merge
+    /// invariants"). Merged timelines are field-for-field identical to
+    /// scratch ones, so — exactly like [`tile`](Self::tile) and
+    /// [`no_delta_propagation`](Self::no_delta_propagation) — this is a
+    /// pure execution knob for ablation benchmarking and never enters
+    /// content fingerprints.
+    pub fn no_incremental_timeline(mut self, no_incremental: bool) -> Self {
+        self.no_incremental = no_incremental;
+        self
+    }
+
     /// Scores one scale's merged histogram.
     fn delta_result(&self, span: i64, k: u64, hist: &OccupancyHistogram) -> DeltaResult {
         let dist = WeightedDist::from_pairs(hist.sorted_rates());
@@ -255,12 +271,25 @@ impl OccupancyMethod {
     /// (finest scales first), fans it across the workers, and merges the
     /// per-tile histograms of each scale in ascending tile order — so the
     /// resulting [`DeltaResult`]s are bit-identical for every thread count
-    /// and tile width. Scales split into several tiles share one lazily
-    /// built timeline whose shared handle is released by the scale's last
-    /// finishing tile; untiled scales build theirs locally and drop it with
-    /// the item — either way only the scales currently in flight hold
-    /// timelines, preserving the flat memory profile of the per-scale
-    /// layout.
+    /// and tile width.
+    ///
+    /// Timelines are built **incrementally** where scales allow it: the
+    /// merge plan ([`merge_sources`]) pairs each scale with the nearest
+    /// finer scale whose window count it divides, and that scale's timeline
+    /// is then derived by adjacent-window merging
+    /// (`Timeline::aggregated_by_merge` — field-for-field identical to a
+    /// scratch build, so reports and cache fingerprints are untouched)
+    /// instead of re-scattering the full event view. Each scale owns one
+    /// lazily built `Arc<Timeline>` slot shared by its tiles *and* its
+    /// merge dependents; the slot's refcount (`tiles + dependents`) releases
+    /// the handle as soon as the last consumer is done, so — exactly as in
+    /// the per-scale layout — only the scales currently in flight (plus
+    /// pending merge sources) hold timelines. Chained builds follow the
+    /// queue's finest-first order: a merge source always precedes its
+    /// dependents, and the slot mutexes are only ever taken in descending
+    /// scale order (coarser scales wait on finer ones), so the lazy
+    /// cross-scale builds cannot deadlock. `no_incremental` empties the
+    /// plan, restoring per-scale scratch builds for ablation.
     fn sweep_scales(
         &self,
         pool: &mut WorkerPool,
@@ -277,56 +306,95 @@ impl OccupancyMethod {
             self.tile.max(1)
         };
         let items = sweep_queue(ks, &targets.tile_ranges(tile_cols));
+        let tiles_in_scale = items.first().map_or(1, |item| item.tiles_in_scale);
+
+        // one options value threads every execution knob end to end: the
+        // engines consume the delta flag, this scheduler consumes the
+        // incremental-timeline flag (an empty merge plan = scratch builds)
+        let dp_options = DpOptions {
+            no_delta_propagation: self.no_delta,
+            no_incremental_timeline: self.no_incremental,
+            ..Default::default()
+        };
+        let sources: Vec<Option<usize>> = if dp_options.no_incremental_timeline {
+            vec![None; ks.len()]
+        } else {
+            merge_sources(ks)
+        };
+        let mut dependents = vec![0usize; ks.len()];
+        for &j in sources.iter().flatten() {
+            dependents[j] += 1;
+        }
+
         struct SharedScale {
             timeline: Mutex<Option<Arc<Timeline>>>,
-            /// Tiles not yet finished; the decrement to 0 clears `timeline`.
+            /// Consumers (tiles + merge dependents) not yet finished; the
+            /// decrement to 0 clears `timeline`.
             remaining: AtomicUsize,
         }
-        let tiles_in_scale = items.first().map_or(1, |item| item.tiles_in_scale);
-        let shared: Vec<SharedScale> = ks
+        let shared: Vec<SharedScale> = dependents
             .iter()
-            .map(|_| SharedScale {
+            .map(|&deps| SharedScale {
                 timeline: Mutex::new(None),
-                remaining: AtomicUsize::new(tiles_in_scale),
+                remaining: AtomicUsize::new(tiles_in_scale + deps),
             })
             .collect();
-        let dp_options =
-            DpOptions { no_delta_propagation: self.no_delta, ..Default::default() };
+
+        /// Drops one consumer reference to scale `i`'s shared timeline,
+        /// clearing the slot on the last one so the allocation frees as
+        /// soon as the final in-flight clone drops, instead of living
+        /// until the sweep returns.
+        fn release(shared: &[SharedScale], i: usize) {
+            if shared[i].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *shared[i].timeline.lock().expect("timeline slot poisoned") = None;
+            }
+        }
+
+        /// Scale `i`'s timeline, building it on first demand — by merging
+        /// down from its planned source scale (recursing at most the chain
+        /// length, always toward smaller indices) or from scratch off the
+        /// shared view. Holding slot `i`'s lock across the build makes
+        /// concurrent requesters wait for the one build instead of
+        /// duplicating it.
+        fn obtain(
+            shared: &[SharedScale],
+            sources: &[Option<usize>],
+            ks: &[u64],
+            view: &EventView,
+            i: usize,
+        ) -> Arc<Timeline> {
+            let mut slot = shared[i].timeline.lock().expect("timeline slot poisoned");
+            if let Some(timeline) = slot.as_ref() {
+                return Arc::clone(timeline);
+            }
+            let built = Arc::new(match sources[i] {
+                Some(j) => {
+                    let fine = obtain(shared, sources, ks, view, j);
+                    let merged = fine.aggregated_by_merge(ks[i]);
+                    drop(fine);
+                    release(shared, j);
+                    merged
+                }
+                None => Timeline::aggregated_from_view(view, ks[i]),
+            });
+            *slot = Some(Arc::clone(&built));
+            built
+        }
+
         let parts: Vec<OccupancyHistogram> = pool.map(&items, |wid, item| {
             let mut arena = arenas[wid].lock().expect("arena poisoned");
-            let tile = |timeline: &Timeline, arena: &mut EngineArena| {
-                occupancy_histogram_tile_opts_in(
-                    arena,
-                    timeline,
-                    targets,
-                    item.col_start,
-                    item.col_len as usize,
-                    dp_options,
-                )
-            };
-            if item.tiles_in_scale == 1 {
-                let timeline = Timeline::aggregated_from_view(view, item.k);
-                tile(&timeline, &mut arena)
-            } else {
-                let scale = &shared[item.scale];
-                let timeline = Arc::clone(
-                    scale
-                        .timeline
-                        .lock()
-                        .expect("timeline slot poisoned")
-                        .get_or_insert_with(|| {
-                            Arc::new(Timeline::aggregated_from_view(view, item.k))
-                        }),
-                );
-                let hist = tile(&timeline, &mut arena);
-                if scale.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    // last tile of the scale: release the shared handle so
-                    // the timeline frees as soon as this worker's clone
-                    // drops, instead of living until the sweep returns
-                    *scale.timeline.lock().expect("timeline slot poisoned") = None;
-                }
-                hist
-            }
+            let timeline = obtain(&shared, &sources, ks, view, item.scale);
+            let hist = occupancy_histogram_tile_opts_in(
+                &mut arena,
+                &timeline,
+                targets,
+                item.col_start,
+                item.col_len as usize,
+                dp_options,
+            );
+            drop(timeline);
+            release(&shared, item.scale);
+            hist
         });
         // Deterministic merge: items are sorted by (k desc, tile asc), so a
         // single in-order pass merges each scale's tiles in ascending tile
@@ -336,10 +404,7 @@ impl OccupancyMethod {
         for (item, hist) in items.iter().zip(&parts) {
             merged[item.scale].merge(hist);
         }
-        ks.iter()
-            .zip(&merged)
-            .map(|(&k, hist)| self.delta_result(span, k, hist))
-            .collect()
+        ks.iter().zip(&merged).map(|(&k, hist)| self.delta_result(span, k, hist)).collect()
     }
 
     /// Runs the method: sweeps the grid, optionally refines around the
@@ -536,10 +601,7 @@ mod tests {
             for (x, y) in shared.results().iter().zip(baseline.results()) {
                 assert_eq!(x.k, y.k);
                 assert_eq!(x.trips, y.trips);
-                assert_eq!(
-                    x.scores.mk_proximity.to_bits(),
-                    y.scores.mk_proximity.to_bits()
-                );
+                assert_eq!(x.scores.mk_proximity.to_bits(), y.scores.mk_proximity.to_bits());
             }
         }
     }
@@ -591,6 +653,42 @@ mod tests {
     }
 
     #[test]
+    fn incremental_timeline_is_bit_identical() {
+        let s = ring_stream(9, 120, 5);
+        // divisor ladder: every scale merges from its neighbor, the
+        // configuration where the incremental path does the most work
+        let ladder = vec![500u64, 250, 50, 10, 5, 1];
+        for threads in [1usize, 3] {
+            let incremental = OccupancyMethod::new()
+                .grid(SweepGrid::ExplicitK(ladder.clone()))
+                .threads(threads)
+                .refine(1, 4)
+                .run(&s)
+                .to_json();
+            let scratch = OccupancyMethod::new()
+                .grid(SweepGrid::ExplicitK(ladder.clone()))
+                .threads(threads)
+                .refine(1, 4)
+                .no_incremental_timeline(true)
+                .run(&s)
+                .to_json();
+            assert_eq!(
+                incremental, scratch,
+                "incremental timeline construction must not change the report (threads={threads})"
+            );
+        }
+        // and on the default geometric grid, where divisor pairs are rare
+        let a = OccupancyMethod::new().threads(2).refine(1, 4).run(&s).to_json();
+        let b = OccupancyMethod::new()
+            .threads(2)
+            .refine(1, 4)
+            .no_incremental_timeline(true)
+            .run(&s)
+            .to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn single_scale_fans_out_over_tiles() {
         // a one-scale sweep on a multi-worker pool: only tiling can feed it
         let s = ring_stream(24, 120, 7);
@@ -612,8 +710,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let s = ring_stream(7, 70, 5);
-        let a = OccupancyMethod::new().threads(1).grid(SweepGrid::Geometric { points: 12 }).run(&s);
-        let b = OccupancyMethod::new().threads(4).grid(SweepGrid::Geometric { points: 12 }).run(&s);
+        let a =
+            OccupancyMethod::new().threads(1).grid(SweepGrid::Geometric { points: 12 }).run(&s);
+        let b =
+            OccupancyMethod::new().threads(4).grid(SweepGrid::Geometric { points: 12 }).run(&s);
         assert_eq!(a.results().len(), b.results().len());
         for (x, y) in a.results().iter().zip(b.results()) {
             assert_eq!(x.k, y.k);

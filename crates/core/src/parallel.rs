@@ -138,9 +138,8 @@ impl WorkerPool {
         // wait below guarantees no worker touches the pointer after this
         // frame ends.
         let round_ref: &(dyn Fn(usize) + Sync) = &work;
-        let round: Round = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), Round>(round_ref)
-        };
+        let round: Round =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), Round>(round_ref) };
         {
             let mut state = self.shared.state.lock().expect("pool state poisoned");
             debug_assert!(state.round.is_none(), "map is not reentrant");
@@ -152,8 +151,7 @@ impl WorkerPool {
         }
 
         // The calling thread is the last worker (id = parallelism - 1).
-        let caller_outcome =
-            catch_unwind(AssertUnwindSafe(|| work(self.parallelism - 1)));
+        let caller_outcome = catch_unwind(AssertUnwindSafe(|| work(self.parallelism - 1)));
 
         // Drain the round before looking at outcomes or returning.
         let panicked = {
@@ -328,6 +326,40 @@ pub fn sweep_queue(ks: &[u64], tile_ranges: &[(u32, u32)]) -> Vec<SweepItem> {
     items
 }
 
+/// Largest fine-to-coarse window ratio the sweep will bridge by merging.
+/// Merging is linear in the fine timeline's edges plus, per merged coarse
+/// window, a walk over the touched words of a pair-id bitmap
+/// (`Timeline::aggregated_by_merge` docs); what grows with the ratio is
+/// only how much *finer* the source is than the target needs — at extreme
+/// ratios the fine timeline carries far more pre-dedup edges than the
+/// scratch build would ever scan, so chaining stops paying and the scratch
+/// radix scatter (linear in raw events) wins.
+const MAX_MERGE_RATIO: u64 = 256;
+
+/// The incremental-timeline merge plan for a descending-sorted scale list:
+/// `plan[i] = Some(j)` means scale `i`'s timeline is derived from scale
+/// `j`'s by adjacent-window merging (`Timeline::aggregated_by_merge`), and
+/// `None` means a scratch build from the shared event view.
+///
+/// For each scale the *nearest* preceding (finer) scale whose window count
+/// it divides is chosen — the smallest merge ratio, hence the cheapest
+/// merge — capped at [`MAX_MERGE_RATIO`]. Because [`sweep_queue`] orders
+/// items finest-first and `j < i` always holds, a scale's merge source is
+/// claimed earlier in the queue than the scale itself, so chained builds
+/// run fine-to-coarse along the existing dispatch order; non-divisor
+/// neighbors simply fall back to scratch builds.
+pub fn merge_sources(ks: &[u64]) -> Vec<Option<usize>> {
+    debug_assert!(ks.windows(2).all(|w| w[0] > w[1]), "ks must be sorted descending");
+    ks.iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            ks[..i]
+                .iter()
+                .rposition(|&fine| fine.is_multiple_of(k) && fine / k <= MAX_MERGE_RATIO)
+        })
+        .collect()
+}
+
 /// Picks a tile width for `ncols` target columns swept over `scales` scales
 /// on `parallelism` workers. Scale-level parallelism is free (no duplicated
 /// per-edge work), so tiling only kicks in when the scale count alone
@@ -423,8 +455,7 @@ mod tests {
     #[test]
     fn worker_ids_are_in_range_and_usable_as_scratch_keys() {
         let mut pool = WorkerPool::new(4);
-        let scratch: Vec<Mutex<u64>> =
-            (0..pool.parallelism()).map(|_| Mutex::new(0)).collect();
+        let scratch: Vec<Mutex<u64>> = (0..pool.parallelism()).map(|_| Mutex::new(0)).collect();
         let items: Vec<u64> = (0..500).collect();
         let out = pool.map(&items, |wid, &x| {
             let mut slot = scratch[wid].lock().unwrap();
@@ -471,10 +502,7 @@ mod tests {
             assert_eq!(scale_items[2].col_start, 8);
             assert_eq!(scale_items[2].col_len, 2);
             assert!(scale_items.iter().all(|i| i.tiles_in_scale == 3));
-            assert_eq!(
-                scale_items.iter().map(|i| i.tile).collect::<Vec<_>>(),
-                vec![0, 1, 2]
-            );
+            assert_eq!(scale_items.iter().map(|i| i.tile).collect::<Vec<_>>(), vec![0, 1, 2]);
         }
         // scale indices refer to the ORIGINAL ks positions
         assert_eq!(items[0].scale, 1);
@@ -501,6 +529,31 @@ mod tests {
         assert!(1000usize.div_ceil(tile) >= 8, "enough items to feed the pool");
         // tiny column counts stay untiled regardless of width
         assert_eq!(auto_tile_cols(12, 1, 64), 12);
+    }
+
+    #[test]
+    fn merge_sources_prefers_nearest_divisor() {
+        // 100 merges from 1000 (nearest divisor, ratio 10), not 100000;
+        // 640 divides nothing finer; 10 merges from 100; 1 from 10
+        let ks = [100_000u64, 1_000, 640, 100, 10, 1];
+        assert_eq!(merge_sources(&ks), vec![None, Some(0), None, Some(1), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn merge_sources_respects_ratio_cap() {
+        // 100000 -> 2 divides but the ratio (50000) is past the cap; 7 has
+        // no divisor-related finer scale at all
+        assert_eq!(merge_sources(&[100_000, 7, 2]), vec![None, None, None]);
+        // at exactly the cap the merge is taken
+        assert_eq!(merge_sources(&[512, 2]), vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn merge_sources_chains_along_ladders() {
+        let ks = [1_000u64, 500, 250, 50, 10, 5, 1];
+        let plan = merge_sources(&ks);
+        // every scale after the finest chains from its immediate neighbor
+        assert_eq!(plan, vec![None, Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]);
     }
 
     #[test]

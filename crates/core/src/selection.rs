@@ -26,7 +26,8 @@ impl SelectionComparison {
     /// (right). Returns an empty vector if the metric never scored finite.
     pub fn normalized_curve(&self, metric: SelectionMetric) -> Vec<(f64, f64)> {
         let curve = self.report.curve_for(metric);
-        let max = curve.iter().map(|&(_, s)| s).filter(|s| s.is_finite()).fold(f64::MIN, f64::max);
+        let max =
+            curve.iter().map(|&(_, s)| s).filter(|s| s.is_finite()).fold(f64::MIN, f64::max);
         if max <= 0.0 || max.is_nan() {
             return Vec::new();
         }

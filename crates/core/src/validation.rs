@@ -152,7 +152,11 @@ mod tests {
             &s,
             &SweepGrid::Geometric { points: 8 },
             TargetSpec::All,
-            &ValidationOptions { threads: 1, weighted_transitions: false, ..Default::default() },
+            &ValidationOptions {
+                threads: 1,
+                weighted_transitions: false,
+                ..Default::default()
+            },
         );
         let fine = report.points.first().unwrap();
         if fine.elongation.count > 0 {
@@ -165,7 +169,12 @@ mod tests {
         // every finite elongation mean is >= 1
         for p in &report.points {
             if p.elongation.count > 0 {
-                assert!(p.elongation.mean >= 1.0 - 1e-9, "k={} mean={}", p.k, p.elongation.mean);
+                assert!(
+                    p.elongation.mean >= 1.0 - 1e-9,
+                    "k={} mean={}",
+                    p.k,
+                    p.elongation.mean
+                );
             }
         }
     }

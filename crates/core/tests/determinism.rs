@@ -44,11 +44,7 @@ fn refinement_is_bit_identical_across_thread_counts() {
 
     for threads in [2usize, 3, 8] {
         let other = run(&stream, threads);
-        assert_eq!(
-            reference.results().len(),
-            other.results().len(),
-            "threads={threads}"
-        );
+        assert_eq!(reference.results().len(), other.results().len(), "threads={threads}");
         for (a, b) in reference.results().iter().zip(other.results()) {
             assert_eq!(a.k, b.k, "threads={threads}");
             assert_eq!(a.trips, b.trips, "threads={threads} k={}", a.k);

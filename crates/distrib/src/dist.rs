@@ -122,7 +122,8 @@ mod tests {
 
     #[test]
     fn merging_and_sorting() {
-        let d = WeightedDist::from_pairs(vec![(0.5, 2), (0.25, 1), (0.5, 3), (1.0, 1), (0.1, 0)]);
+        let d =
+            WeightedDist::from_pairs(vec![(0.5, 2), (0.25, 1), (0.5, 3), (1.0, 1), (0.1, 0)]);
         assert_eq!(d.total_weight(), 7);
         assert_eq!(d.support_size(), 3);
         let pairs: Vec<_> = d.pairs().collect();

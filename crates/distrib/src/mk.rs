@@ -79,9 +79,8 @@ mod tests {
     #[test]
     fn fine_uniform_grid_approaches_zero_distance() {
         for n in [10u32, 100, 1000] {
-            let d = WeightedDist::from_pairs(
-                (1..=n).map(|i| (i as f64 / n as f64, 1)).collect(),
-            );
+            let d =
+                WeightedDist::from_pairs((1..=n).map(|i| (i as f64 / n as f64, 1)).collect());
             let dist = mk_distance_to_uniform(&d);
             // the empirical uniform grid is within O(1/n) of the density
             assert!(dist < 1.0 / n as f64, "n={n} dist={dist}");
@@ -105,11 +104,9 @@ mod tests {
 
     #[test]
     fn proximity_is_bounded() {
-        for pairs in [
-            vec![(0.2, 5), (0.9, 1)],
-            vec![(1.0, 7)],
-            vec![(0.01, 1), (0.5, 1), (0.99, 1)],
-        ] {
+        for pairs in
+            [vec![(0.2, 5), (0.9, 1)], vec![(1.0, 7)], vec![(0.01, 1), (0.5, 1), (0.99, 1)]]
+        {
             let p = mk_proximity(&WeightedDist::from_pairs(pairs));
             assert!((0.0..=0.5).contains(&p), "proximity {p} out of [0, 1/2]");
         }

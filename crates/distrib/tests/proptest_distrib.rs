@@ -8,12 +8,11 @@ use saturn_distrib::{
 };
 
 fn arb_dist() -> impl Strategy<Value = WeightedDist> {
-    proptest::collection::vec((0u32..=1000, 1u64..50), 1..60)
-        .prop_map(|pairs| {
-            WeightedDist::from_pairs(
-                pairs.into_iter().map(|(v, w)| (v as f64 / 1000.0, w)).collect(),
-            )
-        })
+    proptest::collection::vec((0u32..=1000, 1u64..50), 1..60).prop_map(|pairs| {
+        WeightedDist::from_pairs(
+            pairs.into_iter().map(|(v, w)| (v as f64 / 1000.0, w)).collect(),
+        )
+    })
 }
 
 /// Mid-point quadrature of `f` over [0, 1].

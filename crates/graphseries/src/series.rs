@@ -29,9 +29,8 @@ impl GraphSeries {
     /// [`LinkStream::partition`] to validate `k` beforehand when it comes
     /// from untrusted input.
     pub fn aggregate(stream: &LinkStream, k: u64) -> Self {
-        let partition = stream
-            .partition(k)
-            .expect("invalid window count for this stream's study period");
+        let partition =
+            stream.partition(k).expect("invalid window count for this stream's study period");
         let n = stream.node_count() as u32;
         let snapshots = partition
             .window_slices(stream)

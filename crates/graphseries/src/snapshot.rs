@@ -21,8 +21,7 @@ impl Snapshot {
     /// Builds a snapshot from the raw link events of one window, removing
     /// duplicate pairs (Definition 1 keeps each pair at most once).
     pub fn from_links(n: u32, directedness: Directedness, links: &[Link]) -> Self {
-        let mut edges: Vec<(u32, u32)> =
-            links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
+        let mut edges: Vec<(u32, u32)> = links.iter().map(|l| (l.u.raw(), l.v.raw())).collect();
         edges.sort_unstable();
         edges.dedup();
         Snapshot { n, directedness, edges }
@@ -174,11 +173,7 @@ mod tests {
     #[test]
     fn connectivity_metrics() {
         // components: {0,1,2}, {3,4}, {5} isolated; n = 6
-        let s = Snapshot::from_edges(
-            6,
-            Directedness::Undirected,
-            vec![(0, 1), (1, 2), (3, 4)],
-        );
+        let s = Snapshot::from_edges(6, Directedness::Undirected, vec![(0, 1), (1, 2), (3, 4)]);
         assert_eq!(s.non_isolated(), 5);
         assert_eq!(s.largest_component(), 3);
         assert!((s.mean_degree() - 6.0 / 6.0).abs() < 1e-12);

@@ -33,12 +33,7 @@ impl UnionFind {
     /// Creates a forest of `n` singleton sets.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
-        UnionFind {
-            parent: vec![0; n],
-            size: vec![0; n],
-            version: vec![0; n],
-            current: 1,
-        }
+        UnionFind { parent: vec![0; n], size: vec![0; n], version: vec![0; n], current: 1 }
     }
 
     /// Number of elements.
@@ -88,11 +83,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         true

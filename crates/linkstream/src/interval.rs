@@ -17,7 +17,9 @@
 //! * [`IntervalStream::endpoints`] — one event at each interval boundary
 //!   (the minimal punctualization).
 
-use crate::{BuildError, Directedness, LinkStream, LinkStreamBuilder, NodeId, NodeInterner, Time};
+use crate::{
+    BuildError, Directedness, LinkStream, LinkStreamBuilder, NodeId, NodeInterner, Time,
+};
 use serde::Serialize;
 
 /// One link existing over the closed interval `[start, end]`.
@@ -222,7 +224,10 @@ impl IntervalStreamBuilder {
             None => (observed_begin, observed_end),
             Some((b, e)) => {
                 if b > e {
-                    return Err(BuildError::InvertedPeriod { begin: b.ticks(), end: e.ticks() });
+                    return Err(BuildError::InvertedPeriod {
+                        begin: b.ticks(),
+                        end: e.ticks(),
+                    });
                 }
                 if observed_begin < b || observed_end > e {
                     return Err(BuildError::PeriodTooShort {

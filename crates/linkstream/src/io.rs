@@ -171,8 +171,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = read_path("/nonexistent/saturn/file.txt", Directedness::Directed)
-            .unwrap_err();
+        let err =
+            read_path("/nonexistent/saturn/file.txt", Directedness::Directed).unwrap_err();
         assert!(matches!(err, ParseError::Io(_)));
     }
 }

@@ -168,7 +168,11 @@ impl LinkStream {
             t_end: self.t_end,
             span,
             mean_links_per_node: involvements,
-            mean_inter_contact: if involvements > 0.0 { span as f64 / involvements } else { f64::INFINITY },
+            mean_inter_contact: if involvements > 0.0 {
+                span as f64 / involvements
+            } else {
+                f64::INFINITY
+            },
             dropped_self_loops: self.dropped_self_loops,
             dropped_duplicates: self.dropped_duplicates,
         }
@@ -329,11 +333,13 @@ impl LinkStreamBuilder {
             None => (observed_begin, observed_end),
             Some((b, e)) => {
                 if b > e {
-                    return Err(BuildError::InvertedPeriod { begin: b.ticks(), end: e.ticks() });
+                    return Err(BuildError::InvertedPeriod {
+                        begin: b.ticks(),
+                        end: e.ticks(),
+                    });
                 }
                 if observed_begin < b || observed_end > e {
-                    let event =
-                        if observed_begin < b { observed_begin } else { observed_end };
+                    let event = if observed_begin < b { observed_begin } else { observed_end };
                     return Err(BuildError::PeriodTooShort {
                         event: event.ticks(),
                         begin: b.ticks(),

@@ -24,7 +24,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(b - a, 5);
 /// assert_eq!(b.ticks(), 15);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Time(i64);
 

@@ -99,10 +99,7 @@ impl WindowPartition {
     /// Panics in debug builds if `t` lies outside the study period.
     pub fn index(&self, t: Time) -> u64 {
         let off = t - self.t_begin;
-        debug_assert!(
-            off >= 0 && off <= self.span,
-            "instant {t} outside study period"
-        );
+        debug_assert!(off >= 0 && off <= self.span, "instant {t} outside study period");
         if self.span == 0 {
             return 0;
         }

@@ -296,8 +296,7 @@ mod tests {
 
     #[test]
     fn connection_close_and_http10_disable_keep_alive() {
-        let req =
-            parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
         let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
@@ -305,11 +304,8 @@ mod tests {
 
     #[test]
     fn oversized_body_is_413() {
-        let err = parse_with_limit(
-            "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
-            10,
-        )
-        .unwrap_err();
+        let err =
+            parse_with_limit("POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 10).unwrap_err();
         assert!(matches!(err, ReadError::Bad(413, _)));
     }
 

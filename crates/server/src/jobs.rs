@@ -156,10 +156,9 @@ impl JobManager {
         }
         let id = state.next_id;
         state.next_id += 1;
-        state.jobs.insert(
-            id,
-            JobRecord { phase: JobPhase::Queued, outcome: None, fingerprint },
-        );
+        state
+            .jobs
+            .insert(id, JobRecord { phase: JobPhase::Queued, outcome: None, fingerprint });
         if let Some(key) = fingerprint {
             state.inflight.insert(key, id);
         }
@@ -244,11 +243,12 @@ fn executor_loop(shared: &Shared, threads: usize) {
         };
         // Worker panics propagate out of `pool.map`; catch them so one
         // poisoned trace cannot take the service down.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&mut pool)))
-            .unwrap_or_else(|_| JobOutcome {
-                status: 500,
-                body: Arc::from(r#"{"error": "analysis panicked"}"#),
-            });
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&mut pool)))
+                .unwrap_or_else(|_| JobOutcome {
+                    status: 500,
+                    body: Arc::from(r#"{"error": "analysis panicked"}"#),
+                });
         let mut state = shared.state.lock().expect("job state poisoned");
         let job = state.jobs.get_mut(&id).expect("running job recorded");
         job.phase = JobPhase::Done;

@@ -11,7 +11,7 @@
 //! cold sweeps onto one process-wide [`WorkerPool`](saturn_core::parallel::WorkerPool).
 //!
 //! ```text
-//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0&no_delta=0[&async=1]   trace body → occupancy report
+//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0&no_delta=0&no_incremental=0[&async=1]   trace body → occupancy report
 //! POST /v1/validate?points=32&weighted=1&delta_min=1[&async=1]       trace body → loss curves
 //! POST /v1/stats?directed=1                                          trace body → stream statistics
 //! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
@@ -64,6 +64,13 @@ pub struct ServerConfig {
     /// bit-identical either way, so it never enters cache fingerprints.
     /// Overridable per request with `?no_delta=1`.
     pub no_delta: bool,
+    /// Disable incremental (adjacent-window merge) timeline construction
+    /// for analyze sweeps. Like `tile` and `no_delta`, an execution knob
+    /// for ablation scripting: merged timelines are field-for-field
+    /// identical to scratch-built ones, so results match byte for byte and
+    /// the knob never enters cache fingerprints. Overridable per request
+    /// with `?no_incremental=1`.
+    pub no_incremental: bool,
     /// Report cache budget in bytes (0 disables caching).
     pub cache_bytes: usize,
     /// Maximum jobs waiting in the queue before submissions get 503.
@@ -81,6 +88,7 @@ impl Default for ServerConfig {
             threads: 0,
             tile: 0,
             no_delta: false,
+            no_incremental: false,
             cache_bytes: 64 << 20,
             queue_depth: 64,
             max_body_bytes: 64 << 20,
@@ -97,6 +105,7 @@ struct ServerContext {
     jobs: JobManager,
     tile: usize,
     no_delta: bool,
+    no_incremental: bool,
     max_body_bytes: usize,
     max_connections: usize,
     active_connections: AtomicUsize,
@@ -121,6 +130,7 @@ impl Server {
                 jobs: JobManager::new(config.threads, config.queue_depth),
                 tile: config.tile,
                 no_delta: config.no_delta,
+                no_incremental: config.no_incremental,
                 max_body_bytes: config.max_body_bytes,
                 max_connections: config.max_connections,
                 active_connections: AtomicUsize::new(0),
@@ -303,20 +313,29 @@ fn route(request: &Request, ctx: &ServerContext) -> (u16, Body) {
 type Handled = Result<(u16, Body), (u16, String)>;
 
 /// Parses a numeric query parameter, defaulting when absent.
-fn numeric<T: std::str::FromStr>(request: &Request, key: &str, default: T) -> Result<T, (u16, String)>
+fn numeric<T: std::str::FromStr>(
+    request: &Request,
+    key: &str,
+    default: T,
+) -> Result<T, (u16, String)>
 where
     T::Err: std::fmt::Display,
 {
     match request.param(key) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|e| (400, format!("query parameter {key}={raw}: {e}"))),
+        Some(raw) => {
+            raw.parse().map_err(|e| (400, format!("query parameter {key}={raw}: {e}")))
+        }
     }
 }
 
 /// Parses the trace body under the request's directedness.
 fn parse_stream(request: &Request) -> Result<LinkStream, (u16, String)> {
-    let directedness =
-        if request.flag("directed") { Directedness::Directed } else { Directedness::Undirected };
+    let directedness = if request.flag("directed") {
+        Directedness::Directed
+    } else {
+        Directedness::Undirected
+    };
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| (400, "trace body is not UTF-8".to_string()))?;
     stream_io::read_str(text, directedness).map_err(|e| (400, format!("trace body: {e}")))
@@ -354,9 +373,10 @@ fn cached_or_submitted(
             job_status_body(id, ctx.jobs.phase(id).unwrap_or(JobPhase::Queued)).into(),
         ));
     }
-    let outcome = ctx.jobs.wait(id).ok_or_else(|| {
-        (500, "job expired before its outcome was read".to_string())
-    })?;
+    let outcome = ctx
+        .jobs
+        .wait(id)
+        .ok_or_else(|| (500, "job expired before its outcome was read".to_string()))?;
     Ok((outcome.status, outcome.body.into()))
 }
 
@@ -364,13 +384,16 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
     let stream = parse_stream(request)?;
     let points = numeric(request, "points", 48usize)?;
     let targets = parse_targets(request)?;
-    // execution knobs only: tiled and delta-filtered reports are
-    // bit-identical to untiled / unfiltered ones, so `tile` and `no_delta`
-    // stay OUT of the fingerprint — a request served from an entry computed
-    // under different execution settings returns the same bytes the cold
-    // run would have produced
+    // execution knobs only: tiled, delta-filtered, and incrementally built
+    // reports are bit-identical to untiled / unfiltered / scratch-built
+    // ones, so `tile`, `no_delta`, and `no_incremental` stay OUT of the
+    // fingerprint — a request served from an entry computed under different
+    // execution settings returns the same bytes the cold run would have
+    // produced
     let tile = numeric(request, "tile", ctx.tile)?;
     let no_delta = numeric::<u8>(request, "no_delta", ctx.no_delta as u8)? != 0;
+    let no_incremental =
+        numeric::<u8>(request, "no_incremental", ctx.no_incremental as u8)? != 0;
     let grid = SweepGrid::Geometric { points };
 
     let mut digest = Digest::new("saturn.analyze.v1");
@@ -386,6 +409,7 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
             .targets(targets)
             .tile(tile)
             .no_delta_propagation(no_delta)
+            .no_incremental_timeline(no_incremental)
             .run_on(&stream, pool);
         cache_insert(report.to_json())
     });
@@ -459,10 +483,7 @@ fn endpoint_health(ctx: &ServerContext) -> (u16, Body) {
             "cache".to_string(),
             serde_json::to_value(&ctx.cache.stats()).expect("stats serialize"),
         ),
-        (
-            "jobs".to_string(),
-            serde_json::to_value(&ctx.jobs.stats()).expect("stats serialize"),
-        ),
+        ("jobs".to_string(), serde_json::to_value(&ctx.jobs.stats()).expect("stats serialize")),
         (
             "active_connections".to_string(),
             Value::Int(ctx.active_connections.load(Ordering::SeqCst) as i128),

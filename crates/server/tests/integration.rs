@@ -12,6 +12,7 @@ fn start(tweak: impl FnOnce(&mut ServerConfig)) -> saturn_server::ServerHandle {
         threads: 2,
         tile: 0,
         no_delta: false,
+        no_incremental: false,
         cache_bytes: 8 << 20,
         queue_depth: 16,
         max_body_bytes: 1 << 20,
@@ -104,8 +105,7 @@ fn json(response: &Response) -> serde_json::Value {
 fn stats_endpoint_shares_the_cli_shape() {
     let server = start(|_| {});
     let body = trace(6, 200, 40);
-    let response =
-        request(server.addr(), "POST", "/v1/stats?directed=1", body.as_bytes());
+    let response = request(server.addr(), "POST", "/v1/stats?directed=1", body.as_bytes());
     assert_eq!(response.status, 200);
     let v = json(&response);
     assert_eq!(v["nodes"].as_u64(), Some(6));
@@ -128,15 +128,14 @@ fn tile_widths_return_byte_identical_reports() {
     let reference = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
     assert_eq!(reference.status, 200);
     assert!(!json(&reference)["results"].as_array().unwrap().is_empty());
-    for target in
-        ["/v1/analyze?points=8&tile=1", "/v1/analyze?points=8&tile=100", "/v1/analyze?points=8&tile=0"]
-    {
+    for target in [
+        "/v1/analyze?points=8&tile=1",
+        "/v1/analyze?points=8&tile=100",
+        "/v1/analyze?points=8&tile=0",
+    ] {
         let tiled = request(server.addr(), "POST", target, body.as_bytes());
         assert_eq!(tiled.status, 200, "{target}");
-        assert_eq!(
-            reference.body, tiled.body,
-            "{target}: tiling must not change report bytes"
-        );
+        assert_eq!(reference.body, tiled.body, "{target}: tiling must not change report bytes");
     }
     let bad = request(server.addr(), "POST", "/v1/analyze?points=8&tile=x", body.as_bytes());
     assert_eq!(bad.status, 400);
@@ -195,6 +194,62 @@ fn no_delta_requests_hit_the_same_cache_entry() {
         health["cache"]["hits"].as_u64().unwrap(),
         hits_before + 1,
         "?no_delta must address the same cache entry"
+    );
+    server.stop();
+}
+
+/// Incremental timeline construction must be invisible end to end: with
+/// caching disabled, scratch-built (`?no_incremental=1`) and merge-built
+/// reports are byte-identical cold sweeps; with caching on, the knob — like
+/// `?tile=` and `?no_delta=` — is not part of the content address, so an
+/// ablated request is served from the incremental run's cache entry.
+#[test]
+fn no_incremental_requests_are_identical_and_share_the_cache_entry() {
+    let cold_server = start(|config| {
+        config.cache_bytes = 0;
+        config.threads = 3;
+    });
+    let body = trace(8, 220, 30);
+    let reference =
+        request(cold_server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(reference.status, 200);
+    for target in
+        ["/v1/analyze?points=8&no_incremental=1", "/v1/analyze?points=8&no_incremental=0"]
+    {
+        let toggled = request(cold_server.addr(), "POST", target, body.as_bytes());
+        assert_eq!(toggled.status, 200, "{target}");
+        assert_eq!(
+            reference.body, toggled.body,
+            "{target}: incremental timeline construction must not change report bytes"
+        );
+    }
+    let bad = request(
+        cold_server.addr(),
+        "POST",
+        "/v1/analyze?points=8&no_incremental=x",
+        body.as_bytes(),
+    );
+    assert_eq!(bad.status, 400);
+    cold_server.stop();
+
+    let server = start(|_| {});
+    let cold = request(server.addr(), "POST", "/v1/analyze?points=9", body.as_bytes());
+    assert_eq!(cold.status, 200);
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    let hits_before = health["cache"]["hits"].as_u64().unwrap();
+    let ablated = request(
+        server.addr(),
+        "POST",
+        "/v1/analyze?points=9&no_incremental=1",
+        body.as_bytes(),
+    );
+    assert_eq!(ablated.status, 200);
+    assert_eq!(cold.body, ablated.body, "cached hit must be byte-identical");
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    assert_eq!(
+        health["cache"]["hits"].as_u64().unwrap(),
+        hits_before + 1,
+        "?no_incremental must address the same cache entry"
     );
     server.stop();
 }
@@ -279,8 +334,7 @@ fn async_jobs_roundtrip_matches_sync() {
     assert_eq!(submitted.status, 202);
     let id = json(&submitted)["job"].as_u64().expect("job id");
 
-    let result =
-        request(server.addr(), "GET", &format!("/v1/jobs/{id}?wait=1"), b"");
+    let result = request(server.addr(), "GET", &format!("/v1/jobs/{id}?wait=1"), b"");
     assert_eq!(result.status, 200);
     assert!(json(&result)["results"].as_array().unwrap().len() >= 4);
 
@@ -297,12 +351,8 @@ fn async_jobs_roundtrip_matches_sync() {
 fn validate_endpoint_returns_loss_curves() {
     let server = start(|_| {});
     let body = trace(8, 160, 7);
-    let response = request(
-        server.addr(),
-        "POST",
-        "/v1/validate?points=8&weighted=1",
-        body.as_bytes(),
-    );
+    let response =
+        request(server.addr(), "POST", "/v1/validate?points=8&weighted=1", body.as_bytes());
     assert_eq!(response.status, 200);
     let v = json(&response);
     assert!(v["reference_trips"].as_u64().unwrap() > 0);

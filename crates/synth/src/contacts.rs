@@ -88,10 +88,7 @@ mod tests {
             s.len()
         );
         let mean_dur = s.mean_duration();
-        assert!(
-            (mean_dur - 120.0).abs() / 120.0 < 0.25,
-            "mean duration {mean_dur} vs 120"
-        );
+        assert!((mean_dur - 120.0).abs() / 120.0 < 0.25, "mean duration {mean_dur} vs 120");
     }
 
     #[test]

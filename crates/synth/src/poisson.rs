@@ -111,7 +111,14 @@ mod tests {
     #[test]
     fn fixed_count_hits_count_and_density() {
         let mut r = rng();
-        let events = sample_fixed_count(&mut r, |t| if t < 1_000.0 { 1.0 } else { 0.1 }, 1.0, 0, 10_000, 5_000);
+        let events = sample_fixed_count(
+            &mut r,
+            |t| if t < 1_000.0 { 1.0 } else { 0.1 },
+            1.0,
+            0,
+            10_000,
+            5_000,
+        );
         assert_eq!(events.len(), 5_000);
         let early = events.iter().filter(|&&t| t < 1_000).count() as f64;
         // density 1.0 on 10% of the range vs 0.1 on 90%: early share = 1000/1900

@@ -151,9 +151,8 @@ impl DatasetProfile {
 
 /// Tiny deterministic string hash so each profile gets distinct sub-seeds.
 fn fxhash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
 }
 
 #[cfg(test)]

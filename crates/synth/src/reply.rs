@@ -67,8 +67,8 @@ impl MessageModel {
         }
 
         // Base (non-reply) message instants follow the circadian envelope.
-        let expected_replies = self.events as f64 * self.reply_probability
-            / (1.0 + self.reply_probability);
+        let expected_replies =
+            self.events as f64 * self.reply_probability / (1.0 + self.reply_probability);
         let base_count = (self.events as f64 - expected_replies).round().max(1.0) as usize;
         let circadian = self.circadian;
         let base_times =
@@ -84,29 +84,28 @@ impl MessageModel {
         let mut pending: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u32)>> =
             std::collections::BinaryHeap::new();
 
-        let emit = |b: &mut LinkStreamBuilder,
-                        contacts: &mut Vec<Vec<u32>>,
-                        rng: &mut rand::rngs::StdRng,
-                        pending: &mut std::collections::BinaryHeap<
-            std::cmp::Reverse<(i64, u32, u32)>,
-        >,
-                        s: u32,
-                        r: u32,
-                        t: i64,
-                        emitted: &mut usize| {
-            b.add_indexed(s, r, t);
-            *emitted += 1;
-            if !contacts[s as usize].contains(&r) {
-                contacts[s as usize].push(r);
-            }
-            if rng.gen::<f64>() < self.reply_probability {
-                let delay = sample_exponential(rng, self.reply_delay_mean).ceil() as i64;
-                let rt = t + delay.max(1);
-                if rt <= self.span {
-                    pending.push(std::cmp::Reverse((rt, r, s)));
+        let emit =
+            |b: &mut LinkStreamBuilder,
+             contacts: &mut Vec<Vec<u32>>,
+             rng: &mut rand::rngs::StdRng,
+             pending: &mut std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32, u32)>>,
+             s: u32,
+             r: u32,
+             t: i64,
+             emitted: &mut usize| {
+                b.add_indexed(s, r, t);
+                *emitted += 1;
+                if !contacts[s as usize].contains(&r) {
+                    contacts[s as usize].push(r);
                 }
-            }
-        };
+                if rng.gen::<f64>() < self.reply_probability {
+                    let delay = sample_exponential(rng, self.reply_delay_mean).ceil() as i64;
+                    let rt = t + delay.max(1);
+                    if rt <= self.span {
+                        pending.push(std::cmp::Reverse((rt, r, s)));
+                    }
+                }
+            };
 
         for &t in &base_times {
             // flush due replies first (keeps global time order irrelevant for
@@ -122,19 +121,18 @@ impl MessageModel {
                 break;
             }
             let s = sample_cumulative(&mut rng, &cumulative) as u32;
-            let r = if !contacts[s as usize].is_empty()
-                && rng.gen::<f64>() < self.repeat_contact
-            {
-                contacts[s as usize][rng.gen_range(0..contacts[s as usize].len())]
-            } else {
-                // fresh contact, weight-biased, not the sender
-                loop {
-                    let r = sample_cumulative(&mut rng, &cumulative) as u32;
-                    if r != s {
-                        break r;
+            let r =
+                if !contacts[s as usize].is_empty() && rng.gen::<f64>() < self.repeat_contact {
+                    contacts[s as usize][rng.gen_range(0..contacts[s as usize].len())]
+                } else {
+                    // fresh contact, weight-biased, not the sender
+                    loop {
+                        let r = sample_cumulative(&mut rng, &cumulative) as u32;
+                        if r != s {
+                            break r;
+                        }
                     }
-                }
-            };
+                };
             emit(&mut b, &mut contacts, &mut rng, &mut pending, s, r, t, &mut emitted);
         }
         // drain remaining replies up to the target
@@ -214,10 +212,7 @@ mod tests {
             *pairs.entry((l.u, l.v)).or_insert(0usize) += 1;
         }
         let repeated: usize = pairs.values().filter(|&&c| c > 1).copied().sum();
-        assert!(
-            repeated as f64 / s.len() as f64 > 0.3,
-            "repeated-tie share too low"
-        );
+        assert!(repeated as f64 / s.len() as f64 > 0.3, "repeated-tie share too low");
     }
 
     #[test]

@@ -128,10 +128,7 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(
-            high > 3 * low,
-            "high-activity segments must dominate: high={high} low={low}"
-        );
+        assert!(high > 3 * low, "high-activity segments must dominate: high={high} low={low}");
     }
 
     #[test]

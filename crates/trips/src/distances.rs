@@ -12,7 +12,7 @@
 //! `O(1)` per table update (arithmetic series between change points), so the
 //! cost stays `O(nM)` even when the series has millions of windows.
 
-use crate::{earliest_arrival_dp, dp::NullSink, DpOptions, TargetSet, Timeline};
+use crate::{dp::NullSink, earliest_arrival_dp, DpOptions, TargetSet, Timeline};
 use saturn_linkstream::LinkStream;
 use serde::Serialize;
 

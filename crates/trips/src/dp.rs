@@ -210,6 +210,20 @@ pub struct DpOptions {
     /// the `delta_propagation` bench/ablation. Ignored by [`baseline`],
     /// which keeps no watermarks.
     pub no_delta_propagation: bool,
+    /// Disable incremental timeline construction in sweeps: build every
+    /// scale's [`Timeline`] from scratch off the shared event view instead
+    /// of merging adjacent windows of an already-built finer scale
+    /// (`Timeline::aggregated_by_merge`; see the timeline module's "Merge
+    /// invariants"). The engines themselves ignore this flag — a merged
+    /// timeline is field-for-field identical to a scratch-built one, so
+    /// they consume either unchanged. Its consumer is the sweep scheduler:
+    /// `OccupancyMethod::sweep_scales` builds one `DpOptions` per sweep
+    /// (from `OccupancyMethod::no_incremental_timeline`, which CLI
+    /// `--no-incremental` and serve `?no_incremental=1` set) and reads this
+    /// field to empty the scale merge plan, so every execution knob rides
+    /// the same options value. Results are bit-identical either way and
+    /// the flag never enters content fingerprints.
+    pub no_incremental_timeline: bool,
 }
 
 /// Raw distance sums over every `(u, v, departure step)` triple with a finite
@@ -359,8 +373,7 @@ impl EngineArena {
         if n_cells > self.cells.len() {
             // grow: fresh allocation; ea/hops/set_at are garbage until
             // stamped, only `stamp` needs real init
-            self.cells =
-                vec![Cell { ea: NONE_EA, hops: 0, set_at: NEVER, stamp: 0 }; n_cells];
+            self.cells = vec![Cell { ea: NONE_EA, hops: 0, set_at: NEVER, stamp: 0 }; n_cells];
             self.epoch = 1;
             epoch_restarted = true;
         } else if self.epoch == u32::MAX {
@@ -647,8 +660,7 @@ impl EngineArena {
                         <= last_rev
                 {
                     let row = eu as usize * ncols;
-                    let words =
-                        &frontier[eu as usize * words_per_row..][..words_per_row];
+                    let words = &frontier[eu as usize * words_per_row..][..words_per_row];
                     for (wi, &word) in words.iter().enumerate() {
                         let mut bits = word;
                         while bits != 0 {
@@ -672,9 +684,23 @@ impl EngineArena {
                     let row = eu as usize * ncols;
                     if let Some(c) = local_col(ew) {
                         offer(
-                            cells, frontier, words_per_row, dirty, dirty_bits,
-                            ea_bits, delta, 0, epoch, row + c as usize, eu, c, k,
-                            k, 1, collect, &mut sums,
+                            cells,
+                            frontier,
+                            words_per_row,
+                            dirty,
+                            dirty_bits,
+                            ea_bits,
+                            delta,
+                            0,
+                            epoch,
+                            row + c as usize,
+                            eu,
+                            c,
+                            k,
+                            k,
+                            1,
+                            collect,
+                            &mut sums,
                         );
                     }
                     if row_mark(row_changed_at, row_changed_stamp, epoch, ew as usize)
@@ -703,10 +729,23 @@ impl EngineArena {
                                 }
                                 chain_offers += 1;
                                 offer(
-                                    cells, frontier, words_per_row, dirty,
-                                    dirty_bits, ea_bits, delta, 0, epoch,
-                                    row + c as usize, eu, c, k, s_ea, s_hops + 1,
-                                    collect, &mut sums,
+                                    cells,
+                                    frontier,
+                                    words_per_row,
+                                    dirty,
+                                    dirty_bits,
+                                    ea_bits,
+                                    delta,
+                                    0,
+                                    epoch,
+                                    row + c as usize,
+                                    eu,
+                                    c,
+                                    k,
+                                    s_ea,
+                                    s_hops + 1,
+                                    collect,
+                                    &mut sums,
                                 );
                             }
                         }
@@ -719,139 +758,28 @@ impl EngineArena {
                     let row = ew as usize * ncols;
                     if let Some(c) = local_col(eu) {
                         offer(
-                            cells, frontier, words_per_row, dirty, dirty_bits,
-                            ea_bits, delta, words_per_row, epoch,
-                            row + c as usize, ew, c, k, k, 1, collect, &mut sums,
+                            cells,
+                            frontier,
+                            words_per_row,
+                            dirty,
+                            dirty_bits,
+                            ea_bits,
+                            delta,
+                            words_per_row,
+                            epoch,
+                            row + c as usize,
+                            ew,
+                            c,
+                            k,
+                            k,
+                            1,
+                            collect,
+                            &mut sums,
                         );
                     }
                     let diag = local_col(ew).unwrap_or(u32::MAX);
                     for s in snap.iter() {
                         if s.col == diag {
-                            continue;
-                        }
-                        chain_offers += 1;
-                        offer(
-                            cells, frontier, words_per_row, dirty, dirty_bits,
-                            ea_bits, delta, words_per_row, epoch,
-                            row + s.col as usize, ew, s.col, k, s.ea, s.hops + 1,
-                            collect, &mut sums,
-                        );
-                    }
-                }
-            } else {
-            // 1. Assign snapshot slots to every endpoint of the step. Reads
-            //    go through edge heads, but in a directed timeline a tail
-            //    `u` can be the head of another edge of the same step, so
-            //    both endpoints are slotted uniformly.
-            debug_assert!(slotted.is_empty());
-            for &node in step.src.iter().chain(step.dst.iter()) {
-                if slot_of[node as usize] == NEVER {
-                    let slot = slotted.len() as u32;
-                    slot_of[node as usize] = slot;
-                    slotted.push(node);
-                    // 0 = "no consumer yet": live watermarks and row marks
-                    // at step k are always >= k + 1 >= 1, so 0 filters
-                    // everything out
-                    slot_maxlast.push(if delta { 0 } else { NEVER });
-                    if delta {
-                        report_order.push((node, slot));
-                    }
-                }
-            }
-            if delta {
-                let need = slotted.len() * words_per_row;
-                if dirty_bits.len() < need {
-                    dirty_bits.resize(need, 0);
-                    ea_bits.resize(need, 0);
-                }
-            }
-            // 1b. (delta) Per slot, the most permissive consumer watermark:
-            //     the snapshot below keeps exactly the entries at least one
-            //     of the step's consuming directions still needs.
-            if delta {
-                for e in 0..step.len() {
-                    let wi = step.pair[e] as usize * 2;
-                    let heads: [(usize, u32); 2] =
-                        [(wi, step.dst[e]), (wi + 1, step.src[e])];
-                    let nheads = if undirected { 2 } else { 1 };
-                    for &(wi, head) in &heads[..nheads] {
-                        let last = wm_last(wm, wm_stamp, epoch, wi, true);
-                        let slot = slot_of[head as usize] as usize;
-                        slot_maxlast[slot] = slot_maxlast[slot].max(last);
-                    }
-                }
-            }
-            // 2. Snapshot the pre-step frontier of every slotted row — only
-            //    pre-step values are ever read, which is exactly the strict
-            //    inequality of Remark 1 — filtered to the entries installed
-            //    since some consumer's last visit. A row whose most recent
-            //    change predates every consumer's watermark skips the scan
-            //    outright (its entries all have `set_at > maxlast`).
-            for (si, &node) in slotted.iter().enumerate() {
-                let start = snap.len() as u32;
-                let maxlast = slot_maxlast[si];
-                if row_mark(row_changed_at, row_changed_stamp, epoch, node as usize)
-                    <= maxlast
-                {
-                    let row = node as usize * ncols;
-                    let words =
-                        &frontier[node as usize * words_per_row..][..words_per_row];
-                    for (wi, &word) in words.iter().enumerate() {
-                        let mut bits = word;
-                        while bits != 0 {
-                            let c = (wi as u32) * 64 + bits.trailing_zeros();
-                            bits &= bits - 1;
-                            let cell = &cells[row + c as usize];
-                            if cell.set_at <= maxlast {
-                                snap.push(Snap {
-                                    col: c,
-                                    ea: cell.ea,
-                                    hops: cell.hops,
-                                    set_at: cell.set_at,
-                                });
-                            }
-                        }
-                    }
-                }
-                slot_bounds.push((start, snap.len() as u32 - start));
-            }
-
-            // 3. Process every traversal of the step against the snapshots,
-            //    each direction filtering by its own watermark (the shared
-            //    snapshot was filtered by the *max* over consumers).
-            for e in 0..step.len() {
-                let (eu, ew) = (step.src[e], step.dst[e]);
-                let wi = step.pair[e] as usize * 2;
-                let dirs: [(u32, u32, usize); 2] = [(eu, ew, wi), (ew, eu, wi + 1)];
-                let ndirs = if undirected { 2 } else { 1 };
-                for &(u, w, wi) in &dirs[..ndirs] {
-                    traversals += 1;
-                    let row = u as usize * ncols;
-                    // dirty-bitmap tile of the written row (= row u)
-                    let bit_base = slot_of[u as usize] as usize * words_per_row;
-                    // single hop: u -> w at step k (never delta-filtered —
-                    // its candidate `(k, 1)` is new every step)
-                    if let Some(c) = local_col(w) {
-                        offer(
-                            cells, frontier, words_per_row, dirty, dirty_bits,
-                            ea_bits, delta, bit_base, epoch, row + c as usize,
-                            u, c, k, k, 1, collect, &mut sums,
-                        );
-                    }
-                    let last = wm_last(wm, wm_stamp, epoch, wi, delta);
-                    if delta {
-                        wm[wi] = k;
-                        wm_stamp[wi] = epoch;
-                    }
-                    // chain: u -(k)-> w, then w's pre-step frontier entries
-                    // changed since this direction last consumed them
-                    let slot = slot_of[w as usize] as usize;
-                    let (start, len) = slot_bounds[slot];
-                    // diagonal column to skip (no u -> u trips); NONE_COL
-                    // sentinel can never equal a stored column
-                    let diag = local_col(u).unwrap_or(u32::MAX);
-                    for s in &snap[start as usize..(start + len) as usize] {
-                        if s.col == diag || s.set_at > last {
                             continue;
                         }
                         chain_offers += 1;
@@ -863,10 +791,10 @@ impl EngineArena {
                             dirty_bits,
                             ea_bits,
                             delta,
-                            bit_base,
+                            words_per_row,
                             epoch,
                             row + s.col as usize,
-                            u,
+                            ew,
                             s.col,
                             k,
                             s.ea,
@@ -876,7 +804,158 @@ impl EngineArena {
                         );
                     }
                 }
-            }
+            } else {
+                // 1. Assign snapshot slots to every endpoint of the step. Reads
+                //    go through edge heads, but in a directed timeline a tail
+                //    `u` can be the head of another edge of the same step, so
+                //    both endpoints are slotted uniformly.
+                debug_assert!(slotted.is_empty());
+                for &node in step.src.iter().chain(step.dst.iter()) {
+                    if slot_of[node as usize] == NEVER {
+                        let slot = slotted.len() as u32;
+                        slot_of[node as usize] = slot;
+                        slotted.push(node);
+                        // 0 = "no consumer yet": live watermarks and row marks
+                        // at step k are always >= k + 1 >= 1, so 0 filters
+                        // everything out
+                        slot_maxlast.push(if delta { 0 } else { NEVER });
+                        if delta {
+                            report_order.push((node, slot));
+                        }
+                    }
+                }
+                if delta {
+                    let need = slotted.len() * words_per_row;
+                    if dirty_bits.len() < need {
+                        dirty_bits.resize(need, 0);
+                        ea_bits.resize(need, 0);
+                    }
+                }
+                // 1b. (delta) Per slot, the most permissive consumer watermark:
+                //     the snapshot below keeps exactly the entries at least one
+                //     of the step's consuming directions still needs.
+                if delta {
+                    for e in 0..step.len() {
+                        let wi = step.pair[e] as usize * 2;
+                        let heads: [(usize, u32); 2] =
+                            [(wi, step.dst[e]), (wi + 1, step.src[e])];
+                        let nheads = if undirected { 2 } else { 1 };
+                        for &(wi, head) in &heads[..nheads] {
+                            let last = wm_last(wm, wm_stamp, epoch, wi, true);
+                            let slot = slot_of[head as usize] as usize;
+                            slot_maxlast[slot] = slot_maxlast[slot].max(last);
+                        }
+                    }
+                }
+                // 2. Snapshot the pre-step frontier of every slotted row — only
+                //    pre-step values are ever read, which is exactly the strict
+                //    inequality of Remark 1 — filtered to the entries installed
+                //    since some consumer's last visit. A row whose most recent
+                //    change predates every consumer's watermark skips the scan
+                //    outright (its entries all have `set_at > maxlast`).
+                for (si, &node) in slotted.iter().enumerate() {
+                    let start = snap.len() as u32;
+                    let maxlast = slot_maxlast[si];
+                    if row_mark(row_changed_at, row_changed_stamp, epoch, node as usize)
+                        <= maxlast
+                    {
+                        let row = node as usize * ncols;
+                        let words = &frontier[node as usize * words_per_row..][..words_per_row];
+                        for (wi, &word) in words.iter().enumerate() {
+                            let mut bits = word;
+                            while bits != 0 {
+                                let c = (wi as u32) * 64 + bits.trailing_zeros();
+                                bits &= bits - 1;
+                                let cell = &cells[row + c as usize];
+                                if cell.set_at <= maxlast {
+                                    snap.push(Snap {
+                                        col: c,
+                                        ea: cell.ea,
+                                        hops: cell.hops,
+                                        set_at: cell.set_at,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    slot_bounds.push((start, snap.len() as u32 - start));
+                }
+
+                // 3. Process every traversal of the step against the snapshots,
+                //    each direction filtering by its own watermark (the shared
+                //    snapshot was filtered by the *max* over consumers).
+                for e in 0..step.len() {
+                    let (eu, ew) = (step.src[e], step.dst[e]);
+                    let wi = step.pair[e] as usize * 2;
+                    let dirs: [(u32, u32, usize); 2] = [(eu, ew, wi), (ew, eu, wi + 1)];
+                    let ndirs = if undirected { 2 } else { 1 };
+                    for &(u, w, wi) in &dirs[..ndirs] {
+                        traversals += 1;
+                        let row = u as usize * ncols;
+                        // dirty-bitmap tile of the written row (= row u)
+                        let bit_base = slot_of[u as usize] as usize * words_per_row;
+                        // single hop: u -> w at step k (never delta-filtered —
+                        // its candidate `(k, 1)` is new every step)
+                        if let Some(c) = local_col(w) {
+                            offer(
+                                cells,
+                                frontier,
+                                words_per_row,
+                                dirty,
+                                dirty_bits,
+                                ea_bits,
+                                delta,
+                                bit_base,
+                                epoch,
+                                row + c as usize,
+                                u,
+                                c,
+                                k,
+                                k,
+                                1,
+                                collect,
+                                &mut sums,
+                            );
+                        }
+                        let last = wm_last(wm, wm_stamp, epoch, wi, delta);
+                        if delta {
+                            wm[wi] = k;
+                            wm_stamp[wi] = epoch;
+                        }
+                        // chain: u -(k)-> w, then w's pre-step frontier entries
+                        // changed since this direction last consumed them
+                        let slot = slot_of[w as usize] as usize;
+                        let (start, len) = slot_bounds[slot];
+                        // diagonal column to skip (no u -> u trips); NONE_COL
+                        // sentinel can never equal a stored column
+                        let diag = local_col(u).unwrap_or(u32::MAX);
+                        for s in &snap[start as usize..(start + len) as usize] {
+                            if s.col == diag || s.set_at > last {
+                                continue;
+                            }
+                            chain_offers += 1;
+                            offer(
+                                cells,
+                                frontier,
+                                words_per_row,
+                                dirty,
+                                dirty_bits,
+                                ea_bits,
+                                delta,
+                                bit_base,
+                                epoch,
+                                row + s.col as usize,
+                                u,
+                                s.col,
+                                k,
+                                s.ea,
+                                s.hops + 1,
+                                collect,
+                                &mut sums,
+                            );
+                        }
+                    }
+                }
             }
 
             // 4. Report the minimal trips of this step with final values,
@@ -1262,7 +1341,11 @@ mod tests {
         }
     }
 
-    fn run(stream_text: &str, directedness: Directedness, k: u64) -> Vec<(u32, u32, u32, u32, u32)> {
+    fn run(
+        stream_text: &str,
+        directedness: Directedness,
+        k: u64,
+    ) -> Vec<(u32, u32, u32, u32, u32)> {
         let s = saturn_linkstream::io::read_str(stream_text, directedness).unwrap();
         let t = Timeline::aggregated(&s, k);
         let mut sink = Collect::default();
@@ -1308,7 +1391,8 @@ mod tests {
 
     #[test]
     fn directed_edges_are_one_way() {
-        let s = saturn_linkstream::io::read_str("a b 0\nb c 5\n", Directedness::Directed).unwrap();
+        let s =
+            saturn_linkstream::io::read_str("a b 0\nb c 5\n", Directedness::Directed).unwrap();
         let t = Timeline::aggregated(&s, 2);
         let mut sink = Collect::default();
         earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
@@ -1412,7 +1496,8 @@ mod tests {
         let t = Timeline::aggregated(&s, 2);
         let mut count = 0u32;
         let mut sink = |_u: u32, _v: u32, _d: u32, _a: u32, _h: u32| count += 1;
-        let stats = earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
+        let stats =
+            earliest_arrival_dp(&t, &TargetSet::all(3), &mut sink, DpOptions::default());
         assert_eq!(stats.trips as u32, count);
     }
 
@@ -1465,8 +1550,7 @@ mod tests {
     /// concatenating per-tile trips (each tile's stream re-sorted) and
     /// summing distance stats reproduces the full run.
     #[test]
-    fn tiled_runs_partition_the_untiled_run()
-    {
+    fn tiled_runs_partition_the_untiled_run() {
         let s = saturn_linkstream::io::read_str(
             "a b 0\nc d 3\nb c 7\nd e 9\na e 14\nb d 18\nc e 21\na c 25\n",
             Directedness::Undirected,
@@ -1537,7 +1621,13 @@ mod tests {
         let mut tile = Collect::default();
         let mut arena = EngineArena::new();
         earliest_arrival_dp_tile_in(
-            &mut arena, &t, &targets, 2, 2, &mut tile, DpOptions::default(),
+            &mut arena,
+            &t,
+            &targets,
+            2,
+            2,
+            &mut tile,
+            DpOptions::default(),
         );
         assert_eq!(tile.0, expected);
     }
@@ -1620,12 +1710,8 @@ mod tests {
                 );
                 assert_eq!(on.0, off.0, "{directedness:?} k={k}");
                 assert_eq!(on_stats.trips, off_stats.trips, "{directedness:?} k={k}");
-                assert_eq!(
-                    on_stats.traversals, off_stats.traversals,
-                    "{directedness:?} k={k}"
-                );
-                let (od, fd) =
-                    (on_stats.distances.unwrap(), off_stats.distances.unwrap());
+                assert_eq!(on_stats.traversals, off_stats.traversals, "{directedness:?} k={k}");
+                let (od, fd) = (on_stats.distances.unwrap(), off_stats.distances.unwrap());
                 assert_eq!(od.sum_dtime_steps, fd.sum_dtime_steps, "{directedness:?} k={k}");
                 assert_eq!(od.sum_dhops, fd.sum_dhops, "{directedness:?} k={k}");
                 assert_eq!(od.finite_triples, fd.finite_triples, "{directedness:?} k={k}");

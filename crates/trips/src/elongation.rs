@@ -44,8 +44,8 @@ impl ElongationSink<'_> {
     fn reference_duration(&self, u: u32, v: u32, dep: u32, arr: u32) -> Option<i64> {
         let trips = self.reference.pair(u, v)?;
         // first reference trip departing in window >= dep
-        let start = trips
-            .partition_point(|&(d, _)| self.partition.index(Time::new(d)) < dep as u64);
+        let start =
+            trips.partition_point(|&(d, _)| self.partition.index(Time::new(d)) < dep as u64);
         let mut best: Option<i64> = None;
         for &(d, a) in &trips[start..] {
             if self.partition.index(Time::new(a)) > arr as u64 {
@@ -136,8 +136,8 @@ mod tests {
         // Chain with hops exactly one window apart at K = 10 (Δ = 10):
         // a-b@5, b-c@15: real trip duration 10; aggregated trip spans
         // windows 0..1, duration_abs = 2·10 = 20 => elongation 2.
-        let s = io::read_str("a b 5\nb c 15\na z 0\na z 100\n", Directedness::Undirected)
-            .unwrap();
+        let s =
+            io::read_str("a b 5\nb c 15\na z 0\na z 100\n", Directedness::Undirected).unwrap();
         let targets = TargetSet::all(4);
         let reference = stream_minimal_trips(&s, &targets, false);
         let e = elongation_stats(&s, &reference, 10, &targets);
@@ -154,11 +154,7 @@ mod tests {
         for k in [2u64, 3, 5, 8, 13, 40] {
             let e = elongation_stats(&s, &reference, k, &targets);
             if e.count > 0 {
-                assert!(
-                    e.mean >= 1.0 - 1e-9,
-                    "k={k}: mean elongation {} below 1",
-                    e.mean
-                );
+                assert!(e.mean >= 1.0 - 1e-9, "k={k}: mean elongation {} below 1", e.mean);
             }
         }
     }

@@ -73,10 +73,7 @@ impl OccupancyHistogram {
             let (h2, d2) = *b.0;
             (h1 as u64 * d2 as u64).cmp(&(h2 as u64 * d1 as u64))
         });
-        entries
-            .into_iter()
-            .map(|(&(h, d), &c)| (h as f64 / d as f64, c))
-            .collect()
+        entries.into_iter().map(|(&(h, d), &c)| (h as f64 / d as f64, c)).collect()
     }
 
     /// Mean occupancy rate.
@@ -92,8 +89,7 @@ impl OccupancyHistogram {
         let mut entries: Vec<((u32, u32), u64)> =
             self.counts.iter().map(|(&key, &c)| (key, c)).collect();
         entries.sort_unstable_by_key(|&(key, _)| key);
-        let s: f64 =
-            entries.iter().map(|&((h, d), c)| c as f64 * h as f64 / d as f64).sum();
+        let s: f64 = entries.iter().map(|&((h, d), c)| c as f64 * h as f64 / d as f64).sum();
         s / self.total as f64
     }
 
@@ -125,7 +121,11 @@ impl TripSink for HistogramSink {
 
 /// Computes the occupancy-rate distribution of all minimal trips of the
 /// series `G_Δ` with `Δ = T/k`, for destinations in `targets`.
-pub fn occupancy_histogram(stream: &LinkStream, k: u64, targets: &TargetSet) -> OccupancyHistogram {
+pub fn occupancy_histogram(
+    stream: &LinkStream,
+    k: u64,
+    targets: &TargetSet,
+) -> OccupancyHistogram {
     let timeline = Timeline::aggregated(stream, k);
     occupancy_histogram_on(&timeline, targets)
 }
@@ -185,13 +185,7 @@ pub fn occupancy_histogram_tile_opts_in(
 ) -> OccupancyHistogram {
     let mut sink = HistogramSink(OccupancyHistogram::new());
     earliest_arrival_dp_tile_in(
-        arena,
-        timeline,
-        targets,
-        col_start,
-        col_len,
-        &mut sink,
-        options,
+        arena, timeline, targets, col_start, col_len, &mut sink, options,
     );
     sink.0
 }

@@ -17,7 +17,10 @@ pub type TripRecord = (u32, u32, u32, u32, u32);
 /// # Panics
 /// Panics if more than `path_budget` paths are generated, to protect tests
 /// from accidental blow-ups.
-pub fn all_paths_min_hops(timeline: &Timeline, path_budget: usize) -> HashMap<(u32, u32, u32, u32), u32> {
+pub fn all_paths_min_hops(
+    timeline: &Timeline,
+    path_budget: usize,
+) -> HashMap<(u32, u32, u32, u32), u32> {
     // traversals[s] = list of directed (u, w) available at ascending step s
     let steps: Vec<(u32, Vec<(u32, u32)>)> = timeline
         .steps_asc()
@@ -49,7 +52,14 @@ pub fn all_paths_min_hops(timeline: &Timeline, path_budget: usize) -> HashMap<(u
     let mut stack: Vec<Frame> = Vec::new();
     for (si, (step, traversals)) in steps.iter().enumerate() {
         for &(u, w) in traversals {
-            stack.push(Frame { start: u, node: w, dep: *step, arr: *step, hops: 1, next_step: si + 1 });
+            stack.push(Frame {
+                start: u,
+                node: w,
+                dep: *step,
+                arr: *step,
+                hops: 1,
+                next_step: si + 1,
+            });
         }
     }
 
@@ -97,9 +107,9 @@ pub fn minimal_trips_bruteforce(timeline: &Timeline, path_budget: usize) -> Vec<
     let mut out = Vec::new();
     for ((u, v), intervals) in &per_pair {
         for &(dep, arr) in intervals {
-            let strictly_inside = intervals.iter().any(|&(d2, a2)| {
-                d2 >= dep && a2 <= arr && (d2, a2) != (dep, arr)
-            });
+            let strictly_inside = intervals
+                .iter()
+                .any(|&(d2, a2)| d2 >= dep && a2 <= arr && (d2, a2) != (dep, arr));
             if !strictly_inside {
                 // minimum hops among paths departing exactly at dep and
                 // arriving exactly at arr
@@ -203,7 +213,10 @@ mod tests {
         // e -(w1 d,e)- d -(w2 d,b)- b; either way a trip e->b must exist.
         let e = 4u32; // labels: c=0,d=1,b=2,e=3,a=4 by first appearance
         let b = 2u32;
-        assert!(fast.iter().any(|&(u, v, ..)| (u, v) == (e, b)) || fast.iter().any(|&(u, v, ..)| (u, v) == (3, 2)));
+        assert!(
+            fast.iter().any(|&(u, v, ..)| (u, v) == (e, b))
+                || fast.iter().any(|&(u, v, ..)| (u, v) == (3, 2))
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! trip lists are the reference against which aggregated trips are compared
 //! by the *elongation factor* (Figure 8 right).
 
-use crate::{earliest_arrival_dp, DpOptions, ShortestTransitions, TargetSet, Timeline, TripSink};
+use crate::{
+    earliest_arrival_dp, DpOptions, ShortestTransitions, TargetSet, Timeline, TripSink,
+};
 use saturn_linkstream::LinkStream;
 use std::collections::{HashMap, HashSet};
 
@@ -81,7 +83,8 @@ pub fn stream_minimal_trips(
     weighted_transitions: bool,
 ) -> StreamTrips {
     let timeline = Timeline::exact(stream);
-    let mut sink = StreamSink { timeline: &timeline, trips: StreamTrips::default(), two_hop: Vec::new() };
+    let mut sink =
+        StreamSink { timeline: &timeline, trips: StreamTrips::default(), two_hop: Vec::new() };
     earliest_arrival_dp(&timeline, targets, &mut sink, DpOptions::default());
 
     let StreamSink { trips: mut out, two_hop, .. } = sink;
@@ -150,18 +153,10 @@ mod tests {
     #[test]
     fn multiplicity_counts_middle_nodes() {
         // two middle nodes b, d: a-b@0, a-d@0, b-c@5, d-c@5
-        let s = io::read_str(
-            "a b 0\na d 0\nb c 5\nd c 5\n",
-            Directedness::Undirected,
-        )
-        .unwrap();
+        let s = io::read_str("a b 0\na d 0\nb c 5\nd c 5\n", Directedness::Undirected).unwrap();
         let trips = stream_minimal_trips(&s, &TargetSet::all(4), true);
-        let tr: Vec<_> = trips
-            .transitions
-            .items
-            .iter()
-            .filter(|t| (t.t1, t.t2) == (0, 5))
-            .collect();
+        let tr: Vec<_> =
+            trips.transitions.items.iter().filter(|t| (t.t1, t.t2) == (0, 5)).collect();
         // the (a,c,0,5) trip has weight 2; (b,d)/(d,b) trips via a->? ...
         // check at least the a->c one carries weight 2
         assert!(tr.iter().any(|t| t.weight == 2), "transitions: {tr:?}");
@@ -169,11 +164,7 @@ mod tests {
 
     #[test]
     fn unweighted_mode_counts_once() {
-        let s = io::read_str(
-            "a b 0\na d 0\nb c 5\nd c 5\n",
-            Directedness::Undirected,
-        )
-        .unwrap();
+        let s = io::read_str("a b 0\na d 0\nb c 5\nd c 5\n", Directedness::Undirected).unwrap();
         let w = stream_minimal_trips(&s, &TargetSet::all(4), true);
         let u = stream_minimal_trips(&s, &TargetSet::all(4), false);
         assert_eq!(w.transitions.len(), u.transitions.len());

@@ -28,6 +28,44 @@
 //! `O(E)` per scale, no comparison sort, no per-window allocation. The
 //! occupancy sweep builds one `EventView` and feeds it to every scale (see
 //! [`Timeline::aggregated_from_view`]).
+//!
+//! # Merge invariants (incremental adjacent-scale construction)
+//!
+//! A sweep evaluates the same stream at a *series* of scales, and adjacent
+//! scales share almost all of their window structure. When the coarser
+//! window count divides the finer one (`k_fine = r · k_coarse`),
+//! [`Timeline::aggregated_by_merge`] derives the coarse timeline from the
+//! fine one by merging runs of `r` adjacent windows instead of re-scattering
+//! the full [`EventView`]; [`Timeline::merge_compatible`] is the predicate
+//! guarding it. The merged timeline is **field-for-field identical** to the
+//! scratch-built one ([`aggregated_from_view`](Timeline::aggregated_from_view)
+//! at the same `k`), resting on these invariants:
+//!
+//! * **Exact window nesting.** [`WindowPartition::index`] maps an offset to
+//!   `⌊off · k / span⌋` (clamped at `k − 1`). For any real `x` and integer
+//!   `r ≥ 1`, `⌊⌊x · k_fine⌋ / r⌋ = ⌊x · k_coarse⌋` when
+//!   `k_fine = r · k_coarse`, and the end-of-period clamp commutes with the
+//!   division (`(k_fine − 1) / r = k_coarse − 1`). Hence every event's
+//!   coarse window is its fine window divided by `r` — *no event can
+//!   straddle a merge*. Non-divisor ratios have no such guarantee (a fine
+//!   window can span a coarse boundary), which is exactly what
+//!   `merge_compatible` rejects; callers then fall back to a scratch build.
+//! * **Pair ids are scale-independent.** On the aggregated path, pair ids
+//!   are assigned in `(u, v)`-sorted view order, so a pair's id is its rank
+//!   among the view's distinct pairs — the same at every `k`. Merging
+//!   carries ids through unchanged and copies `distinct_pairs`, preserving
+//!   the stable-id contract the delta engine's watermarks key on.
+//! * **Order and dedup.** Within a step, edges ascend by `(u, v)`, and pair
+//!   ids are a monotone function of `(u, v)`; the union of the `r` fine
+//!   steps of one coarse window is therefore a sorted-by-pair-id multiway
+//!   merge, with equal ids collapsing to one edge — the same set, in the
+//!   same order, that the radix scatter produces after its neighbor dedup.
+//! * **Exact timelines never merge.** Their steps are distinct timestamps,
+//!   not windows; `merge_compatible` is `false` for them.
+//!
+//! The differential proptest `timeline_incremental.rs` enforces the
+//! field-for-field equality (offsets, edge arrays, pair ids, and the DP
+//! results computed from them) over random streams × random divisor chains.
 
 use saturn_linkstream::{LinkStream, WindowPartition};
 
@@ -92,10 +130,7 @@ impl EventView {
     /// CSR timelines built from it index with `u32`).
     pub fn new(stream: &LinkStream) -> Self {
         let events = stream.events();
-        assert!(
-            events.len() < u32::MAX as usize,
-            "event count exceeds engine limit"
-        );
+        assert!(events.len() < u32::MAX as usize, "event count exceeds engine limit");
         let mut order: Vec<u32> = (0..events.len() as u32).collect();
         order.sort_unstable_by_key(|&i| {
             let l = &events[i as usize];
@@ -185,8 +220,8 @@ impl Timeline {
     /// As [`aggregated`](Timeline::aggregated).
     pub fn aggregated_from_view(view: &EventView, k: u64) -> Self {
         assert!(k < u32::MAX as u64, "window count {k} exceeds engine limit");
-        let partition = WindowPartition::new(view.t_begin, view.t_end, k)
-            .expect("invalid window count");
+        let partition =
+            WindowPartition::new(view.t_begin, view.t_end, k).expect("invalid window count");
 
         // 1. One pass over the pair-sorted view: map each event to its
         //    window and drop same-pair-same-window repeats (within a pair,
@@ -263,10 +298,7 @@ impl Timeline {
     /// Panics if the stream has `>= u32::MAX` distinct timestamps.
     pub fn exact(stream: &LinkStream) -> Self {
         // edges <= events, so this bounds the u32 CSR offsets below
-        assert!(
-            stream.events().len() < u32::MAX as usize,
-            "edge count exceeds engine limit"
-        );
+        assert!(stream.events().len() < u32::MAX as usize, "edge count exceeds engine limit");
         let mut ticks = Vec::new();
         let mut step_index = Vec::new();
         let mut step_offsets = vec![0u32];
@@ -382,6 +414,197 @@ impl Timeline {
     pub fn is_exact(&self) -> bool {
         !self.ticks.is_empty()
     }
+
+    /// Whether the timeline of `k` windows can be derived from this one by
+    /// [`aggregated_by_merge`](Timeline::aggregated_by_merge): this timeline
+    /// must be aggregated (window-indexed, not timestamp-indexed) and `k`
+    /// must divide its window count — only then is every coarse window an
+    /// exact union of adjacent fine windows (module docs, "Merge
+    /// invariants").
+    pub fn merge_compatible(&self, k: u64) -> bool {
+        !self.is_exact()
+            && k >= 1
+            && k <= self.num_steps as u64
+            && (self.num_steps as u64).is_multiple_of(k)
+    }
+
+    /// Derives the aggregated timeline at the coarser scale `k` by merging
+    /// runs of `num_steps / k` adjacent windows, instead of re-scattering
+    /// the full event view. Field-for-field identical to
+    /// [`aggregated_from_view`](Timeline::aggregated_from_view) at the same
+    /// `k` (module docs, "Merge invariants"); cost is `O(M_fine)` over the
+    /// fine timeline's deduplicated edges — plus one bitmap-word walk per
+    /// merged window — rather than `O(E)` over all events.
+    ///
+    /// Three run shapes, cheapest first: consecutive fine steps that each
+    /// land *alone* in their coarse window are batched into one verbatim
+    /// slice copy (their edges are contiguous in the CSR arrays — the
+    /// dominant shape on the sparse fine-scale tail); a two-step window
+    /// takes a classic two-way merge on pair ids (the dominant merging
+    /// shape on ratio-2 chains); wider windows take a pair-id bitmap union
+    /// whose ordered bit walk emits the sorted deduplicated result without
+    /// any comparison merging.
+    ///
+    /// # Panics
+    /// Panics unless [`merge_compatible`](Timeline::merge_compatible)
+    /// holds.
+    pub fn aggregated_by_merge(&self, k: u64) -> Timeline {
+        assert!(
+            self.merge_compatible(k),
+            "scales are not merge-compatible: {} windows -> {k}",
+            self.num_steps
+        );
+        let r = self.num_steps as u64 / k;
+        if r == 1 {
+            return self.clone();
+        }
+        let nonempty = self.nonempty_steps();
+        let mut step_index = Vec::with_capacity(nonempty.min(k as usize));
+        let mut step_offsets = Vec::with_capacity(nonempty.min(k as usize) + 1);
+        step_offsets.push(0u32);
+        let mut src = Vec::with_capacity(self.edge_src.len());
+        let mut dst = Vec::with_capacity(self.edge_src.len());
+        let mut pair = Vec::with_capacity(self.edge_src.len());
+        // union scratch for 3+-step windows, allocated lazily on the first
+        // one: a pair-id presence bitmap (cleared word-by-word as it is
+        // walked) and the (src, dst) of each present pair
+        let mut seen: Vec<u64> = Vec::new();
+        let mut pair_src: Vec<u32> = Vec::new();
+        let mut pair_dst: Vec<u32> = Vec::new();
+
+        let coarse = |s: usize| (self.step_index[s] as u64 / r) as u32;
+        let offs = |s: usize| self.step_offsets[s] as usize;
+        let mut i = 0;
+        while i < nonempty {
+            let w = coarse(i);
+            // the run of fine steps landing in coarse window `w`
+            let mut j = i + 1;
+            while j < nonempty && coarse(j) == w {
+                j += 1;
+            }
+            if j == i + 1 {
+                // `i` is alone in its window: extend the batch over every
+                // following step that is also alone in its own window, and
+                // copy the whole contiguous edge range in one go
+                while j < nonempty
+                    && coarse(j) != coarse(j - 1)
+                    && (j + 1 == nonempty || coarse(j + 1) != coarse(j))
+                {
+                    j += 1;
+                }
+                let base = src.len();
+                src.extend_from_slice(&self.edge_src[offs(i)..offs(j)]);
+                dst.extend_from_slice(&self.edge_dst[offs(i)..offs(j)]);
+                pair.extend_from_slice(&self.edge_pair[offs(i)..offs(j)]);
+                for s in i..j {
+                    step_index.push(coarse(s));
+                    step_offsets.push((base + offs(s + 1) - offs(i)) as u32);
+                }
+                i = j;
+                continue;
+            }
+            if j == i + 2 {
+                // two fine steps: classic two-way merge on pair id (the
+                // dominant merging case on ratio-2 chains at fine scales)
+                let (mut a, a_hi) = (offs(i), offs(i + 1));
+                let (mut b, b_hi) = (a_hi, offs(i + 2));
+                while a < a_hi && b < b_hi {
+                    let (pa, pb) = (self.edge_pair[a], self.edge_pair[b]);
+                    let take = if pa <= pb { a } else { b };
+                    src.push(self.edge_src[take]);
+                    dst.push(self.edge_dst[take]);
+                    pair.push(self.edge_pair[take]);
+                    if pa <= pb {
+                        a += 1;
+                    }
+                    if pb <= pa {
+                        b += 1;
+                    }
+                }
+                let (mut rest, hi) = if a < a_hi { (a, a_hi) } else { (b, b_hi) };
+                while rest < hi {
+                    src.push(self.edge_src[rest]);
+                    dst.push(self.edge_dst[rest]);
+                    pair.push(self.edge_pair[rest]);
+                    rest += 1;
+                }
+            } else {
+                // 3+ fine steps: mark pairs in the bitmap, then walk the
+                // touched words in ascending order — pair ids ascend with
+                // (u, v), so the bit walk *is* the sorted dedup union
+                if seen.is_empty() {
+                    seen = vec![0u64; (self.distinct_pairs as usize).div_ceil(64).max(1)];
+                    pair_src = vec![0u32; self.distinct_pairs as usize];
+                    pair_dst = vec![0u32; self.distinct_pairs as usize];
+                }
+                let (mut min_p, mut max_p) = (u32::MAX, 0u32);
+                for e in offs(i)..offs(j) {
+                    let p = self.edge_pair[e];
+                    let (word, bit) = ((p >> 6) as usize, 1u64 << (p & 63));
+                    if seen[word] & bit == 0 {
+                        seen[word] |= bit;
+                        pair_src[p as usize] = self.edge_src[e];
+                        pair_dst[p as usize] = self.edge_dst[e];
+                        min_p = min_p.min(p);
+                        max_p = max_p.max(p);
+                    }
+                }
+                let word_lo = (min_p >> 6) as usize;
+                for (at, slot) in seen[word_lo..=(max_p >> 6) as usize].iter_mut().enumerate() {
+                    let mut word = *slot;
+                    *slot = 0;
+                    while word != 0 {
+                        let p = ((word_lo + at) as u32) << 6 | word.trailing_zeros();
+                        src.push(pair_src[p as usize]);
+                        dst.push(pair_dst[p as usize]);
+                        pair.push(p);
+                        word &= word - 1;
+                    }
+                }
+            }
+            step_index.push(w);
+            step_offsets.push(src.len() as u32);
+            i = j;
+        }
+
+        Timeline {
+            n: self.n,
+            directed: self.directed,
+            num_steps: k as u32,
+            step_index,
+            step_offsets,
+            edge_src: src,
+            edge_dst: dst,
+            edge_pair: pair,
+            distinct_pairs: self.distinct_pairs,
+            ticks: Vec::new(),
+        }
+    }
+
+    /// An order-sensitive checksum over every field the DP engine consumes
+    /// (step indices, CSR offsets, edge endpoints, pair ids, step/pair
+    /// counts). Two timelines with equal checksums are field-for-field
+    /// interchangeable for the engine; the sweep bench hard-asserts
+    /// merged-vs-scratch checksum equality.
+    pub fn checksum(&self) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64
+            ^ ((self.num_steps as u64) << 1)
+            ^ ((self.distinct_pairs as u64) << 33)
+            ^ (self.directed as u64);
+        let mut mix = |x: u64| {
+            acc = (acc ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23);
+        };
+        for (i, &w) in self.step_index.iter().enumerate() {
+            mix((w as u64) << 32 | self.step_offsets[i + 1] as u64);
+        }
+        for e in 0..self.edge_src.len() {
+            mix((self.edge_src[e] as u64) << 40
+                | (self.edge_dst[e] as u64) << 16
+                | self.edge_pair[e] as u64 & 0xFFFF);
+            mix(self.edge_pair[e] as u64);
+        }
+        acc
+    }
 }
 
 /// Stable counting-sort of the `(win, src, dst, pair)` quads by `win`: one
@@ -461,8 +684,7 @@ mod tests {
         let t = Timeline::aggregated(&s, 3); // Δ = 3: [0,3), [3,6), [6,9]
         assert_eq!(t.num_steps(), 3);
         assert!(!t.is_exact());
-        let steps: Vec<(u32, usize)> =
-            t.steps_desc().map(|s| (s.index, s.len())).collect();
+        let steps: Vec<(u32, usize)> = t.steps_desc().map(|s| (s.index, s.len())).collect();
         // window 0: {ab, bc}; window 2: {cd}; descending order
         assert_eq!(steps, vec![(2, 1), (0, 2)]);
         assert_eq!(t.total_edges(), 3);
@@ -568,6 +790,108 @@ mod tests {
                 id_of.values().copied().collect();
             assert_eq!(distinct_ids.len(), t.distinct_pairs() as usize);
         }
+    }
+
+    /// Strict structural equality — every field the engine can observe.
+    fn assert_identical(a: &Timeline, b: &Timeline, what: &str) {
+        assert_eq!(a.num_steps(), b.num_steps(), "{what}: num_steps");
+        assert_eq!(a.nonempty_steps(), b.nonempty_steps(), "{what}: nonempty_steps");
+        assert_eq!(a.distinct_pairs(), b.distinct_pairs(), "{what}: distinct_pairs");
+        assert_eq!(a.is_exact(), b.is_exact(), "{what}: is_exact");
+        assert_eq!(a.is_directed(), b.is_directed(), "{what}: directedness");
+        for i in 0..a.nonempty_steps() {
+            let (x, y) = (a.step(i), b.step(i));
+            assert_eq!(x.index, y.index, "{what}: step {i} index");
+            assert_eq!(x.src, y.src, "{what}: step {i} src");
+            assert_eq!(x.dst, y.dst, "{what}: step {i} dst");
+            assert_eq!(x.pair, y.pair, "{what}: step {i} pair ids");
+        }
+        assert_eq!(a.checksum(), b.checksum(), "{what}: checksum");
+    }
+
+    #[test]
+    fn merge_equals_scratch_across_divisor_ladder() {
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 11);
+        for i in 0..500i64 {
+            b.add_indexed((i * 3 % 11) as u32, (i * 7 % 11) as u32, (i * 17) % 1201);
+        }
+        let s = b.build().unwrap();
+        let view = EventView::new(&s);
+        // fine -> coarse ladder: every hop divides the previous window count
+        for (k_fine, k_coarse) in
+            [(1200u64, 600u64), (600, 120), (120, 12), (12, 1), (1200, 12)]
+        {
+            let fine = Timeline::aggregated_from_view(&view, k_fine);
+            assert!(fine.merge_compatible(k_coarse), "{k_fine} -> {k_coarse}");
+            let merged = fine.aggregated_by_merge(k_coarse);
+            let scratch = Timeline::aggregated_from_view(&view, k_coarse);
+            assert_identical(&merged, &scratch, &format!("merge {k_fine} -> {k_coarse}"));
+        }
+        // chained merges compose: 1200 -> 120 -> 12 equals scratch at 12
+        let chained = Timeline::aggregated_from_view(&view, 1200)
+            .aggregated_by_merge(120)
+            .aggregated_by_merge(12);
+        assert_identical(&chained, &Timeline::aggregated(&s, 12), "chained 1200->120->12");
+    }
+
+    #[test]
+    fn merge_compatibility_predicate() {
+        let s = stream();
+        let t = Timeline::aggregated(&s, 9);
+        assert!(t.merge_compatible(9)); // ratio 1: trivial clone
+        assert!(t.merge_compatible(3));
+        assert!(t.merge_compatible(1));
+        assert!(!t.merge_compatible(2)); // non-divisor
+        assert!(!t.merge_compatible(4));
+        assert!(!t.merge_compatible(0));
+        assert!(!t.merge_compatible(18)); // refining is not merging
+        assert!(!Timeline::exact(&s).merge_compatible(1)); // exact path never merges
+    }
+
+    #[test]
+    #[should_panic(expected = "not merge-compatible")]
+    fn merge_rejects_non_divisor_ratio() {
+        let s = stream();
+        Timeline::aggregated(&s, 9).aggregated_by_merge(2);
+    }
+
+    #[test]
+    fn merge_ratio_one_is_identity() {
+        let s = stream();
+        let t = Timeline::aggregated(&s, 3);
+        assert_identical(&t.aggregated_by_merge(3), &t, "ratio-1 merge");
+    }
+
+    #[test]
+    fn merge_handles_wide_ratios_through_the_bitmap_union_path() {
+        // >2 non-empty fine steps per coarse window exercises the pair-id
+        // bitmap union; a bursty pair recurring across fine windows inside
+        // one coarse window exercises dedup
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 6);
+        for i in 0..240i64 {
+            b.add_indexed((i % 5) as u32, 5, i * 5 % 1200);
+            b.add_indexed(0, 1, i * 7 % 1200); // recurrent pair
+        }
+        let s = b.build().unwrap();
+        let view = EventView::new(&s);
+        let fine = Timeline::aggregated_from_view(&view, 1200);
+        for k in [240u64, 48, 8, 2] {
+            let merged = fine.aggregated_by_merge(k);
+            assert_identical(
+                &merged,
+                &Timeline::aggregated_from_view(&view, k),
+                &format!("wide-ratio merge 1200 -> {k}"),
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_different_timelines() {
+        let s = stream();
+        let a = Timeline::aggregated(&s, 3);
+        let b = Timeline::aggregated(&s, 9);
+        assert_ne!(a.checksum(), b.checksum());
+        assert_eq!(a.checksum(), Timeline::aggregated(&s, 3).checksum());
     }
 
     #[test]

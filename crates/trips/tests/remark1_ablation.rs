@@ -28,7 +28,8 @@ fn naive_in_place_reachability(timeline: &Timeline) -> HashMap<(u32, u32), u32> 
     for step in timeline.steps_desc() {
         let k = step.index;
         for (eu, ew) in step.edges() {
-            let dirs = if timeline.is_directed() { vec![(eu, ew)] } else { vec![(eu, ew), (ew, eu)] };
+            let dirs =
+                if timeline.is_directed() { vec![(eu, ew)] } else { vec![(eu, ew), (ew, eu)] };
             for (u, w) in dirs {
                 for v in 0..n as u32 {
                     if v == u {
@@ -108,10 +109,7 @@ fn variants_agree_when_no_same_step_chaining_is_possible() {
     // value at dep 0): take min arr per pair
     let mut engine: HashMap<(u32, u32), u32> = HashMap::new();
     for &(u, v, _dep, arr, _) in &sink.0 {
-        engine
-            .entry((u, v))
-            .and_modify(|a| *a = (*a).min(arr))
-            .or_insert(arr);
+        engine.entry((u, v)).and_modify(|a| *a = (*a).min(arr)).or_insert(arr);
     }
     assert_eq!(naive, engine);
 }

@@ -7,14 +7,11 @@
 //! cargo run --release --example choose_window [max_lost_fraction]
 //! ```
 
-use saturn::prelude::*;
 use saturn::core::{validation_sweep, ValidationOptions};
+use saturn::prelude::*;
 
 fn main() {
-    let budget: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.10); // accept at most 10% lost shortest transitions
+    let budget: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.10); // accept at most 10% lost shortest transitions
 
     // A mid-sized stand-in (scaled Manufacturing: office rhythm, high
     // activity) keeps this example snappy.
@@ -40,10 +37,7 @@ fn main() {
         TargetSpec::All,
         &ValidationOptions::default(),
     );
-    println!(
-        "\n{:>10} {:>12} {:>12} {:>12}",
-        "Δ (h)", "lost trans.", "elongation", "verdict"
-    );
+    println!("\n{:>10} {:>12} {:>12} {:>12}", "Δ (h)", "lost trans.", "elongation", "verdict");
     let mut chosen: Option<f64> = None;
     for p in &validation.points {
         let delta_h = p.delta_ticks / 3_600.0;

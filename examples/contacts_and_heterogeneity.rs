@@ -90,9 +90,7 @@ fn main() {
     println!(
         "\nwhole-stream γ = {:.1} ticks; most conservative per-segment γ = {}",
         report.whole_stream_gamma_ticks,
-        report
-            .min_segment_gamma_ticks
-            .map_or("—".to_string(), |g| format!("{g:.1} ticks")),
+        report.min_segment_gamma_ticks.map_or("—".to_string(), |g| format!("{g:.1} ticks")),
     );
     println!(
         "==> aggregate everything at the per-segment minimum, or aggregate each\n\

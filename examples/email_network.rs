@@ -54,9 +54,7 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let report = OccupancyMethod::new()
-        .grid(SweepGrid::Geometric { points: 48 })
-        .run(&stream);
+    let report = OccupancyMethod::new().grid(SweepGrid::Geometric { points: 48 }).run(&stream);
     let gamma = report.gamma().expect("non-degenerate stream");
     println!(
         "saturation scale γ = {:.1} h (K = {}, M-K proximity {:.4}) [{:.1?}]",

@@ -10,7 +10,8 @@ use saturn::prelude::*;
 fn main() {
     // A time-uniform network (Section 6 of the paper): 40 nodes, 8 links per
     // pair, uniformly spread over ~28 hours of 1-second ticks.
-    let stream = TimeUniform { nodes: 40, links_per_pair: 8, span: 100_000, seed: 42 }.generate();
+    let stream =
+        TimeUniform { nodes: 40, links_per_pair: 8, span: 100_000, seed: 42 }.generate();
     let stats = stream.stats();
     println!(
         "stream: {} nodes, {} links, span {} s, mean inter-contact {:.1} s",
@@ -19,9 +20,7 @@ fn main() {
 
     // The occupancy method, with the paper's defaults (M-K proximity,
     // geometric Δ grid, exact all-pairs trips).
-    let report = OccupancyMethod::new()
-        .grid(SweepGrid::Geometric { points: 32 })
-        .run(&stream);
+    let report = OccupancyMethod::new().grid(SweepGrid::Geometric { points: 32 }).run(&stream);
 
     println!("{}", report.render_text(1.0, "s"));
 

@@ -13,7 +13,6 @@
 //! generated. The per-test case counts here are small enough that unshrunk
 //! inputs stay readable.
 
-
 use std::ops::{Range, RangeInclusive};
 
 pub mod prelude {
@@ -71,10 +70,7 @@ impl TestRng {
 
     /// Next 64 uniform bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -120,7 +116,11 @@ pub trait Strategy {
     }
 
     /// Keeps only values passing `pred`.
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _why: &'static str, pred: F) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _why: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
     where
         Self: Sized,
     {

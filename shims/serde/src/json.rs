@@ -295,7 +295,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                         *pos += 1;
                         return Ok(Value::Array(items));
                     }
-                    _ => return Err(Error::new(format!("bad array at byte {pos}", pos = *pos))),
+                    _ => {
+                        return Err(Error::new(format!("bad array at byte {pos}", pos = *pos)))
+                    }
                 }
             }
         }
@@ -321,7 +323,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                         *pos += 1;
                         return Ok(Value::Object(entries));
                     }
-                    _ => return Err(Error::new(format!("bad object at byte {pos}", pos = *pos))),
+                    _ => {
+                        return Err(Error::new(format!("bad object at byte {pos}", pos = *pos)))
+                    }
                 }
             }
         }
@@ -413,8 +417,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
             *pos += 1;
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| Error::new("invalid number"))?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(Error::new(format!("expected number at byte {start}")));
     }

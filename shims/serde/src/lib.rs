@@ -206,10 +206,7 @@ mod tests {
         assert_eq!((-3i64).to_value(), Value::Int(-3));
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!(None::<u32>.to_value(), Value::Null);
-        assert_eq!(
-            vec![1u32, 2].to_value(),
-            Value::Array(vec![Value::Int(1), Value::Int(2)])
-        );
+        assert_eq!(vec![1u32, 2].to_value(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
         assert_eq!(
             (1u32, "x").to_value(),
             Value::Array(vec![Value::Int(1), Value::String("x".into())])

@@ -129,9 +129,7 @@ fn serialize_fields_expr(fields: &Fields, access: &str, _suffix: &str) -> String
             let entries: Vec<String> = names
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), serde::Serialize::to_value(&{access}{f}))"
-                    )
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&{access}{f}))")
                 })
                 .collect();
             format!("serde::Value::Object(vec![{}])", entries.join(", "))

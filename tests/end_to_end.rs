@@ -1,9 +1,9 @@
 //! Integration tests: the full pipeline across crates, from raw text to the
 //! saturation scale.
 
-use saturn::prelude::*;
 use saturn::core::{classic_sweep, validation_sweep};
 use saturn::linkstream::io;
+use saturn::prelude::*;
 
 /// A periodic stream where the "right" scale is knowable: links repeat every
 /// `gap` ticks along a path, so aggregation beyond a few `gap`s saturates.
@@ -60,10 +60,7 @@ fn parse_analyze_report_roundtrip() {
 
     let json = report.to_json();
     let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert_eq!(
-        v["results"].as_array().unwrap().len(),
-        report.results().len()
-    );
+    assert_eq!(v["results"].as_array().unwrap().len(), report.results().len());
     // the serialized scores carry the M-K proximity used for gamma
     let max_prox = v["results"]
         .as_array()
@@ -177,7 +174,8 @@ fn dataset_standins_run_scaled() {
 
 #[test]
 fn sampled_and_exact_gamma_agree_on_dense_streams() {
-    let stream = TimeUniform { nodes: 40, links_per_pair: 10, span: 20_000, seed: 3 }.generate();
+    let stream =
+        TimeUniform { nodes: 40, links_per_pair: 10, span: 20_000, seed: 3 }.generate();
     let run = |targets| {
         OccupancyMethod::new()
             .grid(SweepGrid::Geometric { points: 16 })

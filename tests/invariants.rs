@@ -1,8 +1,8 @@
 //! Cross-crate property tests on randomly generated streams.
 
 use proptest::prelude::*;
-use saturn::prelude::*;
 use saturn::distrib::{mk_distance_to_uniform, WeightedDist};
+use saturn::prelude::*;
 use saturn::trips::{earliest_arrival_dp, DpOptions, TripSink};
 
 fn arb_stream() -> impl Strategy<Value = LinkStream> {
