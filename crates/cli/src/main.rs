@@ -10,7 +10,7 @@
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
 //! saturn validate <file> [--directed] [--points N] [--threads N]
 //! saturn stats <file> [--directed] [--json]
-//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--queue N]
+//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--queue N] [--default-deadline-ms N] [--drain-secs N]
 //! saturn help
 //! ```
 
@@ -18,7 +18,7 @@ use saturn_core::{
     validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
 };
 use saturn_linkstream::{io, Directedness, LinkStream};
-use saturn_server::{Server, ServerConfig};
+use saturn_server::{FaultPlan, Server, ServerConfig};
 use saturn_synth::DatasetProfile;
 use std::process::ExitCode;
 
@@ -84,6 +84,15 @@ USAGE:
                           sweeps (requests may override with ?no_incremental=1)
       --cache-mb M        report cache budget in MiB (default 64; 0 disables)
       --queue N           job queue depth before 503 backpressure (default 64)
+      --default-deadline-ms N
+                          deadline applied to requests that send no
+                          ?deadline_ms= (default 0 = none); expired requests
+                          get 504 with partial-progress counters
+      --drain-secs N      graceful-drain budget after SIGTERM/SIGINT
+                          (default 10): in-flight jobs get this long to
+                          finish before cancellation
+                          ($SATURN_FAULTS arms the fault-injection harness;
+                          see the server crate docs for the spec grammar)
   saturn synth <name>     generate a dataset stand-in (irvine, facebook,
                           enron, manufacturing) to stdout or --out FILE
       --seed S            generation seed (default 1)
@@ -116,6 +125,8 @@ struct Flags {
     addr: String,
     cache_mb: usize,
     queue: usize,
+    default_deadline_ms: u64,
+    drain_secs: u64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -136,6 +147,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         addr: "127.0.0.1:7878".into(),
         cache_mb: 64,
         queue: 64,
+        default_deadline_ms: 0,
+        drain_secs: 10,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -168,6 +181,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--queue" => {
                 f.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--default-deadline-ms" => {
+                f.default_deadline_ms = value("--default-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--default-deadline-ms: {e}"))?
+            }
+            "--drain-secs" => {
+                f.drain_secs =
+                    value("--drain-secs")?.parse().map_err(|e| format!("--drain-secs: {e}"))?
             }
             "--seed" => {
                 f.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
@@ -283,6 +305,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "serve takes no input file (got `{file}`); traces arrive in request bodies"
         ));
     }
+    let faults = match FaultPlan::from_env() {
+        None => None,
+        Some(Ok(plan)) => {
+            eprintln!("saturn-server: WARNING: fault injection armed via SATURN_FAULTS");
+            Some(std::sync::Arc::new(plan))
+        }
+        Some(Err(e)) => return Err(format!("SATURN_FAULTS: {e}")),
+    };
     let config = ServerConfig {
         addr: f.addr.clone(),
         threads: f.threads,
@@ -291,6 +321,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         no_incremental: f.no_incremental,
         cache_bytes: f.cache_mb << 20,
         queue_depth: f.queue,
+        default_deadline_ms: f.default_deadline_ms,
+        drain_secs: f.drain_secs,
+        faults,
         ..ServerConfig::default()
     };
     let server = Server::bind(&config).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -299,10 +332,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // the resolved address from here
     println!("saturn-server listening on http://{addr}");
     println!(
-        "  threads={} cache={}MiB queue={}  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health)",
+        "  threads={} cache={}MiB queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health)",
         if f.threads == 0 { "auto".to_string() } else { f.threads.to_string() },
         f.cache_mb,
         f.queue,
+        if f.default_deadline_ms == 0 {
+            "none".to_string()
+        } else {
+            format!("{}ms", f.default_deadline_ms)
+        },
+        f.drain_secs,
     );
     server.run().map_err(|e| format!("serve: {e}"))
 }
@@ -398,6 +437,20 @@ mod tests {
         assert_eq!(f.queue, 8);
         assert!(flags(&["--threads", "many"]).unwrap_err().contains("--threads"));
         assert!(flags(&["--cache-mb"]).unwrap_err().contains("--cache-mb"));
+    }
+
+    #[test]
+    fn lifecycle_flags_parse_and_default_off() {
+        let f = flags(&[]).unwrap();
+        assert_eq!(f.default_deadline_ms, 0);
+        assert_eq!(f.drain_secs, 10);
+        let f = flags(&["--default-deadline-ms", "2500", "--drain-secs", "3"]).unwrap();
+        assert_eq!(f.default_deadline_ms, 2500);
+        assert_eq!(f.drain_secs, 3);
+        assert!(flags(&["--default-deadline-ms", "soon"])
+            .unwrap_err()
+            .contains("--default-deadline-ms"));
+        assert!(flags(&["--drain-secs"]).unwrap_err().contains("--drain-secs"));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Out-of-band control surface of a running sweep: cooperative cancellation
+//! plus coarse progress accounting, shared between the party that launched
+//! the sweep (an analysis service, a CLI signal handler) and the workers
+//! executing it.
+//!
+//! A [`SweepControl`] is handed to [`OccupancyMethod::try_run_on`] or
+//! [`try_validation_sweep_on`]; firing its [`CancelToken`] makes the sweep
+//! stop at the next `(scale, tile)` item boundary — and, inside a running
+//! DP, within one [`CANCEL_STRIDE`](saturn_trips::CANCEL_STRIDE) of steps —
+//! after which the entry point returns [`Cancelled`] and every partial
+//! result is discarded. A control whose token never fires is pure overhead
+//! of a few relaxed atomic reads per work item: it cannot change results,
+//! which is what keeps execution knobs out of report bytes and cache
+//! fingerprints (the knob-matrix invariant).
+//!
+//! [`OccupancyMethod::try_run_on`]: crate::OccupancyMethod::try_run_on
+//! [`try_validation_sweep_on`]: crate::try_validation_sweep_on
+
+use saturn_trips::CancelToken;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Progress of a sweep in whole *scales* (grid points fully analyzed over
+/// all their tiles). Coarse on purpose: scales are the unit a client can
+/// reason about (`scales_done/scales_total` in timeout error bodies), and
+/// the counters are only touched once per scale, not per tile.
+///
+/// `total` is set when the sweep starts from the initial grid size and grows
+/// as refinement rounds append scales, so `done == total` only at the very
+/// end — a snapshot mid-run can show a total that later increases.
+#[derive(Debug, Default)]
+pub struct SweepProgress {
+    done: AtomicU64,
+    total: AtomicU64,
+}
+
+impl SweepProgress {
+    /// `(done, total)` at this instant.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.done.load(Ordering::Acquire), self.total.load(Ordering::Acquire))
+    }
+
+    /// Sets the expected scale count (used by submitters that know the grid
+    /// size before the sweep starts; overwritten with the authoritative
+    /// value when the sweep itself begins).
+    pub fn set_total(&self, scales: u64) {
+        self.total.store(scales, Ordering::Release);
+    }
+
+    /// Grows the expected scale count (refinement rounds).
+    pub fn add_total(&self, scales: u64) {
+        self.total.fetch_add(scales, Ordering::AcqRel);
+    }
+
+    /// Records `scales` more scales as fully analyzed.
+    pub fn add_done(&self, scales: u64) {
+        self.done.fetch_add(scales, Ordering::AcqRel);
+    }
+}
+
+/// Cancellation token + progress counters of one sweep, shared by handle.
+#[derive(Debug, Default)]
+pub struct SweepControl {
+    /// Fire to stop the sweep at its next safe point.
+    pub cancel: CancelToken,
+    /// Scale-granular progress, readable while the sweep runs.
+    pub progress: SweepProgress,
+}
+
+impl SweepControl {
+    /// A control in the initial state: token unfired, no progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod classic;
+pub mod control;
 pub mod fingerprint;
 pub mod grid;
 pub mod heterogeneity;
@@ -46,6 +47,7 @@ pub mod selection;
 pub mod validation;
 
 pub use classic::{classic_sweep, ClassicPoint};
+pub use control::{SweepControl, SweepProgress};
 pub use grid::SweepGrid;
 pub use heterogeneity::{
     heterogeneous_analysis, segment_activity, ActivityClass, ActivitySegment,
@@ -53,7 +55,9 @@ pub use heterogeneity::{
 };
 pub use method::{DeltaResult, KeepPolicy, OccupancyMethod, TargetSpec, UniformityScores};
 pub use report::{GammaResult, OccupancyReport};
+pub use saturn_trips::{CancelToken, Cancelled};
 pub use selection::{compare_selection_methods, SelectionComparison};
 pub use validation::{
-    validation_sweep, validation_sweep_on, ValidationOptions, ValidationPoint, ValidationReport,
+    try_validation_sweep_on, validation_sweep, validation_sweep_on, ValidationOptions,
+    ValidationPoint, ValidationReport,
 };

@@ -1,13 +1,14 @@
 //! The occupancy method driver (Section 4 of the paper).
 
+use crate::control::SweepControl;
 use crate::parallel::{auto_tile_cols, merge_sources, sweep_queue, WorkerPool};
 use crate::report::OccupancyReport;
 use crate::SweepGrid;
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
-    occupancy_histogram_tile_opts_in, DpOptions, EngineArena, EventView, OccupancyHistogram,
-    TargetSet, Timeline,
+    occupancy_histogram_tile_cancel_in, Cancelled, DpOptions, EngineArena, EventView,
+    OccupancyHistogram, TargetSet, Timeline,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -290,6 +291,14 @@ impl OccupancyMethod {
     /// scale order (coarser scales wait on finer ones), so the lazy
     /// cross-scale builds cannot deadlock. `no_incremental` empties the
     /// plan, restoring per-scale scratch builds for ablation.
+    ///
+    /// Cancellation (`ctl.cancel`): workers poll the token before each queue
+    /// item — an already-fired token turns the remaining items into no-ops —
+    /// and thread it into the DP, which polls at a coarse step stride. A
+    /// fired token makes this return [`Cancelled`] and every partial
+    /// histogram is dropped. Progress (`ctl.progress`) advances by one when
+    /// a scale's last tile completes.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one sweep
     fn sweep_scales(
         &self,
         pool: &mut WorkerPool,
@@ -298,7 +307,8 @@ impl OccupancyMethod {
         span: i64,
         targets: &TargetSet,
         ks: &[u64],
-    ) -> Vec<DeltaResult> {
+        ctl: &SweepControl,
+    ) -> Result<Vec<DeltaResult>, Cancelled> {
         let ncols = targets.len();
         let tile_cols = if self.tile == 0 {
             auto_tile_cols(ncols, ks.len(), pool.parallelism())
@@ -381,21 +391,42 @@ impl OccupancyMethod {
             built
         }
 
+        // One countdown per scale; the worker that completes a scale's last
+        // tile advances the coarse progress counter.
+        let tiles_left: Vec<AtomicUsize> =
+            (0..ks.len()).map(|_| AtomicUsize::new(tiles_in_scale)).collect();
+
         let parts: Vec<OccupancyHistogram> = pool.map(&items, |wid, item| {
+            // Every slot must be written, so a cancelled item still returns
+            // a (discarded) histogram — it just skips the work.
+            if ctl.cancel.is_cancelled() {
+                return OccupancyHistogram::new();
+            }
             let mut arena = arenas[wid].lock().expect("arena poisoned");
             let timeline = obtain(&shared, &sources, ks, view, item.scale);
-            let hist = occupancy_histogram_tile_opts_in(
+            let hist = occupancy_histogram_tile_cancel_in(
                 &mut arena,
                 &timeline,
                 targets,
                 item.col_start,
                 item.col_len as usize,
                 dp_options,
+                Some(&ctl.cancel),
             );
             drop(timeline);
             release(&shared, item.scale);
+            // A token fired mid-DP leaves `hist` partial; the guard keeps a
+            // partial tile from counting its scale as done.
+            if !ctl.cancel.is_cancelled()
+                && tiles_left[item.scale].fetch_sub(1, Ordering::AcqRel) == 1
+            {
+                ctl.progress.add_done(1);
+            }
             hist
         });
+        if ctl.cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         // Deterministic merge: items are sorted by (k desc, tile asc), so a
         // single in-order pass merges each scale's tiles in ascending tile
         // order no matter which worker computed what.
@@ -404,7 +435,7 @@ impl OccupancyMethod {
         for (item, hist) in items.iter().zip(&parts) {
             merged[item.scale].merge(hist);
         }
-        ks.iter().zip(&merged).map(|(&k, hist)| self.delta_result(span, k, hist)).collect()
+        Ok(ks.iter().zip(&merged).map(|(&k, hist)| self.delta_result(span, k, hist)).collect())
     }
 
     /// Runs the method: sweeps the grid, optionally refines around the
@@ -432,10 +463,28 @@ impl OccupancyMethod {
     /// rather than once per request; `self.threads` is ignored here — the
     /// pool's parallelism governs.
     pub fn run_on(&self, stream: &LinkStream, pool: &mut WorkerPool) -> OccupancyReport {
+        self.try_run_on(stream, pool, &SweepControl::new())
+            .expect("a sweep whose token never fires cannot be cancelled")
+    }
+
+    /// [`run_on`](OccupancyMethod::run_on) under a caller-held
+    /// [`SweepControl`]: firing `ctl.cancel` stops the sweep at the next
+    /// `(scale, tile)` boundary (or within one DP stride inside a tile) and
+    /// returns [`Cancelled`]; `ctl.progress` tracks completed scales while
+    /// the sweep runs. With a never-fired token the report is bit-identical
+    /// to [`run_on`](OccupancyMethod::run_on) — cancellation is an execution
+    /// knob and never enters report bytes or cache fingerprints.
+    pub fn try_run_on(
+        &self,
+        stream: &LinkStream,
+        pool: &mut WorkerPool,
+        ctl: &SweepControl,
+    ) -> Result<OccupancyReport, Cancelled> {
         let targets = self.targets.build(stream.node_count() as u32);
         let view = EventView::new(stream);
         let span = stream.span();
         let mut ks = self.grid.k_values(stream, self.delta_min);
+        ctl.progress.set_total(ks.len() as u64);
 
         // One arena per worker id; a worker only ever locks its own slot, so
         // the mutexes are uncontended — they exist to satisfy `Sync`.
@@ -443,7 +492,7 @@ impl OccupancyMethod {
             (0..pool.parallelism()).map(|_| Mutex::new(EngineArena::new())).collect();
 
         let mut results: Vec<DeltaResult> =
-            self.sweep_scales(pool, &arenas, &view, span, &targets, &ks);
+            self.sweep_scales(pool, &arenas, &view, span, &targets, &ks, ctl)?;
 
         for _ in 0..self.refine_rounds {
             // current argmax under the selection metric
@@ -466,8 +515,9 @@ impl OccupancyMethod {
             if extra.is_empty() {
                 break;
             }
+            ctl.progress.add_total(extra.len() as u64);
             let new_results: Vec<DeltaResult> =
-                self.sweep_scales(pool, &arenas, &view, span, &targets, &extra);
+                self.sweep_scales(pool, &arenas, &view, span, &targets, &extra, ctl)?;
             results.extend(new_results);
             ks.extend(extra);
             ks.sort_unstable_by(|a, b| b.cmp(a));
@@ -475,7 +525,7 @@ impl OccupancyMethod {
 
         // Δ ascending (K descending)
         results.sort_unstable_by_key(|r| std::cmp::Reverse(r.k));
-        OccupancyReport::new(self.metric, results)
+        Ok(OccupancyReport::new(self.metric, results))
     }
 }
 
@@ -705,6 +755,67 @@ mod tests {
             .tile(5) // 24 columns -> 5 tiles
             .run(&s);
         assert_eq!(tiled.to_json(), untiled.to_json());
+    }
+
+    #[test]
+    fn prefired_token_cancels_before_any_work() {
+        let s = ring_stream(8, 80, 7);
+        let ctl = SweepControl::new();
+        ctl.cancel.cancel();
+        let mut pool = WorkerPool::new(2);
+        let method = OccupancyMethod::new().grid(SweepGrid::Geometric { points: 12 });
+        assert!(matches!(method.try_run_on(&s, &mut pool, &ctl), Err(Cancelled)));
+        let (done, total) = ctl.progress.snapshot();
+        assert_eq!(done, 0);
+        assert!(total > 0, "total is set before the sweep fans out");
+    }
+
+    #[test]
+    fn token_fired_mid_sweep_stops_the_run() {
+        // Many scales on a single worker: a watcher fires the token as soon
+        // as the first scale completes, and the per-item poll turns the long
+        // remaining tail into no-ops.
+        let s = ring_stream(12, 360, 5);
+        let ks: Vec<u64> = (2..=250).map(|i| 2 * i).collect();
+        let method = OccupancyMethod::new().grid(SweepGrid::ExplicitK(ks.clone())).refine(0, 0);
+        let ctl = Arc::new(SweepControl::new());
+        let watcher = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || loop {
+                let (done, _) = ctl.progress.snapshot();
+                if done >= 1 {
+                    ctl.cancel.cancel();
+                    return;
+                }
+                if ctl.cancel.is_cancelled() {
+                    return;
+                }
+                std::hint::spin_loop();
+            })
+        };
+        let mut pool = WorkerPool::new(1);
+        let result = method.try_run_on(&s, &mut pool, &ctl);
+        // unblock the watcher in the (theoretical) case nothing completed
+        ctl.cancel.cancel();
+        watcher.join().unwrap();
+        assert!(matches!(result, Err(Cancelled)));
+        let (done, total) = ctl.progress.snapshot();
+        assert!(done < total, "cancellation must leave scales unfinished ({done}/{total})");
+    }
+
+    #[test]
+    fn unfired_control_is_bit_identical_to_plain_run() {
+        let s = ring_stream(9, 90, 6);
+        let method =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 10 }).refine(1, 4);
+        let mut pool = WorkerPool::new(2);
+        let plain = method.run_on(&s, &mut pool).to_json();
+        let ctl = SweepControl::new();
+        let controlled = method.try_run_on(&s, &mut pool, &ctl).unwrap().to_json();
+        assert_eq!(plain, controlled, "an unfired token must not change the report");
+        let (done, total) = ctl.progress.snapshot();
+        assert_eq!(done, total, "all scales accounted for");
+        assert!(total > 0);
     }
 
     #[test]

@@ -11,12 +11,13 @@
 //! Both stay flat over several orders of magnitude of `Δ` and take off
 //! around the saturation scale, validating the occupancy method's choice.
 
+use crate::control::SweepControl;
 use crate::parallel::{effective_threads, WorkerPool};
 use crate::{SweepGrid, TargetSpec};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
-    elongation_stats_on, lost_transition_fraction, stream_minimal_trips, ElongationStats,
-    EventView, Timeline,
+    elongation_stats_on, lost_transition_fraction, stream_minimal_trips, Cancelled,
+    ElongationStats, EventView, Timeline,
 };
 use serde::Serialize;
 
@@ -89,26 +90,72 @@ pub fn validation_sweep_on(
     options: &ValidationOptions,
     pool: &mut WorkerPool,
 ) -> ValidationReport {
+    try_validation_sweep_on(stream, grid, targets, options, pool, &SweepControl::new())
+        .expect("a sweep whose token never fires cannot be cancelled")
+}
+
+/// [`validation_sweep_on`] under a caller-held [`SweepControl`]: workers
+/// poll `ctl.cancel` before each scale, a fired token returns [`Cancelled`]
+/// and discards all partial points, and `ctl.progress` counts completed
+/// scales. With a never-fired token the report is bit-identical to
+/// [`validation_sweep_on`].
+pub fn try_validation_sweep_on(
+    stream: &LinkStream,
+    grid: &SweepGrid,
+    targets: TargetSpec,
+    options: &ValidationOptions,
+    pool: &mut WorkerPool,
+    ctl: &SweepControl,
+) -> Result<ValidationReport, Cancelled> {
     let target_set = targets.build(stream.node_count() as u32);
-    let reference = stream_minimal_trips(stream, &target_set, options.weighted_transitions);
-    let view = EventView::new(stream);
     let ks = grid.k_values(stream, options.delta_min);
+    ctl.progress.set_total(ks.len() as u64);
+    let reference = stream_minimal_trips(stream, &target_set, options.weighted_transitions);
+    if ctl.cancel.is_cancelled() {
+        // the reference computation itself can carry real cost; honor a
+        // token that fired during it before fanning out
+        return Err(Cancelled);
+    }
+    let view = EventView::new(stream);
     let mut points = pool.map(&ks, |_wid, &k| {
+        // Every slot must be written; a cancelled item returns a (discarded)
+        // placeholder instead of doing the work.
+        if ctl.cancel.is_cancelled() {
+            return ValidationPoint {
+                k,
+                delta_ticks: f64::NAN,
+                lost_transitions: f64::NAN,
+                elongation: ElongationStats {
+                    k,
+                    delta_ticks: f64::NAN,
+                    mean: f64::NAN,
+                    count: 0,
+                    single_window: 0,
+                },
+            };
+        }
         let partition = stream.partition(k).expect("grid yields valid k");
         let timeline = Timeline::aggregated_from_view(&view, k);
-        ValidationPoint {
+        let point = ValidationPoint {
             k,
             delta_ticks: partition.delta_ticks(),
             lost_transitions: lost_transition_fraction(&reference.transitions, &partition),
             elongation: elongation_stats_on(&timeline, partition, &reference, &target_set),
+        };
+        if !ctl.cancel.is_cancelled() {
+            ctl.progress.add_done(1);
         }
+        point
     });
+    if ctl.cancel.is_cancelled() {
+        return Err(Cancelled);
+    }
     points.sort_unstable_by_key(|p| std::cmp::Reverse(p.k));
-    ValidationReport {
+    Ok(ValidationReport {
         points,
         reference_trips: reference.total_trips(),
         reference_transitions: reference.transitions.total_weight,
-    }
+    })
 }
 
 #[cfg(test)]

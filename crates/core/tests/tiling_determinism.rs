@@ -12,7 +12,8 @@
 //! divisor ladders, where every scale actually takes the merge path.
 
 use proptest::prelude::*;
-use saturn_core::{KeepPolicy, OccupancyMethod, SweepGrid, TargetSpec};
+use saturn_core::parallel::WorkerPool;
+use saturn_core::{KeepPolicy, OccupancyMethod, SweepControl, SweepGrid, TargetSpec};
 use saturn_linkstream::{Directedness, LinkStream, LinkStreamBuilder};
 
 /// A small random-ish stream driven by proptest-chosen parameters.
@@ -97,6 +98,40 @@ proptest! {
         prop_assert_eq!(mk(4, tile, false), reference.clone());
         prop_assert_eq!(mk(2, 1, false), reference.clone());
         prop_assert_eq!(mk(2, tile, true), reference);
+    }
+
+    /// The cancellation axis of the knob matrix: running under a
+    /// [`SweepControl`] whose token never fires must serialize to the same
+    /// bytes as the plain no-token run, across thread counts and tile
+    /// widths — cancellation plumbing is an execution knob like tiling and
+    /// must never reach report bytes or cache fingerprints.
+    #[test]
+    fn unfired_cancel_token_is_byte_identical(
+        n in 5u32..10,
+        events in 40usize..90,
+        gap in 3i64..9,
+        twist in 1u32..64,
+        tile in 1usize..8,
+    ) {
+        let stream = build_stream(n, events, gap, twist);
+        let reference = method(1, n as usize, false).run(&stream).to_json();
+        for &threads in &[1usize, 4] {
+            let ctl = SweepControl::new();
+            let mut pool = WorkerPool::new(threads);
+            let report = method(threads, tile, false)
+                .try_run_on(&stream, &mut pool, &ctl)
+                .expect("token never fires")
+                .to_json();
+            prop_assert_eq!(
+                &report,
+                &reference,
+                "threads={} tile={}: an unfired token changed the report",
+                threads,
+                tile
+            );
+            let (done, total) = ctl.progress.snapshot();
+            prop_assert_eq!(done, total);
+        }
     }
 
     /// The incremental-timeline axis on a random divisor ladder (every

@@ -45,10 +45,13 @@ impl Request {
 /// A request that could not be read; carries the HTTP status to answer with.
 #[derive(Debug)]
 pub enum ReadError {
-    /// The peer closed (or timed out) between requests — not an error.
+    /// The peer closed (or went idle) *between* requests — not an error,
+    /// the connection is silently dropped. A stall in the middle of a
+    /// request is *not* this: it surfaces as `Bad(408, …)` so the client
+    /// learns why the connection died.
     Closed,
-    /// A malformed or oversized request; respond with `(status, message)`
-    /// and close.
+    /// A malformed, oversized, or mid-request-stalled request; respond with
+    /// `(status, message)` and close.
     Bad(u16, String),
 }
 
@@ -56,6 +59,12 @@ impl From<std::io::Error> for ReadError {
     fn from(_: std::io::Error) -> Self {
         ReadError::Closed
     }
+}
+
+/// Whether an I/O error is the read-timeout firing (`SO_RCVTIMEO` surfaces
+/// as `WouldBlock` on Unix, `TimedOut` elsewhere).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
 fn bad(status: u16, msg: impl Into<String>) -> ReadError {
@@ -136,7 +145,15 @@ pub fn read_request<R: BufRead, W: Write>(
         writer.flush()?;
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|_| bad(400, "body shorter than Content-Length"))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if is_timeout(&e) {
+            // mid-request stall: the head arrived but the body did not
+            // within the read timeout — tell the client before closing
+            bad(408, "timed out waiting for the request body")
+        } else {
+            bad(400, "body shorter than Content-Length")
+        }
+    })?;
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -152,14 +169,27 @@ pub fn read_request<R: BufRead, W: Write>(
 }
 
 /// Reads one CRLF-terminated line, enforcing the head-size limit across
-/// calls. `Ok(None)` signals EOF before any byte.
+/// calls. `Ok(None)` signals EOF before any byte. A read timeout before the
+/// first byte of a request is an idle keep-alive connection
+/// ([`ReadError::Closed`], dropped silently); once any byte of the head has
+/// arrived the same timeout is a mid-request stall and becomes a 408.
 fn read_line<R: BufRead>(
     reader: &mut R,
     head_bytes: &mut usize,
 ) -> Result<Option<String>, ReadError> {
     let mut raw = Vec::new();
     let budget = MAX_HEAD_BYTES.saturating_sub(*head_bytes) as u64 + 1;
-    let n = reader.by_ref().take(budget).read_until(b'\n', &mut raw)?;
+    let n = match reader.by_ref().take(budget).read_until(b'\n', &mut raw) {
+        Ok(n) => n,
+        Err(e) => {
+            let mid_request = *head_bytes > 0 || !raw.is_empty();
+            return Err(if is_timeout(&e) && mid_request {
+                bad(408, "timed out mid-request")
+            } else {
+                ReadError::Closed
+            });
+        }
+    };
     if n == 0 {
         return Ok(None);
     }
@@ -224,12 +254,14 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         417 => "Expectation Failed",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -242,10 +274,29 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra headers (e.g. `Retry-After` on 503s)
+/// inserted between the fixed block and `Content-Length`.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nServer: saturn\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nServer: saturn\r\nContent-Type: application/json\r\n",
         reason(status),
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(
+        writer,
+        "Content-Length: {}\r\nConnection: {}\r\n\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
@@ -362,5 +413,69 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_content_length() {
+        let mut out = Vec::new();
+        write_response_with(&mut out, 503, &[("Retry-After", "7".to_string())], b"{}", false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    /// Serves `head` then fails every further read with a timeout error —
+    /// the shape of a stalled peer under `SO_RCVTIMEO`.
+    struct Stall<'a> {
+        head: &'a [u8],
+        served: usize,
+    }
+
+    impl Read for Stall<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.served < self.head.len() {
+                let n = buf.len().min(self.head.len() - self.served);
+                buf[..n].copy_from_slice(&self.head[self.served..self.served + n]);
+                self.served += n;
+                return Ok(n);
+            }
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "timed out"))
+        }
+    }
+
+    fn parse_stalled(head: &[u8]) -> Result<Request, ReadError> {
+        let mut reader = BufReader::new(Stall { head, served: 0 });
+        let mut sink = Vec::new();
+        read_request(&mut reader, &mut sink, 1 << 20)
+    }
+
+    #[test]
+    fn idle_timeout_before_any_byte_is_a_silent_close() {
+        // keep-alive connection with no next request: not an error
+        assert!(matches!(parse_stalled(b"").unwrap_err(), ReadError::Closed));
+    }
+
+    #[test]
+    fn stall_inside_the_request_line_is_408() {
+        let err = parse_stalled(b"POST /v1/ana").unwrap_err();
+        assert!(matches!(err, ReadError::Bad(408, _)), "got {err:?}");
+    }
+
+    #[test]
+    fn stall_inside_headers_is_408() {
+        let err = parse_stalled(b"POST / HTTP/1.1\r\nContent-Le").unwrap_err();
+        assert!(matches!(err, ReadError::Bad(408, _)), "got {err:?}");
+    }
+
+    #[test]
+    fn stall_inside_the_body_is_408() {
+        let err =
+            parse_stalled(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, ReadError::Bad(408, _)), "got {err:?}");
+        // a clean disconnect mid-body stays a 400 (peer is gone anyway)
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, ReadError::Bad(400, _)), "got {err:?}");
     }
 }

@@ -1,5 +1,6 @@
-//! The batch job manager: a bounded queue of analysis jobs drained by one
-//! executor thread that owns the process-wide [`WorkerPool`].
+//! The deadline-aware job manager: a bounded queue of analysis jobs drained
+//! by one executor thread that owns the process-wide [`WorkerPool`], with a
+//! watchdog thread enforcing per-request deadlines.
 //!
 //! Design points:
 //!
@@ -10,41 +11,161 @@
 //!   enqueue and wait. This is the "shared across connections rather than
 //!   per-request" layout the pool was built for: worker threads and their
 //!   per-worker DP arenas are spawned once per process.
-//! * **Bounded queue, 503 backpressure.** [`JobManager::submit`] refuses
-//!   work beyond the configured depth; the connection layer turns that into
-//!   `503 Service Unavailable` instead of letting latency grow without
-//!   bound.
+//! * **Bounded queue, 503 backpressure.** [`JobManager::submit_with`]
+//!   refuses work beyond the configured depth, while the server is
+//!   draining, and — admission control — when the EWMA-based estimate of
+//!   the queue wait already exceeds the request's deadline, so doomed work
+//!   never occupies the pool. Every [`Reject`] maps to `503` with a
+//!   `Retry-After` hint derived from the same estimate.
+//! * **Deadlines are enforced, not advisory.** A watchdog thread finalizes
+//!   queued jobs whose deadline passes as structured `504`s without
+//!   executing them, and fires the [`CancelToken`] of a running job past
+//!   its deadline; the sweep stops cooperatively at its next tile / DP
+//!   stride poll and reports partial progress (`scales_done` /
+//!   `scales_total`). Cancelled jobs never populate the response cache.
 //! * **In-flight coalescing.** Jobs carry the request's content fingerprint;
 //!   a submission whose fingerprint matches a queued or running job attaches
 //!   to it instead of recomputing, so N concurrent clients posting the same
 //!   trace cost one sweep and observe byte-identical bodies (they share the
-//!   completed job's `Arc<str>`).
+//!   completed job's `Arc<str>`). An impatient coalesced waiter times out
+//!   alone via [`JobManager::wait_until`]; the shared job keeps running.
 //! * **Async retrieval.** Every submission gets a job id; `POST …?async=1`
 //!   returns it immediately and `GET /v1/jobs/<id>` polls (or blocks with
 //!   `?wait=1`) for the outcome. Finished jobs are retained up to
 //!   [`RETAINED_JOBS`] before the oldest are dropped.
+//!
+//! [`CancelToken`]: saturn_core::CancelToken
 
+use crate::faults::FaultPlan;
 use saturn_core::parallel::WorkerPool;
+use saturn_core::SweepControl;
 use serde::Serialize;
+use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Completed jobs kept for `GET /v1/jobs/<id>` before the oldest are
 /// forgotten.
 pub const RETAINED_JOBS: usize = 512;
 
+/// Smoothing factor for the EWMA of job service seconds (weight of the
+/// newest sample).
+const EWMA_ALPHA: f64 = 0.3;
+
+/// How long a drain waits for a cancelled straggler to observe its token
+/// after the drain budget itself is spent.
+const DRAIN_GRACE: Duration = Duration::from_secs(30);
+
 /// The work of one job: runs on the executor thread against the shared
-/// pool, returns the HTTP status and serialized body of the outcome.
-pub type JobWork = Box<dyn FnOnce(&mut WorkerPool) -> JobOutcome + Send>;
+/// pool and its own [`JobCtx`], returns the HTTP status and serialized
+/// body of the outcome.
+pub type JobWork = Box<dyn FnOnce(&mut WorkerPool, &JobCtx) -> JobOutcome + Send>;
 
 /// Terminal result of a job, served verbatim to every attached client.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct JobOutcome {
-    /// HTTP status of the response (200, or a 4xx the job produced).
+    /// HTTP status of the response (200, or a 4xx/5xx the job produced).
     pub status: u16,
     /// Serialized JSON body.
     pub body: Arc<str>,
+}
+
+/// Why a job's cancel token fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The request's deadline expired while queued or running.
+    Deadline,
+    /// The server is draining for shutdown.
+    Drain,
+    /// A fault-injection directive fired the token.
+    Injected,
+}
+
+/// Per-job cancellation and progress context, shared between the executor,
+/// the watchdog, and waiting request handlers.
+#[derive(Debug)]
+pub struct JobCtx {
+    /// Cancel token + progress counters threaded into the sweep.
+    pub control: SweepControl,
+    /// First cause to fire the token (0 = none); later causes lose the race.
+    cause: AtomicU8,
+}
+
+impl JobCtx {
+    fn new() -> Arc<JobCtx> {
+        Arc::new(JobCtx { control: SweepControl::new(), cause: AtomicU8::new(0) })
+    }
+
+    /// True once any cancel cause has been recorded.
+    pub fn is_cancelled(&self) -> bool {
+        self.cause.load(Ordering::Acquire) != 0
+    }
+
+    /// Fires the job's token, recording `cause` if none was recorded yet.
+    pub fn cancel(&self, cause: CancelCause) {
+        let code = match cause {
+            CancelCause::Deadline => 1,
+            CancelCause::Drain => 2,
+            CancelCause::Injected => 3,
+        };
+        let _ = self.cause.compare_exchange(0, code, Ordering::AcqRel, Ordering::Acquire);
+        self.control.cancel.cancel();
+    }
+
+    fn cause_text(&self) -> &'static str {
+        match self.cause.load(Ordering::Acquire) {
+            1 => "deadline exceeded",
+            2 => "cancelled: server draining",
+            3 => "cancelled: injected fault",
+            _ => "cancelled",
+        }
+    }
+
+    /// The structured 504 outcome of a cancelled job, carrying how far the
+    /// sweep got.
+    pub fn cancelled_outcome(&self) -> JobOutcome {
+        let (done, total) = self.control.progress.snapshot();
+        JobOutcome {
+            status: 504,
+            body: Arc::from(timeout_body(self.cause_text(), done, total)),
+        }
+    }
+}
+
+/// The JSON body of a `504` (or of a client-side deadline expiry): the
+/// error text plus partial progress in whole scales.
+pub fn timeout_body(error: &str, scales_done: u64, scales_total: u64) -> String {
+    Value::Object(vec![
+        ("error".to_string(), Value::String(error.to_string())),
+        ("scales_done".to_string(), Value::Int(scales_done as i128)),
+        ("scales_total".to_string(), Value::Int(scales_total as i128)),
+    ])
+    .to_string_pretty()
+}
+
+/// What kind of sweep a job runs — selects the fault-injection site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Occupancy sweep (`POST /v1/analyze`).
+    Analyze,
+    /// Validation sweep (`POST /v1/validate`).
+    Validate,
+    /// Anything else (tests).
+    Other,
+}
+
+impl JobKind {
+    fn site(self) -> crate::faults::FaultSite {
+        match self {
+            JobKind::Analyze => crate::faults::FaultSite::Analyze,
+            JobKind::Validate => crate::faults::FaultSite::Validate,
+            JobKind::Other => crate::faults::FaultSite::Job,
+        }
+    }
 }
 
 /// Lifecycle of a job.
@@ -58,14 +179,34 @@ pub enum JobPhase {
     Done,
 }
 
-/// `submit` refusal: the queue is at capacity.
-#[derive(Debug)]
-pub struct Busy;
+/// `submit` refusal. Every variant maps to `503` with a `Retry-After`
+/// hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// The bounded queue is at capacity.
+    QueueFull {
+        /// Suggested client backoff, from the EWMA backlog estimate.
+        retry_after_secs: u32,
+    },
+    /// Admission control: the estimated queue wait already exceeds the
+    /// request's deadline, so executing it would only waste the pool.
+    WouldExpire {
+        /// The wait estimate that exceeded the deadline.
+        estimated_wait_ms: u64,
+        /// Suggested client backoff.
+        retry_after_secs: u32,
+    },
+    /// The server is draining for shutdown and admits no new work.
+    Draining,
+}
 
 struct JobRecord {
     phase: JobPhase,
     outcome: Option<JobOutcome>,
     fingerprint: Option<u128>,
+    ctx: Arc<JobCtx>,
+    deadline: Option<Instant>,
+    kind: JobKind,
 }
 
 struct State {
@@ -76,9 +217,17 @@ struct State {
     /// Completion order, for bounding retention.
     finished: VecDeque<u64>,
     next_id: u64,
+    running: Option<u64>,
     executed: u64,
     coalesced: u64,
     rejected: u64,
+    deadline_rejected: u64,
+    completed: u64,
+    cancelled: u64,
+    panicked: u64,
+    /// EWMA of job service seconds (0 until the first job finishes).
+    ewma_secs: f64,
+    draining: bool,
     shutdown: bool,
 }
 
@@ -86,6 +235,8 @@ struct Shared {
     state: Mutex<State>,
     work_available: Condvar,
     job_done: Condvar,
+    /// Pokes the watchdog whenever the set of armed deadlines changes.
+    deadlines_changed: Condvar,
 }
 
 /// Queue counters, serialized into `/v1/health`.
@@ -95,25 +246,67 @@ pub struct JobStats {
     pub queued: usize,
     /// Configured queue bound.
     pub queue_depth: usize,
-    /// Jobs executed to completion.
+    /// Jobs currently executing on the pool (0 or 1).
+    pub running: usize,
+    /// Jobs executed to completion (any outcome).
     pub executed: u64,
+    /// Jobs that finished with their own outcome (not cancelled, did not
+    /// panic).
+    pub completed: u64,
+    /// Jobs cancelled by deadline, drain, or injected fault (`504`s).
+    pub cancelled: u64,
+    /// Jobs whose work panicked (`500`s).
+    pub panicked: u64,
     /// Submissions attached to an in-flight duplicate.
     pub coalesced: u64,
-    /// Submissions refused with [`Busy`].
+    /// Submissions refused with any [`Reject`].
     pub rejected: u64,
+    /// Refusals by deadline admission control specifically.
+    pub deadline_rejected: u64,
+    /// EWMA of job service seconds (0 until the first job finishes).
+    pub ewma_job_secs: f64,
 }
 
-/// Owner of the executor thread and the job table.
+/// Outcome of [`JobManager::wait_until`].
+#[derive(Clone, Debug)]
+pub enum WaitOutcome {
+    /// The job finished; here is its outcome.
+    Done(JobOutcome),
+    /// The caller's own deadline expired first; the job keeps running for
+    /// any more patient (coalesced) waiters. Carries the job's progress at
+    /// expiry.
+    DeadlineExpired {
+        /// Scales finished when the wait gave up.
+        scales_done: u64,
+        /// Scales planned in total.
+        scales_total: u64,
+    },
+    /// No such job (expired from retention or never existed).
+    Unknown,
+}
+
+/// Owner of the executor and watchdog threads and the job table.
 pub struct JobManager {
     shared: Arc<Shared>,
     queue_depth: usize,
     executor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl JobManager {
     /// Starts the executor with a pool of `threads` total parallelism
     /// (0 = all cores) and a queue bounded at `queue_depth` waiting jobs.
     pub fn new(threads: usize, queue_depth: usize) -> Self {
+        Self::with_faults(threads, queue_depth, None)
+    }
+
+    /// [`JobManager::new`] with a fault-injection plan consulted at the
+    /// job-execution seam.
+    pub fn with_faults(
+        threads: usize,
+        queue_depth: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -121,49 +314,117 @@ impl JobManager {
                 inflight: HashMap::new(),
                 finished: VecDeque::new(),
                 next_id: 1,
+                running: None,
                 executed: 0,
                 coalesced: 0,
                 rejected: 0,
+                deadline_rejected: 0,
+                completed: 0,
+                cancelled: 0,
+                panicked: 0,
+                ewma_secs: 0.0,
+                draining: false,
                 shutdown: false,
             }),
             work_available: Condvar::new(),
             job_done: Condvar::new(),
+            deadlines_changed: Condvar::new(),
         });
         let executor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("saturn-executor".into())
-                .spawn(move || executor_loop(&shared, threads))
+                .spawn(move || executor_loop(&shared, threads, faults))
                 .expect("cannot spawn job executor")
         };
-        JobManager { shared, queue_depth, executor: Some(executor) }
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("saturn-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("cannot spawn deadline watchdog")
+        };
+        JobManager { shared, queue_depth, executor: Some(executor), watchdog: Some(watchdog) }
+    }
+
+    /// Enqueues `work` with no deadline; see [`JobManager::submit_with`].
+    pub fn submit(&self, fingerprint: Option<u128>, work: JobWork) -> Result<u64, Reject> {
+        self.submit_with(fingerprint, None, JobKind::Other, 0, work)
     }
 
     /// Enqueues `work`, or attaches to an in-flight job computing the same
-    /// `fingerprint`. Returns the job id to wait on, or [`Busy`] when the
-    /// queue is full.
-    pub fn submit(&self, fingerprint: Option<u128>, work: JobWork) -> Result<u64, Busy> {
+    /// `fingerprint`. Returns the job id to wait on, or a [`Reject`] when
+    /// the server is draining, the queue is full, or — with a `deadline` —
+    /// the EWMA wait estimate already exceeds it. A deadline also arms the
+    /// watchdog for the job itself; `scales_hint` pre-seeds the progress
+    /// total so even a job cancelled before its sweep starts reports a
+    /// meaningful `scales_total`.
+    pub fn submit_with(
+        &self,
+        fingerprint: Option<u128>,
+        deadline: Option<Duration>,
+        kind: JobKind,
+        scales_hint: u64,
+        work: JobWork,
+    ) -> Result<u64, Reject> {
         let mut state = self.shared.state.lock().expect("job state poisoned");
+        if state.draining || state.shutdown {
+            state.rejected += 1;
+            return Err(Reject::Draining);
+        }
         if let Some(key) = fingerprint {
             if let Some(&id) = state.inflight.get(&key) {
-                state.coalesced += 1;
-                return Ok(id);
+                // a cancelled job is doomed to a 504 and will never fill the
+                // cache; queue a fresh run instead of chaining new waiters
+                // onto it (the insert below repoints `inflight` at the new
+                // job, so the doomed one retires without touching the map)
+                let doomed = state.jobs.get(&id).map(|r| r.ctx.is_cancelled()).unwrap_or(false);
+                if !doomed {
+                    state.coalesced += 1;
+                    return Ok(id);
+                }
             }
         }
         if state.queue.len() >= self.queue_depth {
             state.rejected += 1;
-            return Err(Busy);
+            return Err(Reject::QueueFull { retry_after_secs: retry_secs(&state) });
+        }
+        if let Some(budget) = deadline {
+            let estimated = estimated_wait(&state);
+            if estimated > budget {
+                state.rejected += 1;
+                state.deadline_rejected += 1;
+                return Err(Reject::WouldExpire {
+                    estimated_wait_ms: estimated.as_millis() as u64,
+                    retry_after_secs: retry_secs(&state),
+                });
+            }
         }
         let id = state.next_id;
         state.next_id += 1;
-        state
-            .jobs
-            .insert(id, JobRecord { phase: JobPhase::Queued, outcome: None, fingerprint });
+        let ctx = JobCtx::new();
+        ctx.control.progress.set_total(scales_hint);
+        let deadline_at = deadline.map(|budget| Instant::now() + budget);
+        state.jobs.insert(
+            id,
+            JobRecord {
+                phase: JobPhase::Queued,
+                outcome: None,
+                fingerprint,
+                ctx,
+                deadline: deadline_at,
+                kind,
+            },
+        );
         if let Some(key) = fingerprint {
             state.inflight.insert(key, id);
         }
         state.queue.push_back((id, work));
+        drop(state);
         self.shared.work_available.notify_one();
+        if deadline_at.is_some() {
+            self.shared.deadlines_changed.notify_all();
+        }
         Ok(id)
     }
 
@@ -182,30 +443,291 @@ impl JobManager {
     /// Blocks until job `id` finishes and returns its outcome (`None` for
     /// unknown/expired ids).
     pub fn wait(&self, id: u64) -> Option<JobOutcome> {
+        match self.wait_until(id, None) {
+            WaitOutcome::Done(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// Blocks until job `id` finishes or `deadline` passes, whichever
+    /// comes first. A caller whose deadline fires while the job continues
+    /// (the job may be shared with more patient coalesced waiters, or
+    /// about to be cancelled by the watchdog) gets the job's progress
+    /// snapshot back instead of an outcome.
+    pub fn wait_until(&self, id: u64, deadline: Option<Instant>) -> WaitOutcome {
         let mut state = self.shared.state.lock().expect("job state poisoned");
         loop {
-            match state.jobs.get(&id) {
-                None => return None,
-                Some(job) => {
-                    if let Some(outcome) = &job.outcome {
-                        return Some(outcome.clone());
+            let Some(job) = state.jobs.get(&id) else { return WaitOutcome::Unknown };
+            if let Some(outcome) = &job.outcome {
+                return WaitOutcome::Done(outcome.clone());
+            }
+            match deadline {
+                None => state = self.shared.job_done.wait(state).expect("job state poisoned"),
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        let (scales_done, scales_total) = job.ctx.control.progress.snapshot();
+                        return WaitOutcome::DeadlineExpired { scales_done, scales_total };
                     }
+                    state = self
+                        .shared
+                        .job_done
+                        .wait_timeout(state, at - now)
+                        .expect("job state poisoned")
+                        .0;
                 }
             }
-            state = self.shared.job_done.wait(state).expect("job state poisoned");
         }
+    }
+
+    /// Stops admitting work and waits up to `budget` for the backlog to
+    /// finish. Whatever is still queued when the budget runs out is
+    /// finalized as a drain `504` without executing; a still-running job
+    /// has its token fired and gets a short grace period to stop at its
+    /// next cancellation poll. Returns the final stats.
+    pub fn drain(&self, budget: Duration) -> JobStats {
+        let give_up = Instant::now() + budget;
+        let mut state = self.shared.state.lock().expect("job state poisoned");
+        state.draining = true;
+        while !(state.queue.is_empty() && state.running.is_none()) {
+            let now = Instant::now();
+            if now >= give_up {
+                break;
+            }
+            state = self
+                .shared
+                .job_done
+                .wait_timeout(state, give_up - now)
+                .expect("job state poisoned")
+                .0;
+        }
+        if !state.queue.is_empty() || state.running.is_some() {
+            let cut: Vec<u64> = state.queue.iter().map(|(id, _)| *id).collect();
+            state.queue.clear();
+            for id in cut {
+                finalize_cancelled(&mut state, id, CancelCause::Drain);
+            }
+            if let Some(id) = state.running {
+                if let Some(job) = state.jobs.get(&id) {
+                    job.ctx.cancel(CancelCause::Drain);
+                }
+            }
+            self.shared.job_done.notify_all();
+            let grace = Instant::now() + DRAIN_GRACE;
+            while state.running.is_some() && Instant::now() < grace {
+                state = self
+                    .shared
+                    .job_done
+                    .wait_timeout(state, Duration::from_millis(50))
+                    .expect("job state poisoned")
+                    .0;
+            }
+        }
+        stats_of(&state, self.queue_depth)
     }
 
     /// Queue counters.
     pub fn stats(&self) -> JobStats {
         let state = self.shared.state.lock().expect("job state poisoned");
-        JobStats {
-            queued: state.queue.len(),
-            queue_depth: self.queue_depth,
-            executed: state.executed,
-            coalesced: state.coalesced,
-            rejected: state.rejected,
+        stats_of(&state, self.queue_depth)
+    }
+}
+
+fn stats_of(state: &State, queue_depth: usize) -> JobStats {
+    JobStats {
+        queued: state.queue.len(),
+        queue_depth,
+        running: usize::from(state.running.is_some()),
+        executed: state.executed,
+        completed: state.completed,
+        cancelled: state.cancelled,
+        panicked: state.panicked,
+        coalesced: state.coalesced,
+        rejected: state.rejected,
+        deadline_rejected: state.deadline_rejected,
+        ewma_job_secs: state.ewma_secs,
+    }
+}
+
+/// EWMA estimate of how long a newly queued job waits before it starts:
+/// one full service time per job ahead of it (queued + running). Zero
+/// until the first job finishes — an idle new server admits everything.
+fn estimated_wait(state: &State) -> Duration {
+    let backlog = state.queue.len() + usize::from(state.running.is_some());
+    Duration::from_secs_f64(state.ewma_secs * backlog as f64)
+}
+
+/// `Retry-After` hint: the backlog estimate plus one service time (the
+/// retry joins behind the current backlog), clamped to [1s, 1h].
+fn retry_secs(state: &State) -> u32 {
+    let secs = (estimated_wait(state).as_secs_f64() + state.ewma_secs).ceil();
+    secs.clamp(1.0, 3600.0) as u32
+}
+
+/// Finalizes a job that will never execute (deadline expired in queue, or
+/// drain cut the queue) as a cancelled `504`.
+fn finalize_cancelled(state: &mut State, id: u64, cause: CancelCause) {
+    let Some(job) = state.jobs.get_mut(&id) else { return };
+    if job.outcome.is_some() {
+        return;
+    }
+    job.ctx.cancel(cause);
+    job.phase = JobPhase::Done;
+    job.outcome = Some(job.ctx.cancelled_outcome());
+    let fingerprint = job.fingerprint;
+    state.cancelled += 1;
+    retire(state, id, fingerprint);
+}
+
+/// Moves a finished job into the retention window and unregisters its
+/// fingerprint (only while the coalescing map still points at this job).
+fn retire(state: &mut State, id: u64, fingerprint: Option<u128>) {
+    if let Some(key) = fingerprint {
+        if state.inflight.get(&key) == Some(&id) {
+            state.inflight.remove(&key);
         }
+    }
+    state.finished.push_back(id);
+    while state.finished.len() > RETAINED_JOBS {
+        let expired = state.finished.pop_front().expect("nonempty");
+        state.jobs.remove(&expired);
+    }
+}
+
+fn executor_loop(shared: &Shared, threads: usize, faults: Option<Arc<FaultPlan>>) {
+    // The pool (and its per-worker DP arenas) lives for the process: spawned
+    // here once, reused by every job.
+    let mut pool = WorkerPool::new(threads);
+    loop {
+        let (id, work, ctx, kind) = {
+            let mut state = shared.state.lock().expect("job state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some((id, work)) = state.queue.pop_front() {
+                    let job = state.jobs.get_mut(&id).expect("queued job recorded");
+                    job.phase = JobPhase::Running;
+                    let ctx = Arc::clone(&job.ctx);
+                    let kind = job.kind;
+                    state.running = Some(id);
+                    break (id, work, ctx, kind);
+                }
+                state = shared.work_available.wait(state).expect("job state poisoned");
+            }
+        };
+        // the running job's deadline is now the watchdog's to track
+        shared.deadlines_changed.notify_all();
+        if let Some(plan) = &faults {
+            if plan.cancel_race() {
+                // adversarial schedule: the token fires before the sweep
+                // even starts; the job must still finalize cleanly
+                ctx.cancel(CancelCause::Injected);
+            }
+        }
+        let started = Instant::now();
+        // Worker panics propagate out of `pool.map`; catch them so one
+        // poisoned trace cannot take the service down.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &faults {
+                plan.maybe_slow(kind.site());
+                plan.maybe_panic(kind.site());
+            }
+            work(&mut pool, &ctx)
+        }));
+        let elapsed = started.elapsed().as_secs_f64();
+        let panicked = caught.is_err();
+        let outcome = caught.unwrap_or_else(|_| JobOutcome {
+            status: 500,
+            body: Arc::from(r#"{"error": "analysis panicked"}"#),
+        });
+        let mut state = shared.state.lock().expect("job state poisoned");
+        state.ewma_secs = if state.executed == 0 {
+            elapsed
+        } else {
+            EWMA_ALPHA * elapsed + (1.0 - EWMA_ALPHA) * state.ewma_secs
+        };
+        state.running = None;
+        state.executed += 1;
+        if panicked {
+            state.panicked += 1;
+        } else if outcome.status == 504 {
+            state.cancelled += 1;
+        } else {
+            state.completed += 1;
+        }
+        let job = state.jobs.get_mut(&id).expect("running job recorded");
+        job.phase = JobPhase::Done;
+        job.outcome = Some(outcome);
+        let fingerprint = job.fingerprint;
+        retire(&mut state, id, fingerprint);
+        drop(state);
+        shared.job_done.notify_all();
+        shared.deadlines_changed.notify_all();
+    }
+}
+
+/// Enforces deadlines: queued jobs past theirs are finalized as `504`s
+/// without executing; a running job past its own has its token fired (the
+/// executor then finalizes the cancelled outcome). Sleeps until the
+/// nearest armed deadline, re-checking whenever the set changes.
+fn watchdog_loop(shared: &Shared) {
+    let mut state = shared.state.lock().expect("job state poisoned");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        let expired: Vec<u64> = state
+            .queue
+            .iter()
+            .filter(|(id, _)| {
+                state.jobs.get(id).and_then(|job| job.deadline).is_some_and(|at| at <= now)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if !expired.is_empty() {
+            state.queue.retain(|(id, _)| !expired.contains(id));
+            for id in expired {
+                finalize_cancelled(&mut state, id, CancelCause::Deadline);
+            }
+            shared.job_done.notify_all();
+        }
+        if let Some(id) = state.running {
+            if let Some(job) = state.jobs.get(&id) {
+                if job.deadline.is_some_and(|at| at <= now) {
+                    job.ctx.cancel(CancelCause::Deadline);
+                }
+            }
+        }
+        let next_deadline = state
+            .queue
+            .iter()
+            .filter_map(|(id, _)| state.jobs.get(id).and_then(|job| job.deadline))
+            .chain(state.running.and_then(|id| {
+                state.jobs.get(&id).and_then(|job| {
+                    // a running job whose token already fired needs no
+                    // further watchdog attention
+                    if job.ctx.control.cancel.is_cancelled() {
+                        None
+                    } else {
+                        job.deadline
+                    }
+                })
+            }))
+            .min();
+        state = match next_deadline {
+            None => shared.deadlines_changed.wait(state).expect("job state poisoned"),
+            Some(at) => {
+                let pause =
+                    at.saturating_duration_since(Instant::now()).max(Duration::from_millis(1));
+                shared
+                    .deadlines_changed
+                    .wait_timeout(state, pause)
+                    .expect("job state poisoned")
+                    .0
+            }
+        };
     }
 }
 
@@ -215,101 +737,94 @@ impl Drop for JobManager {
             let mut state = self.shared.state.lock().expect("job state poisoned");
             state.shutdown = true;
             self.shared.work_available.notify_all();
+            self.shared.deadlines_changed.notify_all();
         }
         if let Some(executor) = self.executor.take() {
             let _ = executor.join();
         }
-    }
-}
-
-fn executor_loop(shared: &Shared, threads: usize) {
-    // The pool (and its per-worker DP arenas) lives for the process: spawned
-    // here once, reused by every job.
-    let mut pool = WorkerPool::new(threads);
-    loop {
-        let (id, work) = {
-            let mut state = shared.state.lock().expect("job state poisoned");
-            loop {
-                if state.shutdown {
-                    return;
-                }
-                if let Some(item) = state.queue.pop_front() {
-                    state.jobs.get_mut(&item.0).expect("queued job recorded").phase =
-                        JobPhase::Running;
-                    break item;
-                }
-                state = shared.work_available.wait(state).expect("job state poisoned");
-            }
-        };
-        // Worker panics propagate out of `pool.map`; catch them so one
-        // poisoned trace cannot take the service down.
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&mut pool)))
-                .unwrap_or_else(|_| JobOutcome {
-                    status: 500,
-                    body: Arc::from(r#"{"error": "analysis panicked"}"#),
-                });
-        let mut state = shared.state.lock().expect("job state poisoned");
-        let job = state.jobs.get_mut(&id).expect("running job recorded");
-        job.phase = JobPhase::Done;
-        job.outcome = Some(outcome);
-        let fingerprint = job.fingerprint;
-        if let Some(key) = fingerprint {
-            state.inflight.remove(&key);
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
         }
-        state.executed += 1;
-        state.finished.push_back(id);
-        while state.finished.len() > RETAINED_JOBS {
-            let expired = state.finished.pop_front().expect("nonempty");
-            state.jobs.remove(&expired);
-        }
-        shared.job_done.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
     fn ok(body: &str) -> JobOutcome {
         JobOutcome { status: 200, body: Arc::from(body) }
     }
 
+    /// A reusable gate: jobs block in `hold` until the test `release`s.
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+        entered: AtomicUsize,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                open: Mutex::new(false),
+                cv: Condvar::new(),
+                entered: AtomicUsize::new(0),
+            })
+        }
+
+        fn hold(&self) {
+            self.entered.fetch_add(1, AtomicOrdering::SeqCst);
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+
+        fn release(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+
+        fn wait_entered(&self) {
+            while self.entered.load(AtomicOrdering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
     #[test]
     fn submit_wait_roundtrip() {
         let jobs = JobManager::new(1, 8);
-        let id = jobs.submit(None, Box::new(|_pool| ok("{\"x\":1}"))).unwrap();
+        let id = jobs.submit(None, Box::new(|_pool, _ctx| ok("{\"x\":1}"))).unwrap();
         let outcome = jobs.wait(id).unwrap();
         assert_eq!(outcome.status, 200);
         assert_eq!(&*outcome.body, "{\"x\":1}");
         assert_eq!(jobs.phase(id), Some(JobPhase::Done));
-        assert_eq!(jobs.stats().executed, 1);
+        let stats = jobs.stats();
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.ewma_job_secs >= 0.0);
     }
 
     #[test]
     fn coalescing_shares_one_execution() {
         let jobs = JobManager::new(1, 8);
         // a blocker job keeps the executor busy so both submissions queue
-        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate = Gate::new();
         let g = Arc::clone(&gate);
         jobs.submit(
             None,
-            Box::new(move |_| {
-                let (lock, cv) = &*g;
-                let mut open = lock.lock().unwrap();
-                while !*open {
-                    open = cv.wait(open).unwrap();
-                }
+            Box::new(move |_pool, _ctx| {
+                g.hold();
                 ok("gate")
             }),
         )
         .unwrap();
-        let a = jobs.submit(Some(42), Box::new(|_| ok("first"))).unwrap();
-        let b = jobs.submit(Some(42), Box::new(|_| ok("second"))).unwrap();
+        let a = jobs.submit(Some(42), Box::new(|_pool, _ctx| ok("first"))).unwrap();
+        let b = jobs.submit(Some(42), Box::new(|_pool, _ctx| ok("second"))).unwrap();
         assert_eq!(a, b, "identical fingerprints coalesce");
-        let (lock, cv) = &*gate;
-        *lock.lock().unwrap() = true;
-        cv.notify_all();
+        gate.release();
         let out_a = jobs.wait(a).unwrap();
         let out_b = jobs.wait(b).unwrap();
         assert!(Arc::ptr_eq(&out_a.body, &out_b.body), "one body serves both");
@@ -318,45 +833,42 @@ mod tests {
     }
 
     #[test]
-    fn bounded_queue_rejects_with_busy() {
+    fn bounded_queue_rejects_when_full() {
         let jobs = JobManager::new(1, 1);
-        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate = Gate::new();
         let g = Arc::clone(&gate);
-        let running = jobs
-            .submit(
-                None,
-                Box::new(move |_| {
-                    let (lock, cv) = &*g;
-                    let mut open = lock.lock().unwrap();
-                    while !*open {
-                        open = cv.wait(open).unwrap();
-                    }
-                    ok("gate")
-                }),
-            )
-            .unwrap();
+        jobs.submit(
+            None,
+            Box::new(move |_pool, _ctx| {
+                g.hold();
+                ok("gate")
+            }),
+        )
+        .unwrap();
         // wait until the gate job leaves the queue and occupies the executor
-        while jobs.phase(running) == Some(JobPhase::Queued) {
-            std::thread::yield_now();
-        }
-        let queued = jobs.submit(None, Box::new(|_| ok("fits"))).unwrap();
-        assert!(jobs.submit(None, Box::new(|_| ok("rejected"))).is_err());
+        gate.wait_entered();
+        let queued = jobs.submit(None, Box::new(|_pool, _ctx| ok("fits"))).unwrap();
+        let refused = jobs.submit(None, Box::new(|_pool, _ctx| ok("rejected")));
+        assert!(
+            matches!(refused, Err(Reject::QueueFull { retry_after_secs }) if retry_after_secs >= 1)
+        );
         assert_eq!(jobs.stats().rejected, 1);
-        let (lock, cv) = &*gate;
-        *lock.lock().unwrap() = true;
-        cv.notify_all();
+        gate.release();
         assert_eq!(&*jobs.wait(queued).unwrap().body, "fits");
     }
 
     #[test]
     fn panicking_job_becomes_500_and_executor_survives() {
         let jobs = JobManager::new(1, 8);
-        let id = jobs.submit(None, Box::new(|_| panic!("boom"))).unwrap();
+        let id = jobs.submit(None, Box::new(|_pool, _ctx| panic!("boom"))).unwrap();
         let outcome = jobs.wait(id).unwrap();
         assert_eq!(outcome.status, 500);
         assert!(outcome.body.contains("panicked"));
-        let next = jobs.submit(None, Box::new(|_| ok("alive"))).unwrap();
+        let next = jobs.submit(None, Box::new(|_pool, _ctx| ok("alive"))).unwrap();
         assert_eq!(&*jobs.wait(next).unwrap().body, "alive");
+        let stats = jobs.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]
@@ -365,6 +877,7 @@ mod tests {
         assert!(jobs.phase(999).is_none());
         assert!(jobs.wait(999).is_none());
         assert!(jobs.outcome(999).is_none());
+        assert!(matches!(jobs.wait_until(999, None), WaitOutcome::Unknown));
     }
 
     #[test]
@@ -373,7 +886,7 @@ mod tests {
         let id = jobs
             .submit(
                 None,
-                Box::new(|pool| {
+                Box::new(|pool, _ctx| {
                     let items: Vec<u64> = (0..100).collect();
                     let sum: u64 = pool.map(&items, |_wid, &x| x * 2).into_iter().sum();
                     JobOutcome { status: 200, body: Arc::from(format!("{{\"sum\":{sum}}}")) }
@@ -381,5 +894,241 @@ mod tests {
             )
             .unwrap();
         assert_eq!(&*jobs.wait(id).unwrap().body, "{\"sum\":9900}");
+    }
+
+    #[test]
+    fn queued_job_past_deadline_expires_without_executing() {
+        let jobs = JobManager::new(1, 8);
+        let gate = Gate::new();
+        let g = Arc::clone(&gate);
+        let blocker = jobs
+            .submit(
+                None,
+                Box::new(move |_pool, _ctx| {
+                    g.hold();
+                    ok("gate")
+                }),
+            )
+            .unwrap();
+        gate.wait_entered();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let doomed = jobs
+            .submit_with(
+                None,
+                Some(Duration::from_millis(30)),
+                JobKind::Other,
+                7,
+                Box::new(move |_pool, _ctx| {
+                    r.fetch_add(1, AtomicOrdering::SeqCst);
+                    ok("never")
+                }),
+            )
+            .unwrap();
+        // the watchdog must 504 the queued job while the blocker still runs
+        let outcome = jobs.wait(doomed).expect("expired job still reports");
+        assert_eq!(outcome.status, 504);
+        assert!(outcome.body.contains("deadline exceeded"), "body: {}", outcome.body);
+        assert!(outcome.body.contains("\"scales_done\": 0"), "body: {}", outcome.body);
+        assert!(outcome.body.contains("\"scales_total\": 7"), "body: {}", outcome.body);
+        assert_eq!(ran.load(AtomicOrdering::SeqCst), 0, "expired job must never execute");
+        gate.release();
+        assert_eq!(jobs.wait(blocker).unwrap().status, 200);
+        assert_eq!(jobs.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn running_job_past_deadline_gets_its_token_fired() {
+        let jobs = JobManager::new(1, 8);
+        let id = jobs
+            .submit_with(
+                None,
+                Some(Duration::from_millis(40)),
+                JobKind::Other,
+                3,
+                Box::new(|_pool, ctx| {
+                    // a cooperative sweep: spin until the token fires, as
+                    // try_run_on would at its next poll point
+                    while !ctx.control.cancel.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    ctx.cancelled_outcome()
+                }),
+            )
+            .unwrap();
+        let outcome = jobs.wait(id).expect("cancelled job still reports");
+        assert_eq!(outcome.status, 504);
+        assert!(outcome.body.contains("deadline exceeded"), "body: {}", outcome.body);
+        let stats = jobs.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.executed, 1);
+    }
+
+    #[test]
+    fn admission_control_rejects_wait_that_exceeds_deadline() {
+        let jobs = JobManager::new(1, 8);
+        // seed the EWMA with a measured ~50ms job
+        let seed = jobs
+            .submit(
+                None,
+                Box::new(|_pool, _ctx| {
+                    std::thread::sleep(Duration::from_millis(50));
+                    ok("seed")
+                }),
+            )
+            .unwrap();
+        jobs.wait(seed).unwrap();
+        assert!(jobs.stats().ewma_job_secs >= 0.045);
+        // occupy the executor and put one job in the queue
+        let gate = Gate::new();
+        let g = Arc::clone(&gate);
+        let blocker = jobs
+            .submit(
+                None,
+                Box::new(move |_pool, _ctx| {
+                    g.hold();
+                    ok("gate")
+                }),
+            )
+            .unwrap();
+        gate.wait_entered();
+        let queued = jobs.submit(None, Box::new(|_pool, _ctx| ok("queued"))).unwrap();
+        // estimated wait is ~2 service times (~100ms) >> a 1ms deadline
+        let refused = jobs.submit_with(
+            None,
+            Some(Duration::from_millis(1)),
+            JobKind::Other,
+            0,
+            Box::new(|_pool, _ctx| ok("doomed")),
+        );
+        match refused {
+            Err(Reject::WouldExpire { estimated_wait_ms, retry_after_secs }) => {
+                assert!(estimated_wait_ms >= 50, "estimate {estimated_wait_ms}ms");
+                assert!(retry_after_secs >= 1);
+            }
+            other => panic!("expected WouldExpire, got {other:?}"),
+        }
+        // a generous deadline sails through the same backlog
+        let admitted = jobs
+            .submit_with(
+                None,
+                Some(Duration::from_secs(60)),
+                JobKind::Other,
+                0,
+                Box::new(|_pool, _ctx| ok("patient")),
+            )
+            .expect("generous deadline is admitted");
+        gate.release();
+        assert!(jobs.wait(blocker).is_some());
+        assert!(jobs.wait(queued).is_some());
+        assert!(jobs.wait(admitted).is_some());
+        assert_eq!(jobs.stats().deadline_rejected, 1);
+    }
+
+    #[test]
+    fn drain_finishes_backlog_then_refuses_new_work() {
+        let jobs = JobManager::new(1, 8);
+        let first = jobs
+            .submit(
+                None,
+                Box::new(|_pool, _ctx| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    ok("first")
+                }),
+            )
+            .unwrap();
+        let second = jobs.submit(None, Box::new(|_pool, _ctx| ok("second"))).unwrap();
+        let stats = jobs.drain(Duration::from_secs(30));
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.running, 0);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(jobs.wait(first).unwrap().status, 200);
+        assert_eq!(jobs.wait(second).unwrap().status, 200);
+        assert!(matches!(
+            jobs.submit(None, Box::new(|_pool, _ctx| ok("late"))),
+            Err(Reject::Draining)
+        ));
+    }
+
+    #[test]
+    fn drain_budget_cancels_stragglers() {
+        let jobs = JobManager::new(1, 8);
+        let gate = Gate::new();
+        let g = Arc::clone(&gate);
+        let stubborn = jobs
+            .submit(
+                None,
+                Box::new(move |_pool, ctx| {
+                    g.entered.fetch_add(1, AtomicOrdering::SeqCst);
+                    while !ctx.control.cancel.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    ctx.cancelled_outcome()
+                }),
+            )
+            .unwrap();
+        let queued = jobs.submit(None, Box::new(|_pool, _ctx| ok("never runs"))).unwrap();
+        gate.wait_entered();
+        let stats = jobs.drain(Duration::from_millis(50));
+        assert_eq!(stats.running, 0, "straggler must stop within the grace period");
+        let running_outcome = jobs.wait(stubborn).expect("cancelled job reports");
+        assert_eq!(running_outcome.status, 504);
+        assert!(running_outcome.body.contains("draining"), "body: {}", running_outcome.body);
+        let queued_outcome = jobs.wait(queued).expect("cut queued job reports");
+        assert_eq!(queued_outcome.status, 504);
+        assert!(queued_outcome.body.contains("draining"), "body: {}", queued_outcome.body);
+        assert_eq!(stats.cancelled, 2);
+    }
+
+    #[test]
+    fn coalesced_waiter_with_short_deadline_times_out_alone() {
+        let jobs = JobManager::new(1, 8);
+        let gate = Gate::new();
+        let g = Arc::clone(&gate);
+        let id = jobs
+            .submit(
+                Some(0xc0a1),
+                Box::new(move |_pool, ctx| {
+                    ctx.control.progress.set_total(5);
+                    ctx.control.progress.add_done(2);
+                    g.hold();
+                    ok("shared")
+                }),
+            )
+            .unwrap();
+        gate.wait_entered();
+        // an impatient coalesced waiter gives up; the job itself continues
+        let expired = jobs.wait_until(id, Some(Instant::now() + Duration::from_millis(20)));
+        match expired {
+            WaitOutcome::DeadlineExpired { scales_done, scales_total } => {
+                assert_eq!(scales_done, 2);
+                assert_eq!(scales_total, 5);
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        gate.release();
+        assert_eq!(jobs.wait(id).unwrap().status, 200, "job outlives the impatient waiter");
+    }
+
+    #[test]
+    fn injected_cancel_race_still_finalizes_cleanly() {
+        let plan = Arc::new(FaultPlan::parse("cancel_race:1").unwrap());
+        let jobs = JobManager::with_faults(1, 8, Some(plan));
+        let id = jobs
+            .submit(
+                None,
+                Box::new(|_pool, ctx| {
+                    if ctx.control.cancel.is_cancelled() {
+                        ctx.cancelled_outcome()
+                    } else {
+                        ok("unraced")
+                    }
+                }),
+            )
+            .unwrap();
+        let outcome = jobs.wait(id).expect("raced job reports");
+        assert_eq!(outcome.status, 504);
+        assert!(outcome.body.contains("injected"), "body: {}", outcome.body);
+        assert_eq!(jobs.stats().cancelled, 1);
     }
 }

@@ -11,11 +11,11 @@
 //! cold sweeps onto one process-wide [`WorkerPool`](saturn_core::parallel::WorkerPool).
 //!
 //! ```text
-//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0&no_delta=0&no_incremental=0[&async=1]   trace body → occupancy report
-//! POST /v1/validate?points=32&weighted=1&delta_min=1[&async=1]       trace body → loss curves
+//! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0&no_delta=0&no_incremental=0&deadline_ms=0[&async=1]   trace body → occupancy report
+//! POST /v1/validate?points=32&weighted=1&delta_min=1&deadline_ms=0[&async=1]   trace body → loss curves
 //! POST /v1/stats?directed=1                                          trace body → stream statistics
 //! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
-//! GET  /v1/health                                                    cache + queue counters
+//! GET  /v1/health                                                    cache + queue + lifecycle counters
 //! ```
 //!
 //! Bodies are plain or KONECT-layout traces — exactly what
@@ -25,27 +25,67 @@
 //!
 //! Built on `std::net::TcpListener` only: the deployment container is
 //! offline and the workspace policy is zero external dependencies.
+//!
+//! # Request lifecycle & failure semantics
+//!
+//! Every request moves through admission → queue → sweep → response, and
+//! each stage can refuse or abort it with a structured status:
+//!
+//! | status | meaning | body / headers |
+//! |--------|---------|----------------|
+//! | `408 Request Timeout` | the peer stalled *mid-request* (head or body arrived partially, then nothing within the read timeout); an *idle* keep-alive connection is closed silently instead | `{"error": …}`, connection closed |
+//! | `503 Service Unavailable` | backpressure: job queue full, connection limit reached, admission control predicts the deadline cannot be met, or the server is draining | `Retry-After: <secs>` derived from the EWMA backlog estimate |
+//! | `504 Gateway Timeout` | the request's deadline expired while its job was queued or running; the sweep was cancelled cooperatively | `{"error", "scales_done", "scales_total"}` partial-progress counters |
+//! | `500 Internal Server Error` | the sweep panicked; the executor survives | `{"error": …}` |
+//!
+//! **Deadlines.** `?deadline_ms=N` (or the `--default-deadline-ms` serve
+//! flag; `0` = none) bounds a request end to end. A watchdog finalizes
+//! queued jobs whose deadline passes without executing them, and fires the
+//! [`CancelToken`](saturn_core::CancelToken) of a running job past its
+//! deadline — the sweep stops at its next tile / DP-stride poll. Admission
+//! control multiplies the EWMA of recent job service times by the backlog
+//! length and refuses up front (`503`, not `504`) when the wait alone
+//! already exceeds the deadline. Cancellation is an execution knob like
+//! tiling: a token that never fires leaves report bytes and cache
+//! fingerprints untouched, and cancelled jobs never populate the cache.
+//!
+//! **Graceful drain.** On `SIGTERM`/`SIGINT`, `saturn serve` flips into
+//! lame-duck mode: new connections get `503 + Retry-After`, queued and
+//! running jobs get up to `--drain-secs` to finish, stragglers are then
+//! cancelled via the same token path, and the process exits `0`.
+//!
+//! **Fault injection.** The `SATURN_FAULTS` environment variable (or
+//! [`ServerConfig::faults`]) arms a [`FaultPlan`] — e.g.
+//! `panic:analyze:0.1,slow:sweep:250ms,cancel_race:1` — that injects
+//! panics, delays, and cancellation races at the job-execution and
+//! HTTP-parse seams. See [`faults`] for the grammar. Unset, every hook is
+//! a no-op.
 
 pub mod cache;
+pub mod faults;
 pub mod http;
 pub mod jobs;
+pub mod signals;
 
 pub use cache::{CacheStats, ReportCache};
-pub use jobs::{JobManager, JobOutcome, JobPhase, JobStats};
+pub use faults::{FaultPlan, FaultSite};
+pub use jobs::{
+    JobCtx, JobKind, JobManager, JobOutcome, JobPhase, JobStats, Reject, WaitOutcome,
+};
 
-use http::{error_body, read_request, write_response, ReadError, Request};
+use http::{error_body, read_request, write_response, write_response_with, ReadError, Request};
 use saturn_core::fingerprint::{self, Digest};
 use saturn_core::{
-    validation_sweep_on, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
+    try_validation_sweep_on, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
 };
 use saturn_linkstream::{io as stream_io, Directedness, LinkStream};
 use serde_json::Value;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
 #[derive(Clone, Debug)]
@@ -79,6 +119,18 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Maximum concurrently served connections before new ones get 503.
     pub max_connections: usize,
+    /// Default request deadline in milliseconds (0 = none). Overridable
+    /// per request with `?deadline_ms=N`.
+    pub default_deadline_ms: u64,
+    /// Graceful-drain budget in seconds: how long a shutdown signal lets
+    /// queued and running jobs finish before cancelling stragglers.
+    pub drain_secs: u64,
+    /// Socket read timeout: idle keep-alive connections are dropped after
+    /// this long, a mid-request stall this long is answered with 408.
+    pub read_timeout: Duration,
+    /// Fault-injection plan for chaos testing (see [`faults`]); `None` in
+    /// production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +145,10 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_body_bytes: 64 << 20,
             max_connections: 256,
+            default_deadline_ms: 0,
+            drain_secs: 10,
+            read_timeout: Duration::from_secs(10),
+            faults: None,
         }
     }
 }
@@ -108,8 +164,15 @@ struct ServerContext {
     no_incremental: bool,
     max_body_bytes: usize,
     max_connections: usize,
+    default_deadline_ms: u64,
+    drain_secs: u64,
+    read_timeout: Duration,
+    faults: Option<Arc<FaultPlan>>,
     active_connections: AtomicUsize,
     stopping: AtomicBool,
+    /// Lame-duck mode: still serving in-flight work, refusing new
+    /// connections with `503 + Retry-After` while the backlog drains.
+    lame_duck: AtomicBool,
 }
 
 /// A bound (but not yet running) server.
@@ -127,14 +190,23 @@ impl Server {
             listener,
             ctx: Arc::new(ServerContext {
                 cache: Arc::new(ReportCache::new(config.cache_bytes)),
-                jobs: JobManager::new(config.threads, config.queue_depth),
+                jobs: JobManager::with_faults(
+                    config.threads,
+                    config.queue_depth,
+                    config.faults.clone(),
+                ),
                 tile: config.tile,
                 no_delta: config.no_delta,
                 no_incremental: config.no_incremental,
                 max_body_bytes: config.max_body_bytes,
                 max_connections: config.max_connections,
+                default_deadline_ms: config.default_deadline_ms,
+                drain_secs: config.drain_secs,
+                read_timeout: config.read_timeout,
+                faults: config.faults.clone(),
                 active_connections: AtomicUsize::new(0),
                 stopping: AtomicBool::new(false),
+                lame_duck: AtomicBool::new(false),
             }),
         })
     }
@@ -145,14 +217,31 @@ impl Server {
     }
 
     /// Serves forever on the calling thread (the `saturn serve` entry
-    /// point).
+    /// point). Installs SIGTERM/SIGINT handlers: a shutdown signal flips
+    /// the server into lame-duck mode, drains the job backlog within the
+    /// configured budget, and exits 0.
     pub fn run(self) -> std::io::Result<()> {
+        if let Some(fd) = signals::install() {
+            let ctx = Arc::clone(&self.ctx);
+            std::thread::Builder::new().name("saturn-signals".into()).spawn(move || {
+                signals::wait(fd);
+                // best-effort print: eprintln! panics if stderr is closed,
+                // which would kill this thread before it can drain and exit
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "saturn-server: shutdown signal; draining ({}s budget)",
+                    ctx.drain_secs
+                );
+                drain_and_exit(&ctx);
+            })?;
+        }
         accept_loop(self.listener, self.ctx);
         Ok(())
     }
 
     /// Serves on a background thread; the handle stops the accept loop on
-    /// demand (tests, benches).
+    /// demand (tests, benches). No signal handlers are installed — tests
+    /// drive the same drain path through [`ServerHandle::drain`].
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let ctx = Arc::clone(&self.ctx);
@@ -161,6 +250,24 @@ impl Server {
             .spawn(move || accept_loop(self.listener, self.ctx))?;
         Ok(ServerHandle { addr, ctx, accept: Some(accept) })
     }
+}
+
+/// The SIGTERM/SIGINT path: refuse new connections, drain the backlog,
+/// give connection threads a moment to flush final responses, exit 0.
+fn drain_and_exit(ctx: &ServerContext) -> ! {
+    ctx.lame_duck.store(true, Ordering::SeqCst);
+    let stats = ctx.jobs.drain(Duration::from_secs(ctx.drain_secs));
+    let flush_by = Instant::now() + Duration::from_secs(2);
+    while ctx.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < flush_by {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = writeln!(
+        std::io::stderr(),
+        "saturn-server: drained (completed {}, cancelled {}); exiting",
+        stats.completed,
+        stats.cancelled
+    );
+    std::process::exit(0);
 }
 
 /// Controls a spawned server.
@@ -174,6 +281,16 @@ impl ServerHandle {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The graceful-drain path, minus the process exit (for tests): flips
+    /// lame-duck mode (new connections get `503 + Retry-After`), waits up
+    /// to `budget` for queued and running jobs, cancels stragglers, and
+    /// returns the final job stats. The accept loop stays up serving 503s
+    /// until [`ServerHandle::stop`] or drop.
+    pub fn drain(&self, budget: Duration) -> JobStats {
+        self.ctx.lame_duck.store(true, Ordering::SeqCst);
+        self.ctx.jobs.drain(budget)
     }
 
     /// Stops accepting and joins the accept thread. Connections already
@@ -204,12 +321,25 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerContext>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        if ctx.lame_duck.load(Ordering::SeqCst) {
+            let mut stream = stream;
+            let retry = ctx.drain_secs.max(1).to_string();
+            let _ = write_response_with(
+                &mut stream,
+                503,
+                &[("Retry-After", retry)],
+                &error_body("server is draining"),
+                false,
+            );
+            continue;
+        }
         let active = ctx.active_connections.fetch_add(1, Ordering::SeqCst) + 1;
         if active > ctx.max_connections {
             let mut stream = stream;
-            let _ = write_response(
+            let _ = write_response_with(
                 &mut stream,
                 503,
+                &[("Retry-After", "1".to_string())],
                 &error_body("connection limit reached"),
                 false,
             );
@@ -233,12 +363,8 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerContext>) {
     }
 }
 
-/// Idle keep-alive connections are dropped after this long without a
-/// request.
-const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(10);
-
 fn serve_connection(stream: TcpStream, ctx: &ServerContext) {
-    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(reader_stream) = stream.try_clone() else { return };
     let mut reader = BufReader::new(reader_stream);
@@ -248,15 +374,32 @@ fn serve_connection(stream: TcpStream, ctx: &ServerContext) {
             Ok(request) => request,
             Err(ReadError::Closed) => return,
             Err(ReadError::Bad(status, msg)) => {
+                // includes the 408 mid-request stall: the client is told
+                // why the connection is going away instead of a silent drop
                 let _ = write_response(&mut writer, status, &error_body(&msg), false);
                 return;
             }
         };
-        let keep_alive = request.keep_alive;
-        let (status, body) = route(&request, ctx);
-        if write_response(&mut writer, status, body.as_bytes(), keep_alive).is_err()
-            || !keep_alive
-        {
+        if let Some(plan) = &ctx.faults {
+            plan.maybe_slow(FaultSite::Parse);
+            plan.maybe_panic(FaultSite::Parse);
+        }
+        // during a drain, finish this response but do not hold the
+        // connection open for more requests
+        let keep_alive = request.keep_alive && !ctx.lame_duck.load(Ordering::SeqCst);
+        let reply = route(&request, ctx);
+        let mut extra_headers: Vec<(&str, String)> = Vec::new();
+        if let Some(secs) = reply.retry_after {
+            extra_headers.push(("Retry-After", secs.to_string()));
+        }
+        let sent = write_response_with(
+            &mut writer,
+            reply.status,
+            &extra_headers,
+            reply.body.as_bytes(),
+            keep_alive,
+        );
+        if sent.is_err() || !keep_alive {
             return;
         }
     }
@@ -291,8 +434,26 @@ impl From<Arc<str>> for Body {
     }
 }
 
-/// Dispatches one request; returns `(status, body)`.
-fn route(request: &Request, ctx: &ServerContext) -> (u16, Body) {
+/// A routed response: status, body, and optionally a `Retry-After` hint
+/// (every 503 carries one).
+struct Reply {
+    status: u16,
+    body: Body,
+    retry_after: Option<u32>,
+}
+
+impl Reply {
+    fn new(status: u16, body: impl Into<Body>) -> Reply {
+        Reply { status, body: body.into(), retry_after: None }
+    }
+
+    fn retry(status: u16, body: impl Into<Body>, secs: u32) -> Reply {
+        Reply { status, body: body.into(), retry_after: Some(secs) }
+    }
+}
+
+/// Dispatches one request.
+fn route(request: &Request, ctx: &ServerContext) -> Reply {
     let outcome = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/analyze") => endpoint_analyze(request, ctx),
         ("POST", "/v1/validate") => endpoint_validate(request, ctx),
@@ -305,12 +466,12 @@ fn route(request: &Request, ctx: &ServerContext) -> (u16, Body) {
         _ => Err((404, format!("no route for {} {}", request.method, request.path))),
     };
     match outcome {
-        Ok((status, body)) => (status, body),
-        Err((status, msg)) => (status, error_body(&msg).into()),
+        Ok(reply) => reply,
+        Err((status, msg)) => Reply::new(status, error_body(&msg)),
     }
 }
 
-type Handled = Result<(u16, Body), (u16, String)>;
+type Handled = Result<Reply, (u16, String)>;
 
 /// Parses a numeric query parameter, defaulting when absent.
 fn numeric<T: std::str::FromStr>(
@@ -327,6 +488,16 @@ where
             raw.parse().map_err(|e| (400, format!("query parameter {key}={raw}: {e}")))
         }
     }
+}
+
+/// The request's deadline: `?deadline_ms=N` over the server default
+/// (0 = none either way).
+fn parse_deadline(
+    request: &Request,
+    ctx: &ServerContext,
+) -> Result<Option<Duration>, (u16, String)> {
+    let millis = numeric(request, "deadline_ms", ctx.default_deadline_ms)?;
+    Ok((millis > 0).then(|| Duration::from_millis(millis)))
 }
 
 /// Parses the trace body under the request's directedness.
@@ -352,49 +523,84 @@ fn parse_targets(request: &Request) -> Result<TargetSpec, (u16, String)> {
     })
 }
 
-/// Serves from cache, or submits `make_work` as a job and (unless
-/// `async=1`) waits for it. The shared plumbing of the two sweep endpoints.
+/// Serves from cache, or submits `work` as a job and (unless `async=1`)
+/// waits for it — within the request's deadline, when it has one. The
+/// shared plumbing of the two sweep endpoints.
 fn cached_or_submitted(
     request: &Request,
     ctx: &ServerContext,
     key: u128,
+    kind: JobKind,
+    deadline: Option<Duration>,
+    scales_hint: u64,
     work: jobs::JobWork,
 ) -> Handled {
     if let Some(body) = ctx.cache.get(key) {
-        return Ok((200, body.into()));
+        return Ok(Reply::new(200, body));
     }
-    let id = ctx
-        .jobs
-        .submit(Some(key), work)
-        .map_err(|jobs::Busy| (503, "job queue is full, retry later".to_string()))?;
+    // fix the client's own wall-clock budget before queueing
+    let wait_until = deadline.map(|budget| Instant::now() + budget);
+    let id = match ctx.jobs.submit_with(Some(key), deadline, kind, scales_hint, work) {
+        Ok(id) => id,
+        Err(Reject::QueueFull { retry_after_secs }) => {
+            return Ok(Reply::retry(
+                503,
+                error_body("job queue is full, retry later"),
+                retry_after_secs,
+            ));
+        }
+        Err(Reject::WouldExpire { estimated_wait_ms, retry_after_secs }) => {
+            return Ok(Reply::retry(
+                503,
+                error_body(&format!(
+                    "estimated queue wait of {estimated_wait_ms} ms exceeds the deadline"
+                )),
+                retry_after_secs,
+            ));
+        }
+        Err(Reject::Draining) => {
+            return Ok(Reply::retry(503, error_body("server is draining"), 1));
+        }
+    };
     if request.flag("async") {
-        return Ok((
+        return Ok(Reply::new(
             202,
-            job_status_body(id, ctx.jobs.phase(id).unwrap_or(JobPhase::Queued)).into(),
+            job_status_body(id, ctx.jobs.phase(id).unwrap_or(JobPhase::Queued)),
         ));
     }
-    let outcome = ctx
-        .jobs
-        .wait(id)
-        .ok_or_else(|| (500, "job expired before its outcome was read".to_string()))?;
-    Ok((outcome.status, outcome.body.into()))
+    match ctx.jobs.wait_until(id, wait_until) {
+        WaitOutcome::Done(outcome) => Ok(Reply::new(outcome.status, outcome.body)),
+        // this waiter's deadline fired while the (possibly coalesced,
+        // possibly about-to-be-cancelled) job kept running: answer 504 with
+        // the progress so far, without waiting for the job to notice
+        WaitOutcome::DeadlineExpired { scales_done, scales_total } => Ok(Reply::new(
+            504,
+            jobs::timeout_body("deadline exceeded", scales_done, scales_total).into_bytes(),
+        )),
+        WaitOutcome::Unknown => {
+            Err((500, "job expired before its outcome was read".to_string()))
+        }
+    }
 }
 
 fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
     let stream = parse_stream(request)?;
     let points = numeric(request, "points", 48usize)?;
     let targets = parse_targets(request)?;
+    let deadline = parse_deadline(request, ctx)?;
     // execution knobs only: tiled, delta-filtered, and incrementally built
     // reports are bit-identical to untiled / unfiltered / scratch-built
     // ones, so `tile`, `no_delta`, and `no_incremental` stay OUT of the
     // fingerprint — a request served from an entry computed under different
     // execution settings returns the same bytes the cold run would have
-    // produced
+    // produced. `deadline_ms` stays out too: a deadline either leaves the
+    // result untouched or prevents there being one.
     let tile = numeric(request, "tile", ctx.tile)?;
     let no_delta = numeric::<u8>(request, "no_delta", ctx.no_delta as u8)? != 0;
     let no_incremental =
         numeric::<u8>(request, "no_incremental", ctx.no_incremental as u8)? != 0;
     let grid = SweepGrid::Geometric { points };
+    let scales_hint = grid.k_values(&stream, 1).len() as u64;
 
     let mut digest = Digest::new("saturn.analyze.v1");
     digest.write_u128(fingerprint::stream_digest(&stream));
@@ -403,29 +609,35 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
     let key = digest.finish();
 
     let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
-    let work: jobs::JobWork = Box::new(move |pool| {
-        let report = OccupancyMethod::new()
+    let work: jobs::JobWork = Box::new(move |pool, jctx| {
+        let method = OccupancyMethod::new()
             .grid(grid)
             .targets(targets)
             .tile(tile)
             .no_delta_propagation(no_delta)
-            .no_incremental_timeline(no_incremental)
-            .run_on(&stream, pool);
-        cache_insert(report.to_json())
+            .no_incremental_timeline(no_incremental);
+        match method.try_run_on(&stream, pool, &jctx.control) {
+            // cancelled sweeps never reach the cache: only complete reports
+            // are content-addressed
+            Ok(report) => cache_insert(report.to_json()),
+            Err(_cancelled) => jctx.cancelled_outcome(),
+        }
     });
-    cached_or_submitted(request, ctx, key, work)
+    cached_or_submitted(request, ctx, key, JobKind::Analyze, deadline, scales_hint, work)
 }
 
 fn endpoint_validate(request: &Request, ctx: &ServerContext) -> Handled {
     let stream = parse_stream(request)?;
     let points = numeric(request, "points", 48usize)?;
     let targets = parse_targets(request)?;
+    let deadline = parse_deadline(request, ctx)?;
     let grid = SweepGrid::Geometric { points };
     let options = ValidationOptions {
         threads: 0, // ignored on the shared pool
         delta_min: numeric(request, "delta_min", 1i64)?,
         weighted_transitions: request.param("weighted").is_none_or(|v| v != "0"),
     };
+    let scales_hint = grid.k_values(&stream, options.delta_min).len() as u64;
 
     let mut digest = Digest::new("saturn.validate.v1");
     digest.write_u128(fingerprint::stream_digest(&stream));
@@ -436,12 +648,16 @@ fn endpoint_validate(request: &Request, ctx: &ServerContext) -> Handled {
     let key = digest.finish();
 
     let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
-    let work: jobs::JobWork = Box::new(move |pool| {
-        let report = validation_sweep_on(&stream, &grid, targets, &options, pool);
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        cache_insert(json)
+    let work: jobs::JobWork = Box::new(move |pool, jctx| {
+        match try_validation_sweep_on(&stream, &grid, targets, &options, pool, &jctx.control) {
+            Ok(report) => {
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                cache_insert(json)
+            }
+            Err(_cancelled) => jctx.cancelled_outcome(),
+        }
     });
-    cached_or_submitted(request, ctx, key, work)
+    cached_or_submitted(request, ctx, key, JobKind::Validate, deadline, scales_hint, work)
 }
 
 fn endpoint_stats(request: &Request, ctx: &ServerContext) -> Handled {
@@ -450,14 +666,14 @@ fn endpoint_stats(request: &Request, ctx: &ServerContext) -> Handled {
     digest.write_u128(fingerprint::stream_digest(&stream));
     let key = digest.finish();
     if let Some(body) = ctx.cache.get(key) {
-        return Ok((200, body.into()));
+        return Ok(Reply::new(200, body));
     }
     // stats are a single pass over the events — computed inline on the
     // connection thread, never queued behind sweeps
     let body: Arc<str> =
         Arc::from(serde_json::to_string_pretty(&stream.stats()).expect("stats serialize"));
     ctx.cache.insert(key, Arc::clone(&body));
-    Ok((200, body.into()))
+    Ok(Reply::new(200, body))
 }
 
 fn endpoint_job(request: &Request, ctx: &ServerContext) -> Handled {
@@ -466,19 +682,20 @@ fn endpoint_job(request: &Request, ctx: &ServerContext) -> Handled {
     if request.flag("wait") {
         let outcome =
             ctx.jobs.wait(id).ok_or_else(|| (404, format!("unknown or expired job {id}")))?;
-        return Ok((outcome.status, outcome.body.into()));
+        return Ok(Reply::new(outcome.status, outcome.body));
     }
     let phase =
         ctx.jobs.phase(id).ok_or_else(|| (404, format!("unknown or expired job {id}")))?;
     match ctx.jobs.outcome(id) {
-        Some(outcome) => Ok((outcome.status, outcome.body.into())),
-        None => Ok((200, job_status_body(id, phase).into())),
+        Some(outcome) => Ok(Reply::new(outcome.status, outcome.body)),
+        None => Ok(Reply::new(200, job_status_body(id, phase))),
     }
 }
 
-fn endpoint_health(ctx: &ServerContext) -> (u16, Body) {
+fn endpoint_health(ctx: &ServerContext) -> Reply {
     let body = Value::Object(vec![
         ("status".to_string(), Value::String("ok".to_string())),
+        ("draining".to_string(), Value::Bool(ctx.lame_duck.load(Ordering::SeqCst))),
         (
             "cache".to_string(),
             serde_json::to_value(&ctx.cache.stats()).expect("stats serialize"),
@@ -489,7 +706,7 @@ fn endpoint_health(ctx: &ServerContext) -> (u16, Body) {
             Value::Int(ctx.active_connections.load(Ordering::SeqCst) as i128),
         ),
     ]);
-    (200, body.to_string_pretty().into_bytes().into())
+    Reply::new(200, body.to_string_pretty().into_bytes())
 }
 
 fn job_status_body(id: u64, phase: JobPhase) -> Vec<u8> {

@@ -1,0 +1,80 @@
+//! Minimal self-pipe shutdown-signal plumbing for `saturn serve`.
+//!
+//! The workspace is dependency-free, so this talks to the C runtime
+//! directly: `signal(2)` to install an async-signal-safe handler for
+//! `SIGTERM`/`SIGINT`, and a `pipe(2)` the handler writes one byte into
+//! (the classic self-pipe trick — the only async-signal-safe way to hand
+//! the event to a normal thread). [`wait`] blocks a watcher thread on the
+//! read end; the server uses it to enter lame-duck mode and drain.
+//!
+//! On non-unix targets [`install`] reports no support and the server simply
+//! runs without graceful drain.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Write end of the self-pipe; -1 until [`install`] runs.
+    static PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+
+    extern "C" fn on_signal(_signum: i32) {
+        let fd = PIPE_WR.load(Ordering::Acquire);
+        if fd >= 0 {
+            let byte = 1u8;
+            // best effort: a full pipe already means a pending wakeup
+            unsafe { write(fd, &byte, 1) };
+        }
+    }
+
+    /// Installs SIGTERM/SIGINT handlers; returns the read end of the
+    /// self-pipe, or `None` if the pipe could not be created.
+    pub fn install() -> Option<i32> {
+        let mut fds = [-1i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return None;
+        }
+        PIPE_WR.store(fds[1], Ordering::Release);
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+        Some(fds[0])
+    }
+
+    /// Blocks until a handled signal arrives (one byte on the self-pipe).
+    pub fn wait(fd: i32) {
+        let mut byte = 0u8;
+        loop {
+            let n = unsafe { read(fd, &mut byte, 1) };
+            if n >= 0 {
+                // 1 byte = a signal fired; 0 = pipe gone — shut down either way
+                return;
+            }
+            // EINTR or a transient error: retry, without spinning hot
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal support on this target.
+    pub fn install() -> Option<i32> {
+        None
+    }
+
+    /// Never called (install returns `None`), present for symmetry.
+    pub fn wait(_fd: i32) {}
+}
+
+pub use imp::{install, wait};

@@ -1,9 +1,10 @@
 //! End-to-end tests of the analysis service over real sockets.
 
 use saturn_server::{Server, ServerConfig};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Starts a server with `tweak` applied to a small test-friendly config.
 fn start(tweak: impl FnOnce(&mut ServerConfig)) -> saturn_server::ServerHandle {
@@ -17,6 +18,7 @@ fn start(tweak: impl FnOnce(&mut ServerConfig)) -> saturn_server::ServerHandle {
         queue_depth: 16,
         max_body_bytes: 1 << 20,
         max_connections: 64,
+        ..ServerConfig::default()
     };
     tweak(&mut config);
     Server::bind(&config).expect("bind").spawn().expect("spawn")
@@ -39,6 +41,7 @@ fn trace(nodes: u32, events: i64, gap: i64) -> String {
 struct Response {
     status: u16,
     body: Vec<u8>,
+    retry_after: Option<u32>,
 }
 
 /// Writes `count` requests over one connection, reading each response before
@@ -79,6 +82,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> Response {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
     let mut content_length = 0usize;
+    let mut retry_after = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("header line");
@@ -86,13 +90,17 @@ fn read_response<R: BufRead>(reader: &mut R) -> Response {
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+        let lowered = line.to_ascii_lowercase();
+        if let Some(v) = lowered.strip_prefix("content-length:") {
             content_length = v.trim().parse().expect("content length");
+        }
+        if let Some(v) = lowered.strip_prefix("retry-after:") {
+            retry_after = Some(v.trim().parse().expect("retry-after"));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
-    Response { status, body }
+    Response { status, body, retry_after }
 }
 
 fn json(response: &Response) -> serde_json::Value {
@@ -402,8 +410,150 @@ fn zero_queue_depth_yields_backpressure_503() {
         request(server.addr(), "POST", "/v1/analyze?points=8", trace(5, 100, 20).as_bytes());
     assert_eq!(response.status, 503);
     assert!(json(&response)["error"].as_str().unwrap().contains("queue"));
+    assert!(
+        response.retry_after.unwrap_or(0) >= 1,
+        "backpressure 503 must carry a Retry-After hint"
+    );
     // non-queued endpoints still work
     let stats = request(server.addr(), "POST", "/v1/stats", trace(5, 100, 20).as_bytes());
     assert_eq!(stats.status, 200);
+    server.stop();
+}
+
+/// A request that stalls mid-transmission gets `408 Request Timeout`; a
+/// connection that goes idle *between* requests is closed silently (no
+/// status), since nothing was half-sent.
+#[test]
+fn stalls_get_408_but_idle_keep_alive_closes_silently() {
+    let server = start(|c| c.read_timeout = Duration::from_millis(200));
+    let addr = server.addr();
+
+    // stall inside the head: the request line never finishes
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"POST /v1/stats HTTP/1.1\r\nContent-Le").expect("partial head");
+    let response = read_response(&mut BufReader::new(stream.try_clone().expect("clone")));
+    assert_eq!(response.status, 408);
+
+    // stall inside the body: head complete, body short of Content-Length
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/stats HTTP/1.1\r\nContent-Length: 50\r\n\r\na b 1\n")
+        .expect("partial body");
+    let response = read_response(&mut BufReader::new(stream.try_clone().expect("clone")));
+    assert_eq!(response.status, 408);
+
+    // idle before any byte: silent close, not a status line
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut leftovers = Vec::new();
+    reader.read_to_end(&mut leftovers).expect("read to close");
+    assert!(leftovers.is_empty(), "idle close must not write a response");
+    server.stop();
+}
+
+/// `?deadline_ms=` turns an over-budget sweep into a structured `504`
+/// reporting partial progress, while a generous per-request deadline
+/// overrides a tight server-wide default.
+#[test]
+fn deadlines_yield_structured_504s_and_per_request_override() {
+    let server = start(|c| c.default_deadline_ms = 1);
+    let body = trace(10, 400, 30);
+
+    // server-wide 1ms default: the sweep cannot finish in time
+    let expired = request(server.addr(), "POST", "/v1/analyze?points=12", body.as_bytes());
+    assert_eq!(expired.status, 504);
+    let v = json(&expired);
+    assert!(v["error"].as_str().unwrap().contains("deadline"));
+    let done = v["scales_done"].as_u64().expect("scales_done");
+    let total = v["scales_total"].as_u64().expect("scales_total");
+    assert!(total >= 1 && done <= total, "progress {done}/{total} must be coherent");
+
+    // per-request override beats the default; the result is a normal report
+    let relaxed = request(
+        server.addr(),
+        "POST",
+        "/v1/analyze?points=12&deadline_ms=60000",
+        body.as_bytes(),
+    );
+    assert_eq!(relaxed.status, 200);
+    assert!(!json(&relaxed)["results"].as_array().unwrap().is_empty());
+
+    // a timed-out sweep must not have poisoned the cache: the same content
+    // served fresh equals a repeat (cache-hit) request byte for byte
+    let repeat = request(
+        server.addr(),
+        "POST",
+        "/v1/analyze?points=12&deadline_ms=60000",
+        body.as_bytes(),
+    );
+    assert_eq!(repeat.status, 200);
+    assert_eq!(relaxed.body, repeat.body, "cache hit must be byte-identical");
+
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    assert!(health["jobs"]["cancelled"].as_u64().unwrap() >= 1);
+    server.stop();
+}
+
+#[test]
+fn deadline_ms_zero_and_malformed_values() {
+    let server = start(|c| c.default_deadline_ms = 1);
+    let body = trace(6, 150, 40);
+    // deadline_ms=0 disables the server-wide default entirely
+    let unlimited =
+        request(server.addr(), "POST", "/v1/analyze?points=8&deadline_ms=0", body.as_bytes());
+    assert_eq!(unlimited.status, 200);
+    let bad = request(
+        server.addr(),
+        "POST",
+        "/v1/analyze?points=8&deadline_ms=soon",
+        body.as_bytes(),
+    );
+    assert_eq!(bad.status, 400);
+    server.stop();
+}
+
+#[test]
+fn health_reports_lifecycle_counters() {
+    let server = start(|_| {});
+    let body = trace(5, 120, 30);
+    assert_eq!(
+        request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes()).status,
+        200
+    );
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    let jobs = &health["jobs"];
+    assert_eq!(jobs["executed"].as_u64(), Some(1));
+    assert_eq!(jobs["completed"].as_u64(), Some(1));
+    assert_eq!(jobs["cancelled"].as_u64(), Some(0));
+    assert_eq!(jobs["panicked"].as_u64(), Some(0));
+    assert_eq!(jobs["deadline_rejected"].as_u64(), Some(0));
+    assert!(jobs["ewma_job_secs"].as_f64().unwrap() > 0.0);
+    assert_eq!(health["draining"].as_bool(), Some(false));
+    server.stop();
+}
+
+/// After `drain`, in-flight results were allowed to finish and new
+/// connections are refused with `503 + Retry-After` (lame-duck mode).
+#[test]
+fn drain_completes_work_then_goes_lame_duck() {
+    let server = start(|_| {});
+    let body = trace(6, 150, 40);
+    assert_eq!(
+        request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes()).status,
+        200
+    );
+    let stats = server.drain(Duration::from_secs(30));
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.running, 0);
+    assert_eq!(stats.completed, 1);
+
+    // the lame-duck 503 is written as soon as the connection is accepted,
+    // possibly before our request bytes land -- write best-effort, then read
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let _ = writer.write_all(b"GET /v1/health HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    let refused = read_response(&mut BufReader::new(stream));
+    assert_eq!(refused.status, 503);
+    assert!(refused.retry_after.unwrap_or(0) >= 1, "lame-duck 503 must carry Retry-After");
     server.stop();
 }

@@ -1,0 +1,71 @@
+//! Cooperative cancellation of in-flight computations.
+//!
+//! A [`CancelToken`] is a cloneable handle to a shared flag. The party that
+//! wants a computation stopped calls [`CancelToken::cancel`]; the computation
+//! polls [`CancelToken::is_cancelled`] at its own safe points — between
+//! `(scale, tile)` work items in the sweep scheduler and every
+//! [`CANCEL_STRIDE`](crate::dp) steps inside the DP loop — and abandons its
+//! work. Cancellation is *cooperative*: firing the token never interrupts a
+//! step mid-update, so arena reuse stays sound (`EngineArena::prepare`
+//! already tolerates abandoned runs), and a token that never fires is a pair
+//! of relaxed loads per poll — it cannot change results, timings aside.
+//!
+//! The partial output of a cancelled run is unspecified and must be
+//! discarded; callers signal this with the [`Cancelled`] error.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag. Cloning yields another handle to the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Idempotent; never blocks. All computations polling
+    /// any clone of this token will stop at their next safe point.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired. A relaxed-ish acquire load — cheap
+    /// enough to poll from worker loops.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+/// Error returned by cancellable entry points when their token fired before
+/// the computation finished. Any partial output has been discarded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("computation cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+}

@@ -159,12 +159,18 @@
 //! `(row, target-column)` order within the step), so the sink always sees
 //! final values.
 
+use crate::cancel::CancelToken;
 use crate::{TargetSet, Timeline};
 
 /// Sentinel for "no path".
 const NONE_EA: u32 = u32::MAX;
 /// Sentinel for "value never set" / "no slot".
 const NEVER: u32 = u32::MAX;
+/// Steps between cancellation polls in the main DP loop: a fired
+/// [`CancelToken`] stops a run within this many steps of one tile. Chosen so
+/// the poll is amortized to nothing even on degree-1 timelines where a step
+/// costs a handful of instructions.
+pub const CANCEL_STRIDE: u32 = 512;
 
 /// Receives every minimal trip discovered by the engine.
 ///
@@ -432,6 +438,7 @@ impl EngineArena {
         col_start: u32,
         sink: &mut impl TripSink,
         options: DpOptions,
+        cancel: Option<&CancelToken>,
     ) -> DpStats {
         // Field-split the arena so the hot loops can hold a shared borrow of
         // the snapshot buffer while mutating cells/frontier/dirty.
@@ -609,7 +616,22 @@ impl EngineArena {
             sums.finite_triples += cnt;
         }
 
+        // Cooperative cancellation: polled once per CANCEL_STRIDE steps —
+        // coarse enough to stay invisible in the hot loop, fine enough that
+        // an abandoned sweep stops in bounded time. Breaking between steps
+        // leaves the arena in the same state a caught sink panic would;
+        // `prepare` resets it, and the partial stats are discarded upstream.
+        let mut cancel_countdown = CANCEL_STRIDE;
         for step in timeline.steps_desc() {
+            if let Some(token) = cancel {
+                cancel_countdown -= 1;
+                if cancel_countdown == 0 {
+                    cancel_countdown = CANCEL_STRIDE;
+                    if token.is_cancelled() {
+                        break;
+                    }
+                }
+            }
             let k = step.index;
 
             if degree1 && step.len() == 1 {
@@ -1118,6 +1140,28 @@ pub fn earliest_arrival_dp_tile_in(
     sink: &mut impl TripSink,
     options: DpOptions,
 ) -> DpStats {
+    earliest_arrival_dp_tile_cancel_in(
+        arena, timeline, targets, col_start, col_len, sink, options, None,
+    )
+}
+
+/// [`earliest_arrival_dp_tile_in`] with a cooperative [`CancelToken`],
+/// polled every [`CANCEL_STRIDE`] steps. A `None` (or never-fired) token
+/// takes the exact same code path and produces bit-identical output; once
+/// the token fires the run stops within one stride, its partial sink output
+/// and stats are meaningless, and the caller must discard them. The arena
+/// stays reusable either way.
+#[allow(clippy::too_many_arguments)] // mirror of the tile entry + one token
+pub fn earliest_arrival_dp_tile_cancel_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    col_start: u32,
+    col_len: usize,
+    sink: &mut impl TripSink,
+    options: DpOptions,
+    cancel: Option<&CancelToken>,
+) -> DpStats {
     assert!(col_len > 0, "empty target tile");
     assert!(
         col_start as usize + col_len <= targets.len(),
@@ -1125,7 +1169,7 @@ pub fn earliest_arrival_dp_tile_in(
         targets.len()
     );
     arena.prepare(timeline.n() as usize, col_len);
-    arena.run(timeline, targets, col_start, sink, options)
+    arena.run(timeline, targets, col_start, sink, options, cancel)
 }
 
 pub mod baseline {
@@ -1795,5 +1839,93 @@ mod tests {
             assert_eq!(df.sum_dhops, db.sum_dhops, "k={k}");
             assert_eq!(df.finite_triples, db.finite_triples, "k={k}");
         }
+    }
+
+    /// A present-but-never-fired token must be invisible: identical trip
+    /// stream and stats as the `None` path (the knob-matrix invariant at the
+    /// engine level).
+    #[test]
+    fn unfired_token_is_invisible() {
+        let s = saturn_linkstream::io::read_str(
+            "a b 0\nb c 7\nc d 13\nd a 20\na c 27\nb d 33\n",
+            Directedness::Undirected,
+        )
+        .unwrap();
+        let t = Timeline::aggregated(&s, 17);
+        let targets = TargetSet::all(4);
+        let mut plain = Collect::default();
+        let ps = earliest_arrival_dp(&t, &targets, &mut plain, DpOptions::default());
+        let token = CancelToken::new();
+        let mut arena = EngineArena::new();
+        let mut with_token = Collect::default();
+        let ts = earliest_arrival_dp_tile_cancel_in(
+            &mut arena,
+            &t,
+            &targets,
+            0,
+            targets.len(),
+            &mut with_token,
+            DpOptions::default(),
+            Some(&token),
+        );
+        assert_eq!(plain.0, with_token.0);
+        assert_eq!(ps.trips, ts.trips);
+        assert_eq!(ps.traversals, ts.traversals);
+    }
+
+    /// A pre-fired token stops the run within one `CANCEL_STRIDE` of steps,
+    /// and the arena remains reusable for a full run afterwards.
+    #[test]
+    fn fired_token_stops_early_and_arena_survives() {
+        // > 3×CANCEL_STRIDE single-edge steps so several polls happen.
+        let mut text = String::new();
+        for i in 0..(3 * CANCEL_STRIDE + 100) {
+            text.push_str(&format!("a b {i}\n"));
+        }
+        let s = saturn_linkstream::io::read_str(&text, Directedness::Undirected).unwrap();
+        let k = u64::from(3 * CANCEL_STRIDE + 100);
+        let t = Timeline::aggregated(&s, k);
+        let targets = TargetSet::all(2);
+        let mut full = Collect::default();
+        let fs = earliest_arrival_dp(&t, &targets, &mut full, DpOptions::default());
+
+        let token = CancelToken::new();
+        token.cancel();
+        let mut arena = EngineArena::new();
+        let mut partial = Collect::default();
+        let ps = earliest_arrival_dp_tile_cancel_in(
+            &mut arena,
+            &t,
+            &targets,
+            0,
+            targets.len(),
+            &mut partial,
+            DpOptions::default(),
+            Some(&token),
+        );
+        // The backward DP walks steps newest-first; a pre-fired token lets at
+        // most one stride of steps run before the poll breaks out.
+        assert!(
+            ps.trips <= u64::from(2 * CANCEL_STRIDE),
+            "cancelled run did too much work: {} trips vs {} full",
+            ps.trips,
+            fs.trips
+        );
+        assert!(ps.trips < fs.trips, "cancellation had no effect");
+
+        // Reusing the arena after an abandoned run must be sound and exact.
+        let mut again = Collect::default();
+        let rs = earliest_arrival_dp_tile_cancel_in(
+            &mut arena,
+            &t,
+            &targets,
+            0,
+            targets.len(),
+            &mut again,
+            DpOptions::default(),
+            None,
+        );
+        assert_eq!(again.0, full.0);
+        assert_eq!(rs.trips, fs.trips);
     }
 }

@@ -49,6 +49,7 @@
 //! assert!(hist.total_trips() > 0);
 //! ```
 
+pub mod cancel;
 pub mod distances;
 pub mod dp;
 pub mod elongation;
@@ -59,15 +60,17 @@ pub mod target;
 pub mod timeline;
 pub mod transitions;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use distances::{distance_means, distance_means_on, DistanceMeans};
 pub use dp::{
-    earliest_arrival_dp, earliest_arrival_dp_in, earliest_arrival_dp_tile_in, DpOptions,
-    DpStats, EngineArena, TripSink,
+    earliest_arrival_dp, earliest_arrival_dp_in, earliest_arrival_dp_tile_cancel_in,
+    earliest_arrival_dp_tile_in, DpOptions, DpStats, EngineArena, TripSink, CANCEL_STRIDE,
 };
 pub use elongation::{elongation_stats, elongation_stats_on, ElongationStats};
 pub use occupancy::{
     occupancy_histogram, occupancy_histogram_in, occupancy_histogram_on,
-    occupancy_histogram_tile_in, occupancy_histogram_tile_opts_in, OccupancyHistogram,
+    occupancy_histogram_tile_cancel_in, occupancy_histogram_tile_in,
+    occupancy_histogram_tile_opts_in, OccupancyHistogram,
 };
 pub use stream_trips::{stream_minimal_trips, PairTrips, StreamTrips};
 pub use target::TargetSet;

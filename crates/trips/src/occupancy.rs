@@ -7,8 +7,8 @@
 //! pair so no two distinct rates are ever merged by floating-point rounding.
 
 use crate::{
-    earliest_arrival_dp_in, earliest_arrival_dp_tile_in, DpOptions, EngineArena, TargetSet,
-    Timeline, TripSink,
+    earliest_arrival_dp_in, earliest_arrival_dp_tile_cancel_in, CancelToken, DpOptions,
+    EngineArena, TargetSet, Timeline, TripSink,
 };
 use rustc_hash::FxHashMap;
 use saturn_linkstream::LinkStream;
@@ -151,7 +151,7 @@ pub fn occupancy_histogram_in(
 
 /// The histogram of one *target tile* — minimal trips toward destinations
 /// `col_start .. col_start + col_len` of `targets` only (see
-/// [`earliest_arrival_dp_tile_in`]). Tiles partition the trips of the
+/// [`crate::earliest_arrival_dp_tile_in`]). Tiles partition the trips of the
 /// untiled run exactly, so [`OccupancyHistogram::merge`]-ing the tiles of a
 /// [`TargetSet::tile_ranges`] cover reproduces [`occupancy_histogram_in`].
 pub fn occupancy_histogram_tile_in(
@@ -183,9 +183,28 @@ pub fn occupancy_histogram_tile_opts_in(
     col_len: usize,
     options: DpOptions,
 ) -> OccupancyHistogram {
+    occupancy_histogram_tile_cancel_in(
+        arena, timeline, targets, col_start, col_len, options, None,
+    )
+}
+
+/// [`occupancy_histogram_tile_opts_in`] with a cooperative [`CancelToken`]
+/// (see [`crate::dp::earliest_arrival_dp_tile_cancel_in`]). A `None` or
+/// never-fired token is result-identical to the plain path; a fired token
+/// stops the DP within one stride and the returned partial histogram must be
+/// discarded.
+pub fn occupancy_histogram_tile_cancel_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    col_start: u32,
+    col_len: usize,
+    options: DpOptions,
+    cancel: Option<&CancelToken>,
+) -> OccupancyHistogram {
     let mut sink = HistogramSink(OccupancyHistogram::new());
-    earliest_arrival_dp_tile_in(
-        arena, timeline, targets, col_start, col_len, &mut sink, options,
+    earliest_arrival_dp_tile_cancel_in(
+        arena, timeline, targets, col_start, col_len, &mut sink, options, cancel,
     );
     sink.0
 }
