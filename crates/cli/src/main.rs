@@ -14,8 +14,10 @@
 //! saturn help
 //! ```
 
+use saturn_core::parallel::WorkerPool;
 use saturn_core::{
-    validation_sweep, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
+    json_trace_from_env, validation_sweep, JsonTraceObserver, OccupancyMethod, SweepControl,
+    SweepGrid, TargetSpec, ValidationOptions,
 };
 use saturn_linkstream::{io, Directedness, LinkStream};
 use saturn_server::{FaultPlan, Server, ServerConfig};
@@ -68,12 +70,15 @@ USAGE:
                           (ablation; reports are bit-identical either way)
       --unit s|m|h|d      display unit for Δ (ticks are seconds; default h)
       --json              emit the full report as JSON
+                          ($SATURN_TRACE=json mirrors per-tile sweep spans
+                          as JSON lines on stderr; output is unchanged)
   saturn validate <file>  information-loss curves (lost transitions, elongation)
       --directed, --points N, --threads N, --unit, --json as above
   saturn stats <file>     print stream statistics
       --directed, --json as above
   saturn serve            run the HTTP analysis service (POST /v1/analyze,
-                          /v1/validate, /v1/stats; GET /v1/jobs/<id>, /v1/health)
+                          /v1/validate, /v1/stats; GET /v1/jobs/<id>,
+                          /v1/health, /v1/metrics)
       --addr A            bind address (default 127.0.0.1:7878; port 0 = ephemeral)
       --threads N         sweep worker pool size, shared across requests
       --tile N            default target-tile width for analyze sweeps
@@ -232,14 +237,25 @@ fn targets(f: &Flags) -> TargetSpec {
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args)?;
     let stream = load(&f)?;
-    let report = OccupancyMethod::new()
+    let method = OccupancyMethod::new()
         .grid(SweepGrid::Geometric { points: f.points })
         .targets(targets(&f))
         .threads(f.threads)
         .tile(f.tile)
         .no_delta_propagation(f.no_delta)
-        .no_incremental_timeline(f.no_incremental)
-        .run(&stream);
+        .no_incremental_timeline(f.no_incremental);
+    let report = if json_trace_from_env() {
+        // SATURN_TRACE=json: mirror every completed (scale, tile) span as a
+        // JSON line on stderr, same format `saturn serve` emits. Observation
+        // only — report bytes are identical with or without the observer.
+        let mut pool = WorkerPool::new(f.threads);
+        let ctl = SweepControl::with_observer(std::sync::Arc::new(JsonTraceObserver));
+        method
+            .try_run_on(&stream, &mut pool, &ctl)
+            .expect("a sweep whose token never fires cannot be cancelled")
+    } else {
+        method.run(&stream)
+    };
     if f.json {
         println!("{}", report.to_json());
     } else {
@@ -332,7 +348,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // the resolved address from here
     println!("saturn-server listening on http://{addr}");
     println!(
-        "  threads={} cache={}MiB queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health)",
+        "  threads={} cache={}MiB queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
         if f.threads == 0 { "auto".to_string() } else { f.threads.to_string() },
         f.cache_mb,
         f.queue,

@@ -47,7 +47,10 @@ pub mod selection;
 pub mod validation;
 
 pub use classic::{classic_sweep, ClassicPoint};
-pub use control::{SweepControl, SweepProgress};
+pub use control::{
+    json_trace_from_env, JsonTraceObserver, SweepControl, SweepObserver, SweepProgress,
+    TileSpan,
+};
 pub use grid::SweepGrid;
 pub use heterogeneity::{
     heterogeneous_analysis, segment_activity, ActivityClass, ActivitySegment,

@@ -1,18 +1,19 @@
 //! The occupancy method driver (Section 4 of the paper).
 
-use crate::control::SweepControl;
+use crate::control::{SweepControl, TileSpan};
 use crate::parallel::{auto_tile_cols, merge_sources, sweep_queue, WorkerPool};
 use crate::report::OccupancyReport;
 use crate::SweepGrid;
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
-    occupancy_histogram_tile_cancel_in, Cancelled, DpOptions, EngineArena, EventView,
+    occupancy_histogram_tile_stats_in, Cancelled, DpOptions, EngineArena, EventView,
     OccupancyHistogram, TargetSet, Timeline,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Slot counts at which the Shannon-entropy score is always evaluated
 /// (the paper discusses k ∈ {5, 10, 20, 100}).
@@ -404,7 +405,8 @@ impl OccupancyMethod {
             }
             let mut arena = arenas[wid].lock().expect("arena poisoned");
             let timeline = obtain(&shared, &sources, ks, view, item.scale);
-            let hist = occupancy_histogram_tile_cancel_in(
+            let started = Instant::now();
+            let (hist, stats) = occupancy_histogram_tile_stats_in(
                 &mut arena,
                 &timeline,
                 targets,
@@ -413,14 +415,32 @@ impl OccupancyMethod {
                 dp_options,
                 Some(&ctl.cancel),
             );
+            let seconds = started.elapsed().as_secs_f64();
             drop(timeline);
             release(&shared, item.scale);
             // A token fired mid-DP leaves `hist` partial; the guard keeps a
-            // partial tile from counting its scale as done.
-            if !ctl.cancel.is_cancelled()
-                && tiles_left[item.scale].fetch_sub(1, Ordering::AcqRel) == 1
-            {
-                ctl.progress.add_done(1);
+            // partial tile from counting its scale as done (and its garbage
+            // stats from reaching the observer).
+            if !ctl.cancel.is_cancelled() {
+                let last_tile_of_scale =
+                    tiles_left[item.scale].fetch_sub(1, Ordering::AcqRel) == 1;
+                if last_tile_of_scale {
+                    ctl.progress.add_done(1);
+                }
+                if let Some(observer) = &ctl.observer {
+                    observer.tile_done(&TileSpan {
+                        k: ks[item.scale],
+                        col_start: item.col_start,
+                        col_len: item.col_len,
+                        seconds,
+                        trips: stats.trips,
+                        traversals: stats.traversals,
+                        chain_offers: stats.chain_offers,
+                        snap_entries: stats.snap_entries,
+                        degree1_steps: stats.degree1_steps,
+                        last_tile_of_scale,
+                    });
+                }
             }
             hist
         });
@@ -816,6 +836,61 @@ mod tests {
         let (done, total) = ctl.progress.snapshot();
         assert_eq!(done, total, "all scales accounted for");
         assert!(total > 0);
+    }
+
+    /// An attached observer sees every tile exactly once, tallies the
+    /// scales through `last_tile_of_scale`, and — because it runs strictly
+    /// after each tile's histogram is sealed — cannot change report bytes.
+    #[test]
+    fn observer_sees_every_tile_and_never_changes_bytes() {
+        use crate::control::{SweepObserver, TileSpan};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Debug, Default)]
+        struct CountingObserver {
+            tiles: AtomicU64,
+            scales: AtomicU64,
+            trips: AtomicU64,
+        }
+        impl SweepObserver for CountingObserver {
+            fn tile_done(&self, span: &TileSpan) {
+                self.tiles.fetch_add(1, Ordering::Relaxed);
+                if span.last_tile_of_scale {
+                    self.scales.fetch_add(1, Ordering::Relaxed);
+                }
+                self.trips.fetch_add(span.trips, Ordering::Relaxed);
+            }
+        }
+
+        let s = ring_stream(9, 90, 6);
+        // tile(2) splits scales into several spans each; refinement rounds
+        // exercise repeated sweeps under one control
+        let method = OccupancyMethod::new()
+            .grid(SweepGrid::Geometric { points: 10 })
+            .tile(2)
+            .refine(1, 4);
+        let mut pool = WorkerPool::new(2);
+        let plain = method.run_on(&s, &mut pool).to_json();
+        let observer = Arc::new(CountingObserver::default());
+        let ctl = SweepControl::with_observer(Arc::clone(&observer) as _);
+        let observed = method.try_run_on(&s, &mut pool, &ctl).unwrap().to_json();
+        assert_eq!(plain, observed, "an observer must not change the report");
+        let (done, total) = ctl.progress.snapshot();
+        assert_eq!(done, total);
+        assert_eq!(
+            observer.scales.load(Ordering::Relaxed),
+            total,
+            "one last-tile span per scale"
+        );
+        assert!(
+            observer.tiles.load(Ordering::Relaxed) >= total,
+            "tiled scales emit at least one span each"
+        );
+        // the spans carry the DP's own numbers: summed trips match the
+        // report's per-scale trip counts across coarse sweep + refinement
+        let report = method.try_run_on(&s, &mut pool, &SweepControl::new()).unwrap();
+        let coarse_trips: u64 = report.results().iter().map(|r| r.trips).sum();
+        assert!(observer.trips.load(Ordering::Relaxed) >= coarse_trips);
     }
 
     #[test]

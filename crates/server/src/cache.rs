@@ -16,6 +16,7 @@
 //! linear per eviction; fine for thousands of multi-kilobyte reports,
 //! wrong once small per-tile fragments multiply the population.)
 
+use crate::metrics::Metrics;
 use rustc_hash::FxHashMap;
 use serde::Serialize;
 use std::sync::{Arc, Mutex};
@@ -43,9 +44,6 @@ struct Inner {
     /// Least-recently-used entry (NIL when empty) — the eviction end.
     tail: usize,
     bytes: usize,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
 }
 
 impl Inner {
@@ -113,6 +111,12 @@ impl Inner {
 pub struct ReportCache {
     inner: Mutex<Inner>,
     capacity_bytes: usize,
+    /// Hit/miss/eviction counters and occupancy gauges live in the shared
+    /// registry, not in `Inner`: `/v1/health` and `/v1/metrics` both read
+    /// these same atomics, so the two surfaces cannot disagree. Counter
+    /// bumps and gauge syncs happen while `inner`'s lock is held, keeping
+    /// them exact with respect to the structural accounting.
+    metrics: Arc<Metrics>,
 }
 
 /// A point-in-time snapshot of cache occupancy and effectiveness, serialized
@@ -135,8 +139,15 @@ pub struct CacheStats {
 
 impl ReportCache {
     /// Creates a cache bounded by `capacity_bytes` of report bodies
-    /// (0 disables caching: every `get` misses, every `insert` is dropped).
+    /// (0 disables caching: every `get` misses, every `insert` is dropped),
+    /// counting into a private registry.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_metrics(capacity_bytes, Arc::new(Metrics::new()))
+    }
+
+    /// [`ReportCache::new`] counting into a shared registry — the server
+    /// wiring, where `/v1/metrics` and `/v1/health` must agree.
+    pub fn with_metrics(capacity_bytes: usize, metrics: Arc<Metrics>) -> Self {
         ReportCache {
             inner: Mutex::new(Inner {
                 map: FxHashMap::default(),
@@ -145,11 +156,9 @@ impl ReportCache {
                 head: NIL,
                 tail: NIL,
                 bytes: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
             }),
             capacity_bytes,
+            metrics,
         }
     }
 
@@ -159,11 +168,11 @@ impl ReportCache {
         match inner.map.get(&key).copied() {
             Some(i) => {
                 inner.touch(i);
-                inner.hits += 1;
+                self.metrics.cache_hits.inc();
                 Some(Arc::clone(inner.slab[i].body.as_ref().expect("resident")))
             }
             None => {
-                inner.misses += 1;
+                self.metrics.cache_misses.inc();
                 None
             }
         }
@@ -199,20 +208,23 @@ impl ReportCache {
             let evicted = inner.release(victim);
             inner.map.remove(&victim_key);
             inner.bytes -= evicted.len();
-            inner.evictions += 1;
+            self.metrics.cache_evictions.inc();
         }
+        self.metrics.cache_bytes.set(inner.bytes as u64);
+        self.metrics.cache_entries.set(inner.map.len() as u64);
     }
 
-    /// Occupancy and hit/miss counters.
+    /// Occupancy and hit/miss counters — the same atomics `/v1/metrics`
+    /// exports, snapshotted under the cache lock.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache poisoned");
         CacheStats {
             entries: inner.map.len(),
             bytes: inner.bytes,
             capacity_bytes: self.capacity_bytes,
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
+            hits: self.metrics.cache_hits.get(),
+            misses: self.metrics.cache_misses.get(),
+            evictions: self.metrics.cache_evictions.get(),
         }
     }
 }

@@ -267,7 +267,13 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete response. The body is always JSON in this service.
+/// `Content-Type` of every JSON endpoint.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// `Content-Type` of the Prometheus text exposition (`GET /v1/metrics`).
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Writes a complete JSON response.
 pub fn write_response<W: Write>(
     writer: &mut W,
     status: u16,
@@ -286,9 +292,22 @@ pub fn write_response_with<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_typed(writer, status, CONTENT_TYPE_JSON, extra_headers, body, keep_alive)
+}
+
+/// [`write_response_with`] with an explicit `Content-Type` — the metrics
+/// endpoint speaks Prometheus text, everything else JSON.
+pub fn write_response_typed<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nServer: saturn\r\nContent-Type: application/json\r\n",
+        "HTTP/1.1 {status} {}\r\nServer: saturn\r\nContent-Type: {content_type}\r\n",
         reason(status),
     )?;
     for (name, value) in extra_headers {

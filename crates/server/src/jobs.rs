@@ -37,8 +37,9 @@
 //! [`CancelToken`]: saturn_core::CancelToken
 
 use crate::faults::FaultPlan;
+use crate::metrics::{Metrics, MetricsSweepObserver};
 use saturn_core::parallel::WorkerPool;
-use saturn_core::SweepControl;
+use saturn_core::{json_trace_from_env, SweepControl, SweepObserver};
 use serde::Serialize;
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
@@ -96,8 +97,11 @@ pub struct JobCtx {
 }
 
 impl JobCtx {
-    fn new() -> Arc<JobCtx> {
-        Arc::new(JobCtx { control: SweepControl::new(), cause: AtomicU8::new(0) })
+    fn new(observer: Arc<dyn SweepObserver>) -> Arc<JobCtx> {
+        Arc::new(JobCtx {
+            control: SweepControl::with_observer(observer),
+            cause: AtomicU8::new(0),
+        })
     }
 
     /// True once any cancel cause has been recorded.
@@ -207,6 +211,9 @@ struct JobRecord {
     ctx: Arc<JobCtx>,
     deadline: Option<Instant>,
     kind: JobKind,
+    /// When the job entered the queue — the executor turns this into the
+    /// `saturn_queue_wait_seconds` sample when it pops the job.
+    queued_at: Instant,
 }
 
 struct State {
@@ -218,13 +225,6 @@ struct State {
     finished: VecDeque<u64>,
     next_id: u64,
     running: Option<u64>,
-    executed: u64,
-    coalesced: u64,
-    rejected: u64,
-    deadline_rejected: u64,
-    completed: u64,
-    cancelled: u64,
-    panicked: u64,
     /// EWMA of job service seconds (0 until the first job finishes).
     ewma_secs: f64,
     draining: bool,
@@ -237,6 +237,18 @@ struct Shared {
     job_done: Condvar,
     /// Pokes the watchdog whenever the set of armed deadlines changes.
     deadlines_changed: Condvar,
+    /// Lifecycle counters (executed / completed / cancelled / panicked /
+    /// coalesced / rejected / deadline_rejected), the queue-depth gauge,
+    /// and the queue-wait and sweep histograms. `/v1/health`'s [`JobStats`]
+    /// is a view over these same atomics, mutated only while `state`'s
+    /// lock is held.
+    metrics: Arc<Metrics>,
+}
+
+/// Mirrors the queue length into the registry gauge; call after every
+/// queue mutation, while the state lock is held.
+fn sync_queue_gauge(state: &State, metrics: &Metrics) {
+    metrics.queue_depth.set(state.queue.len() as u64);
 }
 
 /// Queue counters, serialized into `/v1/health`.
@@ -289,6 +301,9 @@ pub enum WaitOutcome {
 pub struct JobManager {
     shared: Arc<Shared>,
     queue_depth: usize,
+    /// Threaded into every job's [`SweepControl`]: folds tile spans into
+    /// the registry and mirrors them to stderr under `SATURN_TRACE=json`.
+    observer: Arc<dyn SweepObserver>,
     executor: Option<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
 }
@@ -301,12 +316,25 @@ impl JobManager {
     }
 
     /// [`JobManager::new`] with a fault-injection plan consulted at the
-    /// job-execution seam.
+    /// job-execution seam. Counts into a private registry.
     pub fn with_faults(
         threads: usize,
         queue_depth: usize,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
+        Self::with_metrics(threads, queue_depth, faults, Arc::new(Metrics::new()))
+    }
+
+    /// [`JobManager::with_faults`] counting into a shared registry — the
+    /// server wiring, where `/v1/metrics` and `/v1/health` must agree.
+    pub fn with_metrics(
+        threads: usize,
+        queue_depth: usize,
+        faults: Option<Arc<FaultPlan>>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let observer: Arc<dyn SweepObserver> =
+            Arc::new(MetricsSweepObserver::new(Arc::clone(&metrics), json_trace_from_env()));
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -315,13 +343,6 @@ impl JobManager {
                 finished: VecDeque::new(),
                 next_id: 1,
                 running: None,
-                executed: 0,
-                coalesced: 0,
-                rejected: 0,
-                deadline_rejected: 0,
-                completed: 0,
-                cancelled: 0,
-                panicked: 0,
                 ewma_secs: 0.0,
                 draining: false,
                 shutdown: false,
@@ -329,6 +350,7 @@ impl JobManager {
             work_available: Condvar::new(),
             job_done: Condvar::new(),
             deadlines_changed: Condvar::new(),
+            metrics,
         });
         let executor = {
             let shared = Arc::clone(&shared);
@@ -344,7 +366,13 @@ impl JobManager {
                 .spawn(move || watchdog_loop(&shared))
                 .expect("cannot spawn deadline watchdog")
         };
-        JobManager { shared, queue_depth, executor: Some(executor), watchdog: Some(watchdog) }
+        JobManager {
+            shared,
+            queue_depth,
+            observer,
+            executor: Some(executor),
+            watchdog: Some(watchdog),
+        }
     }
 
     /// Enqueues `work` with no deadline; see [`JobManager::submit_with`].
@@ -367,9 +395,10 @@ impl JobManager {
         scales_hint: u64,
         work: JobWork,
     ) -> Result<u64, Reject> {
+        let metrics = &self.shared.metrics;
         let mut state = self.shared.state.lock().expect("job state poisoned");
         if state.draining || state.shutdown {
-            state.rejected += 1;
+            metrics.jobs_rejected.inc();
             return Err(Reject::Draining);
         }
         if let Some(key) = fingerprint {
@@ -380,20 +409,20 @@ impl JobManager {
                 // job, so the doomed one retires without touching the map)
                 let doomed = state.jobs.get(&id).map(|r| r.ctx.is_cancelled()).unwrap_or(false);
                 if !doomed {
-                    state.coalesced += 1;
+                    metrics.jobs_coalesced.inc();
                     return Ok(id);
                 }
             }
         }
         if state.queue.len() >= self.queue_depth {
-            state.rejected += 1;
+            metrics.jobs_rejected.inc();
             return Err(Reject::QueueFull { retry_after_secs: retry_secs(&state) });
         }
         if let Some(budget) = deadline {
             let estimated = estimated_wait(&state);
             if estimated > budget {
-                state.rejected += 1;
-                state.deadline_rejected += 1;
+                metrics.jobs_rejected.inc();
+                metrics.jobs_deadline_rejected.inc();
                 return Err(Reject::WouldExpire {
                     estimated_wait_ms: estimated.as_millis() as u64,
                     retry_after_secs: retry_secs(&state),
@@ -402,7 +431,7 @@ impl JobManager {
         }
         let id = state.next_id;
         state.next_id += 1;
-        let ctx = JobCtx::new();
+        let ctx = JobCtx::new(Arc::clone(&self.observer));
         ctx.control.progress.set_total(scales_hint);
         let deadline_at = deadline.map(|budget| Instant::now() + budget);
         state.jobs.insert(
@@ -414,12 +443,14 @@ impl JobManager {
                 ctx,
                 deadline: deadline_at,
                 kind,
+                queued_at: Instant::now(),
             },
         );
         if let Some(key) = fingerprint {
             state.inflight.insert(key, id);
         }
         state.queue.push_back((id, work));
+        sync_queue_gauge(&state, metrics);
         drop(state);
         self.shared.work_available.notify_one();
         if deadline_at.is_some() {
@@ -504,8 +535,9 @@ impl JobManager {
         if !state.queue.is_empty() || state.running.is_some() {
             let cut: Vec<u64> = state.queue.iter().map(|(id, _)| *id).collect();
             state.queue.clear();
+            sync_queue_gauge(&state, &self.shared.metrics);
             for id in cut {
-                finalize_cancelled(&mut state, id, CancelCause::Drain);
+                finalize_cancelled(&mut state, &self.shared.metrics, id, CancelCause::Drain);
             }
             if let Some(id) = state.running {
                 if let Some(job) = state.jobs.get(&id) {
@@ -523,28 +555,30 @@ impl JobManager {
                     .0;
             }
         }
-        stats_of(&state, self.queue_depth)
+        stats_of(&state, &self.shared.metrics, self.queue_depth)
     }
 
     /// Queue counters.
     pub fn stats(&self) -> JobStats {
         let state = self.shared.state.lock().expect("job state poisoned");
-        stats_of(&state, self.queue_depth)
+        stats_of(&state, &self.shared.metrics, self.queue_depth)
     }
 }
 
-fn stats_of(state: &State, queue_depth: usize) -> JobStats {
+/// [`JobStats`] as a view over the registry counters — the `/v1/health`
+/// numbers ARE the `/v1/metrics` numbers, snapshotted under the state lock.
+fn stats_of(state: &State, metrics: &Metrics, queue_depth: usize) -> JobStats {
     JobStats {
         queued: state.queue.len(),
         queue_depth,
         running: usize::from(state.running.is_some()),
-        executed: state.executed,
-        completed: state.completed,
-        cancelled: state.cancelled,
-        panicked: state.panicked,
-        coalesced: state.coalesced,
-        rejected: state.rejected,
-        deadline_rejected: state.deadline_rejected,
+        executed: metrics.jobs_executed.get(),
+        completed: metrics.jobs_completed.get(),
+        cancelled: metrics.jobs_cancelled.get(),
+        panicked: metrics.jobs_panicked.get(),
+        coalesced: metrics.jobs_coalesced.get(),
+        rejected: metrics.jobs_rejected.get(),
+        deadline_rejected: metrics.jobs_deadline_rejected.get(),
         ewma_job_secs: state.ewma_secs,
     }
 }
@@ -566,7 +600,7 @@ fn retry_secs(state: &State) -> u32 {
 
 /// Finalizes a job that will never execute (deadline expired in queue, or
 /// drain cut the queue) as a cancelled `504`.
-fn finalize_cancelled(state: &mut State, id: u64, cause: CancelCause) {
+fn finalize_cancelled(state: &mut State, metrics: &Metrics, id: u64, cause: CancelCause) {
     let Some(job) = state.jobs.get_mut(&id) else { return };
     if job.outcome.is_some() {
         return;
@@ -575,7 +609,7 @@ fn finalize_cancelled(state: &mut State, id: u64, cause: CancelCause) {
     job.phase = JobPhase::Done;
     job.outcome = Some(job.ctx.cancelled_outcome());
     let fingerprint = job.fingerprint;
-    state.cancelled += 1;
+    metrics.jobs_cancelled.inc();
     retire(state, id, fingerprint);
 }
 
@@ -610,7 +644,9 @@ fn executor_loop(shared: &Shared, threads: usize, faults: Option<Arc<FaultPlan>>
                     job.phase = JobPhase::Running;
                     let ctx = Arc::clone(&job.ctx);
                     let kind = job.kind;
+                    shared.metrics.queue_wait_seconds.observe(job.queued_at.elapsed());
                     state.running = Some(id);
+                    sync_queue_gauge(&state, &shared.metrics);
                     break (id, work, ctx, kind);
                 }
                 state = shared.work_available.wait(state).expect("job state poisoned");
@@ -641,20 +677,21 @@ fn executor_loop(shared: &Shared, threads: usize, faults: Option<Arc<FaultPlan>>
             status: 500,
             body: Arc::from(r#"{"error": "analysis panicked"}"#),
         });
+        shared.metrics.sweep_seconds.observe(Duration::from_secs_f64(elapsed));
         let mut state = shared.state.lock().expect("job state poisoned");
-        state.ewma_secs = if state.executed == 0 {
+        state.ewma_secs = if shared.metrics.jobs_executed.get() == 0 {
             elapsed
         } else {
             EWMA_ALPHA * elapsed + (1.0 - EWMA_ALPHA) * state.ewma_secs
         };
         state.running = None;
-        state.executed += 1;
+        shared.metrics.jobs_executed.inc();
         if panicked {
-            state.panicked += 1;
+            shared.metrics.jobs_panicked.inc();
         } else if outcome.status == 504 {
-            state.cancelled += 1;
+            shared.metrics.jobs_cancelled.inc();
         } else {
-            state.completed += 1;
+            shared.metrics.jobs_completed.inc();
         }
         let job = state.jobs.get_mut(&id).expect("running job recorded");
         job.phase = JobPhase::Done;
@@ -688,8 +725,9 @@ fn watchdog_loop(shared: &Shared) {
             .collect();
         if !expired.is_empty() {
             state.queue.retain(|(id, _)| !expired.contains(id));
+            sync_queue_gauge(&state, &shared.metrics);
             for id in expired {
-                finalize_cancelled(&mut state, id, CancelCause::Deadline);
+                finalize_cancelled(&mut state, &shared.metrics, id, CancelCause::Deadline);
             }
             shared.job_done.notify_all();
         }

@@ -16,6 +16,7 @@
 //! POST /v1/stats?directed=1                                          trace body → stream statistics
 //! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
 //! GET  /v1/health                                                    cache + queue + lifecycle counters
+//! GET  /v1/metrics                                                   Prometheus text exposition
 //! ```
 //!
 //! Bodies are plain or KONECT-layout traces — exactly what
@@ -60,11 +61,60 @@
 //! panics, delays, and cancellation races at the job-execution and
 //! HTTP-parse seams. See [`faults`] for the grammar. Unset, every hook is
 //! a no-op.
+//!
+//! # Telemetry
+//!
+//! One [`Metrics`] registry per server, shared by the cache, the job
+//! manager, and every connection thread; `GET /v1/metrics` renders it as
+//! Prometheus text (`text/plain; version=0.0.4`). The `/v1/health` cache
+//! and job counters are *views over the same atomics*, so the two surfaces
+//! can never disagree. Telemetry is observation only: nothing here enters
+//! cache fingerprints or report bytes (the knob-matrix CI gate holds with
+//! it active). Setting `SATURN_TRACE=json` at server start additionally
+//! mirrors every completed sweep tile as a JSON line on stderr.
+//!
+//! Every exported metric:
+//!
+//! | metric | type | labels | meaning |
+//! |--------|------|--------|---------|
+//! | `saturn_requests_total` | counter | `route` ∈ analyze, validate, stats, health, jobs, metrics, other; `status` ∈ 2xx, 4xx, 5xx, other | finished HTTP requests |
+//! | `saturn_queue_depth` | gauge | — | jobs waiting (not running) |
+//! | `saturn_cache_bytes` | gauge | — | resident report-cache bytes |
+//! | `saturn_cache_entries` | gauge | — | resident report-cache entries |
+//! | `saturn_cache_hits_total` | counter | — | cache lookups that returned a body |
+//! | `saturn_cache_misses_total` | counter | — | cache lookups that found nothing |
+//! | `saturn_cache_evictions_total` | counter | — | entries evicted for the byte budget |
+//! | `saturn_jobs_executed_total` | counter | — | jobs run to any outcome |
+//! | `saturn_jobs_completed_total` | counter | — | jobs finishing with their own outcome |
+//! | `saturn_jobs_cancelled_total` | counter | — | deadline / drain / fault 504s |
+//! | `saturn_jobs_panicked_total` | counter | — | jobs whose work panicked (500) |
+//! | `saturn_jobs_coalesced_total` | counter | — | submissions attached to in-flight duplicates |
+//! | `saturn_jobs_rejected_total` | counter | — | submissions refused with any 503 |
+//! | `saturn_jobs_deadline_rejected_total` | counter | — | admission-control refusals |
+//! | `saturn_sweep_tiles_total` | counter | — | `(scale, tile)` DP items completed |
+//! | `saturn_sweep_scales_total` | counter | — | scales fully analyzed |
+//! | `saturn_dp_trips_total` | counter | — | minimal trips reported by the engines |
+//! | `saturn_dp_traversals_total` | counter | — | edge traversals processed |
+//! | `saturn_dp_chain_offers_total` | counter | — | chain offers after delta filtering |
+//! | `saturn_dp_snap_entries_total` | counter | — | snapshot entries after delta filtering |
+//! | `saturn_dp_degree1_steps_total` | counter | — | degree-1 fast-path steps |
+//! | `saturn_parse_seconds` | histogram | — | request read + parse (includes peer I/O) |
+//! | `saturn_handle_seconds` | histogram | — | routing + synchronous job wait |
+//! | `saturn_serialize_seconds` | histogram | — | response write to the socket |
+//! | `saturn_request_seconds` | histogram | — | end-to-end request wall time |
+//! | `saturn_queue_wait_seconds` | histogram | — | submit → executor pop latency |
+//! | `saturn_sweep_seconds` | histogram | — | job execution wall time on the pool |
+//! | `saturn_tile_seconds` | histogram | — | one `(scale, tile)` DP wall time |
+//!
+//! Histogram buckets are powers of two over microseconds (`le` rendered in
+//! seconds), so p50/p90/p99 extracted from a scrape are upper bounds within
+//! 2× — see [`metrics::Histogram`].
 
 pub mod cache;
 pub mod faults;
 pub mod http;
 pub mod jobs;
+pub mod metrics;
 pub mod signals;
 
 pub use cache::{CacheStats, ReportCache};
@@ -72,8 +122,13 @@ pub use faults::{FaultPlan, FaultSite};
 pub use jobs::{
     JobCtx, JobKind, JobManager, JobOutcome, JobPhase, JobStats, Reject, WaitOutcome,
 };
+pub use metrics::{Counter, Gauge, Histogram, Metrics, RequestTimings};
 
-use http::{error_body, read_request, write_response, write_response_with, ReadError, Request};
+use http::{
+    error_body, read_request, write_response, write_response_typed, write_response_with,
+    ReadError, Request, CONTENT_TYPE_JSON, CONTENT_TYPE_PROMETHEUS,
+};
+use metrics::route_label;
 use saturn_core::fingerprint::{self, Digest};
 use saturn_core::{
     try_validation_sweep_on, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
@@ -159,6 +214,9 @@ struct ServerContext {
     /// can own a handle and populate it on completion.
     cache: Arc<ReportCache>,
     jobs: JobManager,
+    /// The one registry `/v1/metrics` renders. The cache and job manager
+    /// hold clones of this `Arc` and count into it directly.
+    metrics: Arc<Metrics>,
     tile: usize,
     no_delta: bool,
     no_incremental: bool,
@@ -186,15 +244,21 @@ impl Server {
     /// shared worker pool).
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let shared_metrics = Arc::new(Metrics::new());
         Ok(Server {
             listener,
             ctx: Arc::new(ServerContext {
-                cache: Arc::new(ReportCache::new(config.cache_bytes)),
-                jobs: JobManager::with_faults(
+                cache: Arc::new(ReportCache::with_metrics(
+                    config.cache_bytes,
+                    Arc::clone(&shared_metrics),
+                )),
+                jobs: JobManager::with_metrics(
                     config.threads,
                     config.queue_depth,
                     config.faults.clone(),
+                    Arc::clone(&shared_metrics),
                 ),
+                metrics: shared_metrics,
                 tile: config.tile,
                 no_delta: config.no_delta,
                 no_incremental: config.no_incremental,
@@ -370,13 +434,17 @@ fn serve_connection(stream: TcpStream, ctx: &ServerContext) {
     let mut reader = BufReader::new(reader_stream);
     let mut writer = stream;
     loop {
+        let parse_started = Instant::now();
         let request = match read_request(&mut reader, &mut writer, ctx.max_body_bytes) {
             Ok(request) => request,
             Err(ReadError::Closed) => return,
             Err(ReadError::Bad(status, msg)) => {
                 // includes the 408 mid-request stall: the client is told
                 // why the connection is going away instead of a silent drop
+                let timings =
+                    RequestTimings { parse: parse_started.elapsed(), ..Default::default() };
                 let _ = write_response(&mut writer, status, &error_body(&msg), false);
+                ctx.metrics.observe_request("other", status, &timings);
                 return;
             }
         };
@@ -384,21 +452,29 @@ fn serve_connection(stream: TcpStream, ctx: &ServerContext) {
             plan.maybe_slow(FaultSite::Parse);
             plan.maybe_panic(FaultSite::Parse);
         }
+        let mut timings =
+            RequestTimings { parse: parse_started.elapsed(), ..Default::default() };
         // during a drain, finish this response but do not hold the
         // connection open for more requests
         let keep_alive = request.keep_alive && !ctx.lame_duck.load(Ordering::SeqCst);
+        let handle_started = Instant::now();
         let reply = route(&request, ctx);
+        timings.handle = handle_started.elapsed();
         let mut extra_headers: Vec<(&str, String)> = Vec::new();
         if let Some(secs) = reply.retry_after {
             extra_headers.push(("Retry-After", secs.to_string()));
         }
-        let sent = write_response_with(
+        let serialize_started = Instant::now();
+        let sent = write_response_typed(
             &mut writer,
             reply.status,
+            reply.content_type,
             &extra_headers,
             reply.body.as_bytes(),
             keep_alive,
         );
+        timings.serialize = serialize_started.elapsed();
+        ctx.metrics.observe_request(route_label(&request.path), reply.status, &timings);
         if sent.is_err() || !keep_alive {
             return;
         }
@@ -434,21 +510,38 @@ impl From<Arc<str>> for Body {
     }
 }
 
-/// A routed response: status, body, and optionally a `Retry-After` hint
-/// (every 503 carries one).
+/// A routed response: status, body, content type (JSON everywhere except
+/// the Prometheus exposition), and optionally a `Retry-After` hint (every
+/// 503 carries one).
 struct Reply {
     status: u16,
     body: Body,
+    content_type: &'static str,
     retry_after: Option<u32>,
 }
 
 impl Reply {
     fn new(status: u16, body: impl Into<Body>) -> Reply {
-        Reply { status, body: body.into(), retry_after: None }
+        Reply { status, body: body.into(), content_type: CONTENT_TYPE_JSON, retry_after: None }
+    }
+
+    /// A Prometheus-text response (`GET /v1/metrics`).
+    fn prometheus(body: impl Into<Body>) -> Reply {
+        Reply {
+            status: 200,
+            body: body.into(),
+            content_type: CONTENT_TYPE_PROMETHEUS,
+            retry_after: None,
+        }
     }
 
     fn retry(status: u16, body: impl Into<Body>, secs: u32) -> Reply {
-        Reply { status, body: body.into(), retry_after: Some(secs) }
+        Reply {
+            status,
+            body: body.into(),
+            content_type: CONTENT_TYPE_JSON,
+            retry_after: Some(secs),
+        }
     }
 }
 
@@ -459,8 +552,10 @@ fn route(request: &Request, ctx: &ServerContext) -> Reply {
         ("POST", "/v1/validate") => endpoint_validate(request, ctx),
         ("POST", "/v1/stats") => endpoint_stats(request, ctx),
         ("GET", "/v1/health") => Ok(endpoint_health(ctx)),
+        ("GET", "/v1/metrics") => Ok(endpoint_metrics(ctx)),
         ("GET", path) if path.starts_with("/v1/jobs/") => endpoint_job(request, ctx),
-        ("GET", "/v1/analyze" | "/v1/validate" | "/v1/stats") | ("POST", "/v1/health") => {
+        ("GET", "/v1/analyze" | "/v1/validate" | "/v1/stats")
+        | ("POST", "/v1/health" | "/v1/metrics") => {
             Err((405, "wrong method for this endpoint (analysis endpoints take POST)".into()))
         }
         _ => Err((404, format!("no route for {} {}", request.method, request.path))),
@@ -707,6 +802,10 @@ fn endpoint_health(ctx: &ServerContext) -> Reply {
         ),
     ]);
     Reply::new(200, body.to_string_pretty().into_bytes())
+}
+
+fn endpoint_metrics(ctx: &ServerContext) -> Reply {
+    Reply::prometheus(ctx.metrics.render_prometheus().into_bytes())
 }
 
 fn job_status_body(id: u64, phase: JobPhase) -> Vec<u8> {

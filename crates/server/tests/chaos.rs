@@ -104,6 +104,18 @@ fn read_response<R: BufRead>(reader: &mut R) -> Response {
     Response { status, body }
 }
 
+/// Scrapes `/v1/metrics` and returns the value of an unlabelled counter.
+fn counter_sample(addr: SocketAddr, name: &str) -> u64 {
+    let scrape = request(addr, "GET", "/v1/metrics", b"");
+    assert_eq!(scrape.status, 200);
+    let text = String::from_utf8(scrape.body).expect("metrics utf8");
+    text.lines()
+        .find_map(|line| line.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("metric {name} not in scrape"))
+        .parse::<f64>()
+        .expect("numeric sample") as u64
+}
+
 /// Mixed storm: unique and repeated sweeps, tight deadlines, health polls,
 /// plus clients that disconnect or stall mid-body. Every well-formed
 /// request must complete with an allowed status, and the server must be
@@ -185,9 +197,23 @@ fn chaos_storm_never_hangs_or_corrupts_the_cache() {
         .map(|_| request(addr, "POST", target, body.as_bytes()))
         .find(|r| r.status == 200)
         .expect("a clean sweep must eventually succeed");
+    // that it *hit* is checked against the server's own counters, not
+    // inferred from response bytes or timing
+    let hits_before = counter_sample(addr, "saturn_cache_hits_total");
+    let misses_before = counter_sample(addr, "saturn_cache_misses_total");
     let cached = request(addr, "POST", target, body.as_bytes());
     assert_eq!(cached.status, 200);
     assert_eq!(cold.body, cached.body, "cache hit must be byte-identical to cold");
+    assert_eq!(
+        counter_sample(addr, "saturn_cache_hits_total"),
+        hits_before + 1,
+        "the repeat request must be an explicit cache hit"
+    );
+    assert_eq!(
+        counter_sample(addr, "saturn_cache_misses_total"),
+        misses_before,
+        "the repeat request must not miss"
+    );
 
     let health = request(addr, "GET", "/v1/health", b"");
     let text = String::from_utf8(health.body).expect("health utf8");

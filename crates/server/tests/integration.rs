@@ -42,6 +42,7 @@ struct Response {
     status: u16,
     body: Vec<u8>,
     retry_after: Option<u32>,
+    content_type: Option<String>,
 }
 
 /// Writes `count` requests over one connection, reading each response before
@@ -83,6 +84,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> Response {
         .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
     let mut content_length = 0usize;
     let mut retry_after = None;
+    let mut content_type = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("header line");
@@ -97,10 +99,13 @@ fn read_response<R: BufRead>(reader: &mut R) -> Response {
         if let Some(v) = lowered.strip_prefix("retry-after:") {
             retry_after = Some(v.trim().parse().expect("retry-after"));
         }
+        if let Some(v) = lowered.strip_prefix("content-type:") {
+            content_type = Some(v.trim().to_string());
+        }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
-    Response { status, body, retry_after }
+    Response { status, body, retry_after, content_type }
 }
 
 fn json(response: &Response) -> serde_json::Value {
@@ -555,5 +560,174 @@ fn drain_completes_work_then_goes_lame_duck() {
     let refused = read_response(&mut BufReader::new(stream));
     assert_eq!(refused.status, 503);
     assert!(refused.retry_after.unwrap_or(0) >= 1, "lame-duck 503 must carry Retry-After");
+    server.stop();
+}
+
+/// The value of a sample line in a Prometheus scrape. `name` includes the
+/// label set for labelled families (`foo{a="b"}`).
+fn metric_sample(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("metric {name} not in scrape"))
+        .parse()
+        .expect("numeric sample")
+}
+
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let response = request(addr, "GET", "/v1/metrics", b"");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.content_type.as_deref(),
+        Some("text/plain; version=0.0.4; charset=utf-8"),
+        "metrics must be Prometheus text, not JSON"
+    );
+    String::from_utf8(response.body).expect("metrics utf8")
+}
+
+/// Polls the scrape until `name` reaches at least `want` — request counters
+/// are bumped on the connection thread just *after* the response bytes go
+/// out, so an immediate re-scrape can race the previous request's count.
+fn await_metric_at_least(addr: SocketAddr, name: &str, want: f64) -> f64 {
+    for _ in 0..200 {
+        let got = metric_sample(&scrape_metrics(addr), name);
+        if got >= want {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("metric {name} never reached {want}");
+}
+
+#[test]
+fn metrics_exposition_is_wellformed() {
+    let server = start(|_| {});
+    let body = trace(5, 120, 30);
+    assert_eq!(
+        request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes()).status,
+        200
+    );
+    let text = scrape_metrics(server.addr());
+    // every family the crate documents is present from the first scrape
+    for family in [
+        "saturn_requests_total",
+        "saturn_queue_depth",
+        "saturn_cache_bytes",
+        "saturn_cache_entries",
+        "saturn_cache_hits_total",
+        "saturn_cache_misses_total",
+        "saturn_cache_evictions_total",
+        "saturn_jobs_executed_total",
+        "saturn_jobs_completed_total",
+        "saturn_jobs_cancelled_total",
+        "saturn_jobs_panicked_total",
+        "saturn_jobs_coalesced_total",
+        "saturn_jobs_rejected_total",
+        "saturn_jobs_deadline_rejected_total",
+        "saturn_sweep_tiles_total",
+        "saturn_sweep_scales_total",
+        "saturn_dp_trips_total",
+        "saturn_dp_traversals_total",
+        "saturn_dp_chain_offers_total",
+        "saturn_dp_snap_entries_total",
+        "saturn_dp_degree1_steps_total",
+        "saturn_parse_seconds",
+        "saturn_handle_seconds",
+        "saturn_serialize_seconds",
+        "saturn_request_seconds",
+        "saturn_queue_wait_seconds",
+        "saturn_sweep_seconds",
+        "saturn_tile_seconds",
+    ] {
+        assert!(text.contains(&format!("# TYPE {family} ")), "missing family {family}");
+    }
+    // exposition shape: every line is `# HELP`, `# TYPE`, or `name[{labels}] value`
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(!name.is_empty());
+        assert!(value.parse::<f64>().is_ok(), "unparsable value in `{line}`");
+    }
+    server.stop();
+}
+
+/// One cold analyze + one cache hit: request counters move, the sweep
+/// aggregates fill in, and every number `/v1/health` reports matches the
+/// scrape exactly — they are the same atomics.
+#[test]
+fn metrics_count_requests_and_agree_with_health() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let body = trace(6, 150, 40);
+    assert_eq!(request(addr, "POST", "/v1/analyze?points=8", body.as_bytes()).status, 200);
+    assert_eq!(request(addr, "POST", "/v1/analyze?points=8", body.as_bytes()).status, 200);
+    let analyze = await_metric_at_least(
+        addr,
+        "saturn_requests_total{route=\"analyze\",status=\"2xx\"}",
+        2.0,
+    );
+    assert_eq!(analyze, 2.0, "exactly two analyze requests");
+
+    let text = scrape_metrics(addr);
+    // one executed job (the second request hit the cache), sealed end to end
+    assert_eq!(metric_sample(&text, "saturn_jobs_executed_total"), 1.0);
+    assert_eq!(metric_sample(&text, "saturn_queue_wait_seconds_count"), 1.0);
+    assert_eq!(metric_sample(&text, "saturn_sweep_seconds_count"), 1.0);
+    // the sweep decomposed into at least one tile per scale, and the DP
+    // aggregates flowed up from the engines
+    let scales = metric_sample(&text, "saturn_sweep_scales_total");
+    let tiles = metric_sample(&text, "saturn_sweep_tiles_total");
+    assert!(scales >= 1.0, "at least one scale analyzed");
+    assert!(tiles >= scales, "tiles cover scales");
+    assert_eq!(metric_sample(&text, "saturn_tile_seconds_count"), tiles);
+    assert!(metric_sample(&text, "saturn_dp_trips_total") > 0.0);
+    assert!(metric_sample(&text, "saturn_dp_traversals_total") > 0.0);
+
+    // health and metrics can never disagree: same atomics, read twice
+    let health = json(&request(addr, "GET", "/v1/health", b""));
+    let text = scrape_metrics(addr);
+    let cache = &health["cache"];
+    assert_eq!(
+        cache["hits"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_cache_hits_total")
+    );
+    assert_eq!(
+        cache["misses"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_cache_misses_total")
+    );
+    assert_eq!(
+        cache["bytes"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_cache_bytes")
+    );
+    assert_eq!(
+        cache["entries"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_cache_entries")
+    );
+    let jobs = &health["jobs"];
+    assert_eq!(
+        jobs["executed"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_jobs_executed_total")
+    );
+    assert_eq!(
+        jobs["completed"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_jobs_completed_total")
+    );
+    assert_eq!(
+        jobs["queued"].as_u64().unwrap() as f64,
+        metric_sample(&text, "saturn_queue_depth")
+    );
+    server.stop();
+}
+
+#[test]
+fn metrics_rejects_wrong_method_and_counts_errors() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    assert_eq!(request(addr, "POST", "/v1/metrics", b"").status, 405);
+    assert_eq!(request(addr, "GET", "/nope", b"").status, 404);
+    await_metric_at_least(addr, "saturn_requests_total{route=\"metrics\",status=\"4xx\"}", 1.0);
+    await_metric_at_least(addr, "saturn_requests_total{route=\"other\",status=\"4xx\"}", 1.0);
     server.stop();
 }

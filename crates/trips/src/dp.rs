@@ -259,6 +259,10 @@ pub struct DpStats {
     /// Snapshot entries appended across all steps (after snapshot-side
     /// delta filtering).
     pub snap_entries: u64,
+    /// Steps taken through the degree-1 fast path (single-edge steps with
+    /// no slot machinery — the fine-scale tail's dominant step shape).
+    /// Always 0 for the baseline engine, which has no such path.
+    pub degree1_steps: u64,
     /// Distance sums, if requested.
     pub distances: Option<DistanceSums>,
 }
@@ -518,6 +522,7 @@ impl EngineArena {
         let mut traversals = 0u64;
         let mut chain_offers = 0u64;
         let mut snap_entries = 0u64;
+        let mut degree1_steps = 0u64;
 
         /// The DP update for one candidate `(arrival, hops)` at cell `idx`
         /// (= row `row_node` × column `col`) during step `k`. A free fn over
@@ -648,6 +653,7 @@ impl EngineArena {
                 // the snapshot at all — the tail's dominant cost), and a
                 // changed row only offers the entries installed since.
                 let (eu, ew) = (step.src[0], step.dst[0]);
+                degree1_steps += 1;
                 debug_assert_ne!(eu, ew, "streams never carry self-loops");
                 debug_assert!(snap.is_empty() && slotted.is_empty());
                 if delta {
@@ -1081,7 +1087,7 @@ impl EngineArena {
             None
         };
 
-        DpStats { trips, traversals, chain_offers, snap_entries, distances }
+        DpStats { trips, traversals, chain_offers, snap_entries, degree1_steps, distances }
     }
 }
 
@@ -1365,7 +1371,14 @@ pub mod baseline {
                 None
             };
 
-            DpStats { trips, traversals, chain_offers, snap_entries, distances }
+            DpStats {
+                trips,
+                traversals,
+                chain_offers,
+                snap_entries,
+                degree1_steps: 0,
+                distances,
+            }
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::{
     earliest_arrival_dp_in, earliest_arrival_dp_tile_cancel_in, CancelToken, DpOptions,
-    EngineArena, TargetSet, Timeline, TripSink,
+    DpStats, EngineArena, TargetSet, Timeline, TripSink,
 };
 use rustc_hash::FxHashMap;
 use saturn_linkstream::LinkStream;
@@ -202,11 +202,31 @@ pub fn occupancy_histogram_tile_cancel_in(
     options: DpOptions,
     cancel: Option<&CancelToken>,
 ) -> OccupancyHistogram {
+    occupancy_histogram_tile_stats_in(
+        arena, timeline, targets, col_start, col_len, options, cancel,
+    )
+    .0
+}
+
+/// [`occupancy_histogram_tile_cancel_in`] that also surfaces the engine's
+/// [`DpStats`] instead of dropping them in the sink — the telemetry hook of
+/// the sweep scheduler. The histogram is byte-for-byte the one the plain
+/// variant returns; the stats are observational only and, like the
+/// histogram, must be discarded if the token fired mid-run.
+pub fn occupancy_histogram_tile_stats_in(
+    arena: &mut EngineArena,
+    timeline: &Timeline,
+    targets: &TargetSet,
+    col_start: u32,
+    col_len: usize,
+    options: DpOptions,
+    cancel: Option<&CancelToken>,
+) -> (OccupancyHistogram, DpStats) {
     let mut sink = HistogramSink(OccupancyHistogram::new());
-    earliest_arrival_dp_tile_cancel_in(
+    let stats = earliest_arrival_dp_tile_cancel_in(
         arena, timeline, targets, col_start, col_len, &mut sink, options, cancel,
     );
-    sink.0
+    (sink.0, stats)
 }
 
 #[cfg(test)]
