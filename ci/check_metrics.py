@@ -40,6 +40,16 @@ EXPECTED_FAMILIES = {
     "saturn_jobs_coalesced_total": "counter",
     "saturn_jobs_rejected_total": "counter",
     "saturn_jobs_deadline_rejected_total": "counter",
+    "saturn_shard_queue_depth": "gauge",
+    "saturn_shard_ewma_job_seconds": "gauge",
+    "saturn_shard_jobs_executed_total": "counter",
+    "saturn_shard_jobs_completed_total": "counter",
+    "saturn_shard_jobs_cancelled_total": "counter",
+    "saturn_shard_jobs_panicked_total": "counter",
+    "saturn_shard_jobs_coalesced_total": "counter",
+    "saturn_shard_jobs_rejected_total": "counter",
+    "saturn_shard_jobs_deadline_rejected_total": "counter",
+    "saturn_executor_restarts_total": "counter",
     "saturn_sweep_tiles_total": "counter",
     "saturn_sweep_scales_total": "counter",
     "saturn_dp_trips_total": "counter",
@@ -200,6 +210,10 @@ def synthetic_scrape(hits=3.0, analyze=4.0, inf_count=2.0):
             lines.append('saturn_requests_total{route="other",status="other"} 0')
         elif family == "saturn_cache_hits_total":
             lines.append(f"saturn_cache_hits_total {hits:g}")
+        elif family.startswith("saturn_shard_") or family == "saturn_executor_restarts_total":
+            # per-shard families are always labeled, one sample per shard
+            lines.append(f'{family}{{shard="0"}} 1')
+            lines.append(f'{family}{{shard="1"}} 0')
         else:
             lines.append(f"{family} 0")
     return "\n".join(lines) + "\n"
@@ -218,7 +232,11 @@ def self_test():
     good = synthetic_scrape()
     check_scrape(
         good,
-        minimums=['saturn_requests_total{route="analyze",status="2xx"}=4'],
+        minimums=[
+            'saturn_requests_total{route="analyze",status="2xx"}=4',
+            'saturn_shard_jobs_executed_total{shard="0"}=1',
+            'saturn_executor_restarts_total{shard="1"}=0',
+        ],
     )
     # minimum not met
     expect_failure(

@@ -10,7 +10,7 @@
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
 //! saturn validate <file> [--directed] [--points N] [--threads N]
 //! saturn stats <file> [--directed] [--json]
-//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--queue N] [--default-deadline-ms N] [--drain-secs N]
+//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--queue N] [--executors N|auto] [--default-deadline-ms N] [--drain-secs N]
 //! saturn help
 //! ```
 
@@ -88,7 +88,12 @@ USAGE:
       --no-incremental    default incremental-timeline setting for analyze
                           sweeps (requests may override with ?no_incremental=1)
       --cache-mb M        report cache budget in MiB (default 64; 0 disables)
-      --queue N           job queue depth before 503 backpressure (default 64)
+      --queue N           per-shard job queue depth before 503 backpressure
+                          (default 64)
+      --executors N|auto  executor shards, each with its own queue, worker
+                          pool, and supervisor-backed restart (default 1;
+                          auto = min(cores/4, 4)); execution knob only —
+                          report bytes are identical at any count
       --default-deadline-ms N
                           deadline applied to requests that send no
                           ?deadline_ms= (default 0 = none); expired requests
@@ -130,6 +135,7 @@ struct Flags {
     addr: String,
     cache_mb: usize,
     queue: usize,
+    executors: usize,
     default_deadline_ms: u64,
     drain_secs: u64,
 }
@@ -152,6 +158,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         addr: "127.0.0.1:7878".into(),
         cache_mb: 64,
         queue: 64,
+        executors: 1,
         default_deadline_ms: 0,
         drain_secs: 10,
     };
@@ -186,6 +193,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--queue" => {
                 f.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--executors" => {
+                // `auto` maps to 0, which the server resolves to
+                // min(cores/4, 4) at bind time
+                f.executors = match value("--executors")?.as_str() {
+                    "auto" => 0,
+                    n => n.parse().map_err(|e| format!("--executors: {e}"))?,
+                }
             }
             "--default-deadline-ms" => {
                 f.default_deadline_ms = value("--default-deadline-ms")?
@@ -337,6 +352,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         no_incremental: f.no_incremental,
         cache_bytes: f.cache_mb << 20,
         queue_depth: f.queue,
+        executors: f.executors,
         default_deadline_ms: f.default_deadline_ms,
         drain_secs: f.drain_secs,
         faults,
@@ -348,8 +364,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // the resolved address from here
     println!("saturn-server listening on http://{addr}");
     println!(
-        "  threads={} cache={}MiB queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
+        "  threads={} executors={} cache={}MiB queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
         if f.threads == 0 { "auto".to_string() } else { f.threads.to_string() },
+        if f.executors == 0 {
+            format!("auto({})", saturn_server::auto_executors())
+        } else {
+            f.executors.to_string()
+        },
         f.cache_mb,
         f.queue,
         if f.default_deadline_ms == 0 {
@@ -453,6 +474,16 @@ mod tests {
         assert_eq!(f.queue, 8);
         assert!(flags(&["--threads", "many"]).unwrap_err().contains("--threads"));
         assert!(flags(&["--cache-mb"]).unwrap_err().contains("--cache-mb"));
+    }
+
+    #[test]
+    fn executors_flag_parses_counts_and_auto() {
+        assert_eq!(flags(&[]).unwrap().executors, 1);
+        assert_eq!(flags(&["--executors", "4"]).unwrap().executors, 4);
+        // `auto` becomes 0, resolved by the server to min(cores/4, 4)
+        assert_eq!(flags(&["--executors", "auto"]).unwrap().executors, 0);
+        assert!(flags(&["--executors", "lots"]).unwrap_err().contains("--executors"));
+        assert!(flags(&["--executors"]).unwrap_err().contains("--executors"));
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //! panic:<site>:<probability>     panic at the site (caught like real ones)
 //! slow:<site>:<millis>[ms]       sleep before the site's work
 //! cancel_race:<probability>      fire a job's own cancel token as it starts
+//! executor_die:<probability>     panic OUTSIDE catch_unwind as a job is
+//!                                popped — kills the executor thread itself,
+//!                                exercising supervisor restart
+//! executor_stall:<site>:<millis>[ms]  wedge the executor before the site's
+//!                                work: an uncancellable sleep that ignores
+//!                                tokens, exercising stall supervision
 //! seed:<u64>                     reseed the deterministic RNG
 //! ```
 //!
 //! Sites: `analyze`, `validate` (specific job kinds), `job` / `sweep` (any
 //! job), `parse` (HTTP request parsing). Example:
-//! `panic:analyze:0.1,slow:sweep:250ms,cancel_race:1`.
+//! `panic:analyze:0.1,slow:sweep:250ms,cancel_race:1,executor_die:0.05`.
 //!
 //! Probabilities are evaluated on a deterministic splitmix64 sequence so a
 //! given plan misbehaves the same way on every run.
@@ -72,6 +78,8 @@ pub struct FaultPlan {
     panics: Vec<(FaultSite, f64)>,
     slows: Vec<(FaultSite, Duration)>,
     cancel_race: f64,
+    executor_die: f64,
+    stalls: Vec<(FaultSite, Duration)>,
     rng: AtomicU64,
 }
 
@@ -82,6 +90,8 @@ impl FaultPlan {
             panics: Vec::new(),
             slows: Vec::new(),
             cancel_race: 0.0,
+            executor_die: 0.0,
+            stalls: Vec::new(),
             rng: AtomicU64::new(0x5eed_1e55_c0ff_ee00),
         };
         for directive in spec.split(',').map(str::trim).filter(|d| !d.is_empty()) {
@@ -95,16 +105,19 @@ impl FaultPlan {
                 }
                 "slow" => {
                     let site = parse_site(parts.next().unwrap_or_default())?;
-                    let raw = parts.next().unwrap_or_default();
-                    let millis: u64 = raw
-                        .strip_suffix("ms")
-                        .unwrap_or(raw)
-                        .parse()
-                        .map_err(|_| format!("bad duration in `{directive}`"))?;
-                    plan.slows.push((site, Duration::from_millis(millis)));
+                    let pause = parse_millis(parts.next(), directive)?;
+                    plan.slows.push((site, pause));
                 }
                 "cancel_race" => {
                     plan.cancel_race = parse_probability(parts.next(), directive)?;
+                }
+                "executor_die" => {
+                    plan.executor_die = parse_probability(parts.next(), directive)?;
+                }
+                "executor_stall" => {
+                    let site = parse_site(parts.next().unwrap_or_default())?;
+                    let pause = parse_millis(parts.next(), directive)?;
+                    plan.stalls.push((site, pause));
                 }
                 "seed" => {
                     let seed: u64 = parts
@@ -116,7 +129,8 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault directive `{other}` (expected panic|slow|cancel_race|seed)"
+                        "unknown fault directive `{other}` (expected \
+                         panic|slow|cancel_race|executor_die|executor_stall|seed)"
                     ));
                 }
             }
@@ -138,7 +152,11 @@ impl FaultPlan {
 
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.panics.is_empty() && self.slows.is_empty() && self.cancel_race <= 0.0
+        self.panics.is_empty()
+            && self.slows.is_empty()
+            && self.stalls.is_empty()
+            && self.cancel_race <= 0.0
+            && self.executor_die <= 0.0
     }
 
     /// Draws the next deterministic uniform in `[0, 1)` and compares.
@@ -183,6 +201,33 @@ impl FaultPlan {
     pub fn cancel_race(&self) -> bool {
         self.chance(self.cancel_race)
     }
+
+    /// Whether the executor thread itself should die (panic outside its
+    /// `catch_unwind`) while popping the current job. The supervisor then
+    /// finalizes the in-flight job as a `500` and respawns the shard.
+    pub fn executor_die(&self) -> bool {
+        self.chance(self.executor_die)
+    }
+
+    /// How long the executor should wedge (an uncancellable sleep that
+    /// ignores tokens) before running a job at `site`, if any
+    /// `executor_stall` directive covers it. Stalls sum when several cover
+    /// the same site, mirroring [`FaultPlan::maybe_slow`].
+    pub fn executor_stall(&self, site: FaultSite) -> Option<Duration> {
+        let total: Duration =
+            self.stalls.iter().filter(|(s, _)| s.covers(site)).map(|&(_, pause)| pause).sum();
+        (total > Duration::ZERO).then_some(total)
+    }
+}
+
+fn parse_millis(raw: Option<&str>, directive: &str) -> Result<Duration, String> {
+    let raw = raw.unwrap_or_default();
+    let millis: u64 = raw
+        .strip_suffix("ms")
+        .unwrap_or(raw)
+        .parse()
+        .map_err(|_| format!("bad duration in `{directive}`"))?;
+    Ok(Duration::from_millis(millis))
 }
 
 fn parse_probability(raw: Option<&str>, directive: &str) -> Result<f64, String> {
@@ -235,6 +280,21 @@ mod tests {
         assert!(FaultPlan::parse("slow:job:fast").is_err());
         assert!(FaultPlan::parse("panic:job:1.5").is_err());
         assert!(FaultPlan::parse("panic:job:0.5:extra").is_err());
+        assert!(FaultPlan::parse("executor_die:2").is_err());
+        assert!(FaultPlan::parse("executor_stall:job").is_err());
+        assert!(FaultPlan::parse("executor_stall:parse:10ms:extra").is_err());
+    }
+
+    #[test]
+    fn executor_directives_parse_and_fire() {
+        let plan = FaultPlan::parse("executor_die:1,executor_stall:job:75ms").unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan.executor_die());
+        assert_eq!(plan.executor_stall(FaultSite::Analyze), Some(Duration::from_millis(75)));
+        assert_eq!(plan.executor_stall(FaultSite::Parse), None);
+        let quiet = FaultPlan::parse("panic:parse:0.5").unwrap();
+        assert!(!quiet.executor_die());
+        assert_eq!(quiet.executor_stall(FaultSite::Job), None);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! | `408 Request Timeout` | the peer stalled *mid-request* (head or body arrived partially, then nothing within the read timeout); an *idle* keep-alive connection is closed silently instead | `{"error": …}`, connection closed |
 //! | `503 Service Unavailable` | backpressure: job queue full, connection limit reached, admission control predicts the deadline cannot be met, or the server is draining | `Retry-After: <secs>` derived from the EWMA backlog estimate |
 //! | `504 Gateway Timeout` | the request's deadline expired while its job was queued or running; the sweep was cancelled cooperatively | `{"error", "scales_done", "scales_total"}` partial-progress counters |
-//! | `500 Internal Server Error` | the sweep panicked; the executor survives | `{"error": …}` |
+//! | `500 Internal Server Error` | the sweep panicked (caught; the executor survives), or the supervisor finalized the job after its executor died or stalled past the liveness budget | `{"error": …}` — supervisor-finalized bodies carry `scales_done` / `scales_total` partial progress |
 //!
 //! **Deadlines.** `?deadline_ms=N` (or the `--default-deadline-ms` serve
 //! flag; `0` = none) bounds a request end to end. A watchdog finalizes
@@ -50,10 +50,23 @@
 //! tiling: a token that never fires leaves report bytes and cache
 //! fingerprints untouched, and cancelled jobs never populate the cache.
 //!
+//! **Sharding & supervision.** `--executors N` partitions the job system
+//! into N shards — each with its own bounded queue, executor thread,
+//! worker pool, EWMA wait estimate, and deadline watchdog — routed by
+//! `fingerprint % N`, so in-flight coalescing still holds per shard. A
+//! supervisor thread restarts dead executors with capped exponential
+//! backoff (in-flight job finalized as a structured `500`, queued jobs
+//! preserved) and escalates stalled shards from token-cancel to restart.
+//! Admission control and `Retry-After` compute from the routed shard's own
+//! backlog × its own EWMA. Shard count is an execution knob: report bytes
+//! and cache fingerprints are byte-identical for every `--executors`
+//! value. See [`jobs`] for the full design.
+//!
 //! **Graceful drain.** On `SIGTERM`/`SIGINT`, `saturn serve` flips into
 //! lame-duck mode: new connections get `503 + Retry-After`, queued and
-//! running jobs get up to `--drain-secs` to finish, stragglers are then
-//! cancelled via the same token path, and the process exits `0`.
+//! running jobs on every shard get up to `--drain-secs` to finish,
+//! stragglers are then cancelled via the same token path, and the process
+//! exits `0`.
 //!
 //! **Fault injection.** The `SATURN_FAULTS` environment variable (or
 //! [`ServerConfig::faults`]) arms a [`FaultPlan`] — e.g.
@@ -91,6 +104,16 @@
 //! | `saturn_jobs_coalesced_total` | counter | — | submissions attached to in-flight duplicates |
 //! | `saturn_jobs_rejected_total` | counter | — | submissions refused with any 503 |
 //! | `saturn_jobs_deadline_rejected_total` | counter | — | admission-control refusals |
+//! | `saturn_shard_queue_depth` | gauge | `shard` | jobs waiting on one shard |
+//! | `saturn_shard_ewma_job_seconds` | gauge | `shard` | one shard's EWMA of job service seconds |
+//! | `saturn_shard_jobs_executed_total` | counter | `shard` | per-shard slice of `saturn_jobs_executed_total` |
+//! | `saturn_shard_jobs_completed_total` | counter | `shard` | per-shard slice of `saturn_jobs_completed_total` |
+//! | `saturn_shard_jobs_cancelled_total` | counter | `shard` | per-shard slice of `saturn_jobs_cancelled_total` |
+//! | `saturn_shard_jobs_panicked_total` | counter | `shard` | per-shard slice of `saturn_jobs_panicked_total` |
+//! | `saturn_shard_jobs_coalesced_total` | counter | `shard` | per-shard slice of `saturn_jobs_coalesced_total` |
+//! | `saturn_shard_jobs_rejected_total` | counter | `shard` | per-shard slice of `saturn_jobs_rejected_total` |
+//! | `saturn_shard_jobs_deadline_rejected_total` | counter | `shard` | per-shard slice of `saturn_jobs_deadline_rejected_total` |
+//! | `saturn_executor_restarts_total` | counter | `shard` | supervisor restarts of one shard's executor |
 //! | `saturn_sweep_tiles_total` | counter | — | `(scale, tile)` DP items completed |
 //! | `saturn_sweep_scales_total` | counter | — | scales fully analyzed |
 //! | `saturn_dp_trips_total` | counter | — | minimal trips reported by the engines |
@@ -120,9 +143,12 @@ pub mod signals;
 pub use cache::{CacheStats, ReportCache};
 pub use faults::{FaultPlan, FaultSite};
 pub use jobs::{
-    JobCtx, JobKind, JobManager, JobOutcome, JobPhase, JobStats, Reject, WaitOutcome,
+    auto_executors, JobCtx, JobKind, JobManager, JobOutcome, JobPhase, JobStats, JobsConfig,
+    Reject, ShardStats, WaitOutcome,
 };
-pub use metrics::{Counter, Gauge, Histogram, Metrics, RequestTimings};
+pub use metrics::{
+    Counter, FloatGauge, Gauge, Histogram, Metrics, RequestTimings, ShardMetrics,
+};
 
 use http::{
     error_body, read_request, write_response, write_response_typed, write_response_with,
@@ -147,8 +173,19 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral one).
     pub addr: String,
-    /// Sweep worker pool parallelism (0 = all available cores).
+    /// Sweep worker pool parallelism (0 = all available cores), split
+    /// evenly across the executor shards.
     pub threads: usize,
+    /// Executor shard count (0 = [`jobs::auto_executors`]): independent
+    /// bounded queues + pools + watchdogs, routed by `fingerprint %
+    /// executors`, supervised for panic/stall recovery. Purely an execution
+    /// knob — report bytes and cache keys are identical for every count.
+    pub executors: usize,
+    /// Liveness budget for stall supervision: a running job making no
+    /// sweep progress for this long is token-cancelled, for twice this
+    /// long its executor is replaced ([`jobs::DEFAULT_STALL_BUDGET`];
+    /// `Duration::ZERO` disables stall supervision).
+    pub stall_budget: Duration,
     /// Target-tile width for analyze sweeps, in columns (0 = automatic).
     /// Splits each scale's DP across the pool; purely an execution knob —
     /// reports are bit-identical for every width, so it never enters cache
@@ -193,6 +230,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".into(),
             threads: 0,
+            executors: 1,
+            stall_budget: jobs::DEFAULT_STALL_BUDGET,
             tile: 0,
             no_delta: false,
             no_incremental: false,
@@ -244,7 +283,13 @@ impl Server {
     /// shared worker pool).
     pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let shared_metrics = Arc::new(Metrics::new());
+        let executors =
+            if config.executors == 0 { jobs::auto_executors() } else { config.executors };
+        let shared_metrics = Arc::new(Metrics::with_shards(executors));
+        let mut jobs_config = JobsConfig::new(config.threads, config.queue_depth);
+        jobs_config.executors = executors;
+        jobs_config.stall_budget = config.stall_budget;
+        jobs_config.faults = config.faults.clone();
         Ok(Server {
             listener,
             ctx: Arc::new(ServerContext {
@@ -252,12 +297,7 @@ impl Server {
                     config.cache_bytes,
                     Arc::clone(&shared_metrics),
                 )),
-                jobs: JobManager::with_metrics(
-                    config.threads,
-                    config.queue_depth,
-                    config.faults.clone(),
-                    Arc::clone(&shared_metrics),
-                ),
+                jobs: JobManager::with_config(jobs_config, Some(Arc::clone(&shared_metrics))),
                 metrics: shared_metrics,
                 tile: config.tile,
                 no_delta: config.no_delta,

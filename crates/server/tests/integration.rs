@@ -623,6 +623,16 @@ fn metrics_exposition_is_wellformed() {
         "saturn_jobs_coalesced_total",
         "saturn_jobs_rejected_total",
         "saturn_jobs_deadline_rejected_total",
+        "saturn_shard_queue_depth",
+        "saturn_shard_ewma_job_seconds",
+        "saturn_shard_jobs_executed_total",
+        "saturn_shard_jobs_completed_total",
+        "saturn_shard_jobs_cancelled_total",
+        "saturn_shard_jobs_panicked_total",
+        "saturn_shard_jobs_coalesced_total",
+        "saturn_shard_jobs_rejected_total",
+        "saturn_shard_jobs_deadline_rejected_total",
+        "saturn_executor_restarts_total",
         "saturn_sweep_tiles_total",
         "saturn_sweep_scales_total",
         "saturn_dp_trips_total",
@@ -719,6 +729,91 @@ fn metrics_count_requests_and_agree_with_health() {
         metric_sample(&text, "saturn_queue_depth")
     );
     server.stop();
+}
+
+/// With `--executors 3`, `/v1/health` grows a per-shard array whose
+/// counters sum exactly to the aggregates (same atomics, partitioned),
+/// and the scrape's shard-labeled families tell the same story.
+#[test]
+fn sharded_health_sums_to_the_aggregate_counters() {
+    let server = start(|c| c.executors = 3);
+    let addr = server.addr();
+    let body = trace(6, 150, 40);
+    // distinct points → distinct fingerprints → a spread over the shards,
+    // plus one cache hit that touches no shard at all
+    for points in [6, 7, 8, 9] {
+        let target = format!("/v1/analyze?points={points}");
+        assert_eq!(request(addr, "POST", &target, body.as_bytes()).status, 200);
+    }
+    assert_eq!(request(addr, "POST", "/v1/analyze?points=6", body.as_bytes()).status, 200);
+
+    let health = json(&request(addr, "GET", "/v1/health", b""));
+    let jobs = &health["jobs"];
+    assert_eq!(jobs["executors"].as_u64(), Some(3));
+    assert_eq!(jobs["executed"].as_u64(), Some(4));
+    let shards = jobs["shards"].as_array().expect("per-shard array");
+    assert_eq!(shards.len(), 3);
+    for key in [
+        "queued",
+        "running",
+        "executed",
+        "completed",
+        "cancelled",
+        "panicked",
+        "coalesced",
+        "rejected",
+        "deadline_rejected",
+    ] {
+        let sum: u64 = shards.iter().map(|s| s[key].as_u64().unwrap()).sum();
+        assert_eq!(
+            sum,
+            jobs[key].as_u64().unwrap(),
+            "per-shard `{key}` must sum to the aggregate"
+        );
+    }
+    let restarts: u64 = shards.iter().map(|s| s["restarts"].as_u64().unwrap()).sum();
+    assert_eq!(restarts, jobs["executor_restarts"].as_u64().unwrap());
+
+    // the scrape partitions identically: shard-labeled samples sum to the
+    // aggregate family
+    let text = scrape_metrics(addr);
+    let scraped: f64 = (0..3)
+        .map(|shard| {
+            metric_sample(
+                &text,
+                &format!("saturn_shard_jobs_executed_total{{shard=\"{shard}\"}}"),
+            )
+        })
+        .sum();
+    assert_eq!(scraped, metric_sample(&text, "saturn_jobs_executed_total"));
+    server.stop();
+}
+
+/// The acceptance invariant: the executor count is an execution knob, so
+/// a cold sweep returns byte-identical reports at `--executors 1`, `2`,
+/// and `4` (caching disabled — every run is genuinely cold).
+#[test]
+fn executor_count_never_changes_report_bytes() {
+    let body = trace(8, 220, 30);
+    let run = |executors: usize| -> Vec<u8> {
+        let server = start(|c| {
+            c.executors = executors;
+            c.cache_bytes = 0;
+            c.threads = 4;
+        });
+        let response = request(server.addr(), "POST", "/v1/analyze?points=10", body.as_bytes());
+        assert_eq!(response.status, 200, "--executors {executors}");
+        server.stop();
+        response.body
+    };
+    let reference = run(1);
+    for executors in [2, 4] {
+        assert_eq!(
+            reference,
+            run(executors),
+            "--executors {executors} must not change report bytes"
+        );
+    }
 }
 
 #[test]
