@@ -33,6 +33,13 @@ EXPECTED_FAMILIES = {
     "saturn_cache_hits_total": "counter",
     "saturn_cache_misses_total": "counter",
     "saturn_cache_evictions_total": "counter",
+    "saturn_cache_disk_bytes": "gauge",
+    "saturn_cache_disk_hits_total": "counter",
+    "saturn_cache_disk_misses_total": "counter",
+    "saturn_cache_disk_writes_total": "counter",
+    "saturn_cache_disk_evictions_total": "counter",
+    "saturn_cache_disk_corrupt_total": "counter",
+    "saturn_cache_disk_errors_total": "counter",
     "saturn_jobs_executed_total": "counter",
     "saturn_jobs_completed_total": "counter",
     "saturn_jobs_cancelled_total": "counter",

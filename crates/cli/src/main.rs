@@ -10,7 +10,7 @@
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
 //! saturn validate <file> [--directed] [--points N] [--threads N]
 //! saturn stats <file> [--directed] [--json]
-//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--queue N] [--executors N|auto] [--default-deadline-ms N] [--drain-secs N]
+//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--cache-dir DIR] [--cache-disk-mb M] [--queue N] [--executors N|auto] [--default-deadline-ms N] [--drain-secs N]
 //! saturn help
 //! ```
 
@@ -87,7 +87,15 @@ USAGE:
                           sweeps (requests may override with ?no_delta=1)
       --no-incremental    default incremental-timeline setting for analyze
                           sweeps (requests may override with ?no_incremental=1)
-      --cache-mb M        report cache budget in MiB (default 64; 0 disables)
+      --cache-mb M        in-memory report cache budget in MiB (default 64;
+                          0 disables the memory tier entirely)
+      --cache-dir DIR     durable disk spill tier under the memory cache:
+                          completed/evicted reports persist as checksummed
+                          content-addressed files and survive restarts
+                          (default: none; the dir is created if missing and
+                          must be writable, else serve fails fast)
+      --cache-disk-mb M   disk spill tier budget in MiB (default 64;
+                          0 disables the tier even with --cache-dir)
       --queue N           per-shard job queue depth before 503 backpressure
                           (default 64)
       --executors N|auto  executor shards, each with its own queue, worker
@@ -134,6 +142,8 @@ struct Flags {
     out: Option<String>,
     addr: String,
     cache_mb: usize,
+    cache_dir: Option<String>,
+    cache_disk_mb: usize,
     queue: usize,
     executors: usize,
     default_deadline_ms: u64,
@@ -157,6 +167,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         addr: "127.0.0.1:7878".into(),
         cache_mb: 64,
+        cache_dir: None,
+        cache_disk_mb: 64,
         queue: 64,
         executors: 1,
         default_deadline_ms: 0,
@@ -190,6 +202,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--cache-mb" => {
                 f.cache_mb =
                     value("--cache-mb")?.parse().map_err(|e| format!("--cache-mb: {e}"))?
+            }
+            "--cache-dir" => f.cache_dir = Some(value("--cache-dir")?),
+            "--cache-disk-mb" => {
+                f.cache_disk_mb = value("--cache-disk-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-disk-mb: {e}"))?
             }
             "--queue" => {
                 f.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
@@ -351,6 +369,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         no_delta: f.no_delta,
         no_incremental: f.no_incremental,
         cache_bytes: f.cache_mb << 20,
+        cache_dir: f.cache_dir.as_ref().map(std::path::PathBuf::from),
+        cache_disk_bytes: f.cache_disk_mb << 20,
         queue_depth: f.queue,
         executors: f.executors,
         default_deadline_ms: f.default_deadline_ms,
@@ -364,7 +384,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // the resolved address from here
     println!("saturn-server listening on http://{addr}");
     println!(
-        "  threads={} executors={} cache={}MiB queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
+        "  threads={} executors={} cache={}MiB disk={} queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
         if f.threads == 0 { "auto".to_string() } else { f.threads.to_string() },
         if f.executors == 0 {
             format!("auto({})", saturn_server::auto_executors())
@@ -372,6 +392,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             f.executors.to_string()
         },
         f.cache_mb,
+        match &f.cache_dir {
+            Some(dir) if f.cache_disk_mb > 0 => format!("{}MiB@{dir}", f.cache_disk_mb),
+            _ => "off".to_string(),
+        },
         f.queue,
         if f.default_deadline_ms == 0 {
             "none".to_string()
@@ -474,6 +498,21 @@ mod tests {
         assert_eq!(f.queue, 8);
         assert!(flags(&["--threads", "many"]).unwrap_err().contains("--threads"));
         assert!(flags(&["--cache-mb"]).unwrap_err().contains("--cache-mb"));
+    }
+
+    #[test]
+    fn disk_cache_flags_parse_and_default_off() {
+        let f = flags(&[]).unwrap();
+        assert!(f.cache_dir.is_none(), "disk tier is off unless --cache-dir is given");
+        assert_eq!(f.cache_disk_mb, 64);
+        let f = flags(&["--cache-dir", "/tmp/spill", "--cache-disk-mb", "128"]).unwrap();
+        assert_eq!(f.cache_dir.as_deref(), Some("/tmp/spill"));
+        assert_eq!(f.cache_disk_mb, 128);
+        // 0 budgets disable a tier without error
+        assert_eq!(flags(&["--cache-mb", "0"]).unwrap().cache_mb, 0);
+        assert_eq!(flags(&["--cache-disk-mb", "0"]).unwrap().cache_disk_mb, 0);
+        assert!(flags(&["--cache-dir"]).unwrap_err().contains("--cache-dir"));
+        assert!(flags(&["--cache-disk-mb", "lots"]).unwrap_err().contains("--cache-disk-mb"));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The content-addressed report cache.
+//! The content-addressed report cache: an in-memory LRU tier over an
+//! optional durable disk spill tier.
 //!
 //! Keys are the 128-bit fingerprints of [`saturn_core::fingerprint`]:
 //! canonical stream content plus every request parameter that influences the
@@ -15,11 +16,23 @@
 //! (The previous design scanned all entries for the minimum touch stamp,
 //! linear per eviction; fine for thousands of multi-kilobyte reports,
 //! wrong once small per-tile fragments multiply the population.)
+//!
+//! When a [`DiskTier`] is attached, inserts are written through to disk
+//! asynchronously (completed reports spill even if they later fall out of
+//! memory) and a memory miss falls through to a disk lookup, promoting the
+//! verified body back into the memory LRU. Either tier can be disabled
+//! independently: capacity 0 means **no structure is allocated at all** —
+//! a `None` tier, not a degenerate LRU — and the cache becomes pass-through
+//! for that tier. Disk I/O never happens under the memory lock, and a disk
+//! tier failure can only lose durability, never a request (see
+//! [`crate::persist`] for the degradation ladder).
 
 use crate::metrics::Metrics;
+use crate::persist::{DiskStats, DiskTier};
 use rustc_hash::FxHashMap;
 use serde::Serialize;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// "No slot" sentinel for slab links.
 const NIL: usize = usize::MAX;
@@ -105,12 +118,38 @@ impl Inner {
     }
 }
 
-/// Byte-bounded LRU of serialized reports, keyed by content fingerprint.
-/// All methods take `&self`; the cache is shared freely across connection
-/// threads.
-pub struct ReportCache {
+/// The in-memory LRU tier: the slab behind its lock plus its byte budget.
+/// `None` in [`ReportCache`] when the memory tier is disabled.
+struct MemTier {
     inner: Mutex<Inner>,
     capacity_bytes: usize,
+}
+
+impl MemTier {
+    fn new(capacity_bytes: usize) -> Self {
+        MemTier {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                slab: Vec::new(),
+                free_head: NIL,
+                head: NIL,
+                tail: NIL,
+                bytes: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+}
+
+/// Byte-bounded LRU of serialized reports, keyed by content fingerprint,
+/// optionally backed by a durable disk spill tier. All methods take `&self`;
+/// the cache is shared freely across connection threads.
+pub struct ReportCache {
+    /// The memory tier, or `None` when `--cache-mb 0` disabled it.
+    mem: Option<MemTier>,
+    /// The disk spill tier, or `None` when no `--cache-dir` is configured
+    /// (or `--cache-disk-mb 0` disabled it).
+    disk: Option<Arc<DiskTier>>,
     /// Hit/miss/eviction counters and occupancy gauges live in the shared
     /// registry, not in `Inner`: `/v1/health` and `/v1/metrics` both read
     /// these same atomics, so the two surfaces cannot disagree. Counter
@@ -138,9 +177,10 @@ pub struct CacheStats {
 }
 
 impl ReportCache {
-    /// Creates a cache bounded by `capacity_bytes` of report bodies
-    /// (0 disables caching: every `get` misses, every `insert` is dropped),
-    /// counting into a private registry.
+    /// Creates a memory-only cache bounded by `capacity_bytes` of report
+    /// bodies (0 disables caching: every `get` misses, every `insert` is
+    /// dropped, and no LRU structure is allocated), counting into a private
+    /// registry.
     pub fn new(capacity_bytes: usize) -> Self {
         Self::with_metrics(capacity_bytes, Arc::new(Metrics::new()))
     }
@@ -148,45 +188,76 @@ impl ReportCache {
     /// [`ReportCache::new`] counting into a shared registry — the server
     /// wiring, where `/v1/metrics` and `/v1/health` must agree.
     pub fn with_metrics(capacity_bytes: usize, metrics: Arc<Metrics>) -> Self {
+        Self::with_tiers(capacity_bytes, None, metrics)
+    }
+
+    /// The full two-tier constructor: a memory budget (0 ⇒ no memory tier)
+    /// over an optional disk spill tier.
+    pub fn with_tiers(
+        capacity_bytes: usize,
+        disk: Option<Arc<DiskTier>>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
         ReportCache {
-            inner: Mutex::new(Inner {
-                map: FxHashMap::default(),
-                slab: Vec::new(),
-                free_head: NIL,
-                head: NIL,
-                tail: NIL,
-                bytes: 0,
-            }),
-            capacity_bytes,
+            mem: (capacity_bytes > 0).then(|| MemTier::new(capacity_bytes)),
+            disk,
             metrics,
         }
     }
 
-    /// Looks up `key`, refreshing its recency on a hit. O(1).
+    /// Looks up `key`: memory first (refreshing recency on a hit, O(1)),
+    /// then the disk tier, promoting a verified disk body into the memory
+    /// LRU. Disk I/O happens outside the memory lock.
     pub fn get(&self, key: u128) -> Option<Arc<str>> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
-        match inner.map.get(&key).copied() {
-            Some(i) => {
+        if let Some(mem) = &self.mem {
+            let mut inner = mem.inner.lock().expect("cache poisoned");
+            if let Some(i) = inner.map.get(&key).copied() {
                 inner.touch(i);
                 self.metrics.cache_hits.inc();
-                Some(Arc::clone(inner.slab[i].body.as_ref().expect("resident")))
+                return Some(Arc::clone(inner.slab[i].body.as_ref().expect("resident")));
             }
-            None => {
-                self.metrics.cache_misses.inc();
-                None
+        }
+        self.metrics.cache_misses.inc();
+        let disk = self.disk.as_ref()?;
+        let body = disk.lookup(key)?;
+        // Promote into memory; victims displaced by the promotion are
+        // re-spilled (a dedupe no-op when already on disk).
+        for (victim_key, victim_body) in self.mem_insert(key, Arc::clone(&body)) {
+            disk.enqueue(victim_key, victim_body);
+        }
+        Some(body)
+    }
+
+    /// Inserts a body under `key`: written through to the disk tier (spill
+    /// on complete — asynchronously, never blocking on I/O) and into the
+    /// memory LRU, evicting from the recency list's tail until the byte
+    /// budget holds — O(1) per eviction. Bodies larger than the memory
+    /// budget still reach the disk tier; re-inserting an existing key
+    /// refreshes body and recency.
+    pub fn insert(&self, key: u128, body: Arc<str>) {
+        if let Some(disk) = &self.disk {
+            disk.enqueue(key, Arc::clone(&body));
+        }
+        for (victim_key, victim_body) in self.mem_insert(key, body) {
+            // Spill on evict: with write-through this dedupes to a no-op,
+            // but it keeps eviction safe even for entries whose original
+            // spill was dropped (queue overflow, memory-only mode).
+            if let Some(disk) = &self.disk {
+                disk.enqueue(victim_key, victim_body);
             }
         }
     }
 
-    /// Inserts a body under `key`, evicting from the recency list's tail
-    /// until the byte budget holds — O(1) per eviction. Bodies larger than
-    /// the whole budget are not cached; re-inserting an existing key
-    /// refreshes body and recency.
-    pub fn insert(&self, key: u128, body: Arc<str>) {
-        if body.len() > self.capacity_bytes {
-            return;
+    /// Inserts into the memory tier only, returning the evicted victims
+    /// (collected under the lock, handed back so disk spills happen after
+    /// the lock is released). No-op when the tier is disabled or the body
+    /// exceeds the whole budget.
+    fn mem_insert(&self, key: u128, body: Arc<str>) -> Vec<(u128, Arc<str>)> {
+        let Some(mem) = &self.mem else { return Vec::new() };
+        if body.len() > mem.capacity_bytes {
+            return Vec::new();
         }
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = mem.inner.lock().expect("cache poisoned");
         if let Some(i) = inner.map.get(&key).copied() {
             let old = inner.slab[i]
                 .body
@@ -201,7 +272,8 @@ impl ReportCache {
             inner.map.insert(key, i);
             inner.bytes += body.len();
         }
-        while inner.bytes > self.capacity_bytes {
+        let mut victims = Vec::new();
+        while inner.bytes > mem.capacity_bytes {
             let victim = inner.tail;
             debug_assert_ne!(victim, NIL, "over budget implies a resident entry");
             let victim_key = inner.slab[victim].key;
@@ -209,32 +281,71 @@ impl ReportCache {
             inner.map.remove(&victim_key);
             inner.bytes -= evicted.len();
             self.metrics.cache_evictions.inc();
+            victims.push((victim_key, evicted));
         }
         self.metrics.cache_bytes.set(inner.bytes as u64);
         self.metrics.cache_entries.set(inner.map.len() as u64);
+        victims
+    }
+
+    /// Blocks until pending disk spills are durable or `budget` elapses;
+    /// trivially `true` without a disk tier. Called on the drain paths so
+    /// accepted work survives a graceful exit.
+    pub fn flush(&self, budget: Duration) -> bool {
+        match &self.disk {
+            Some(disk) => disk.flush(budget),
+            None => true,
+        }
     }
 
     /// Occupancy and hit/miss counters — the same atomics `/v1/metrics`
     /// exports, snapshotted under the cache lock.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let (entries, bytes, capacity_bytes) = match &self.mem {
+            Some(mem) => {
+                let inner = mem.inner.lock().expect("cache poisoned");
+                (inner.map.len(), inner.bytes, mem.capacity_bytes)
+            }
+            None => (0, 0, 0),
+        };
         CacheStats {
-            entries: inner.map.len(),
-            bytes: inner.bytes,
-            capacity_bytes: self.capacity_bytes,
+            entries,
+            bytes,
+            capacity_bytes,
             hits: self.metrics.cache_hits.get(),
             misses: self.metrics.cache_misses.get(),
             evictions: self.metrics.cache_evictions.get(),
         }
+    }
+
+    /// The disk tier's snapshot, when one is attached.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|disk| disk.stats())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::persist::HEADER_LEN;
+    use std::path::{Path, PathBuf};
 
     fn body(text: &str) -> Arc<str> {
         Arc::from(text)
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("saturn-cache-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn with_disk(mem_bytes: usize, disk_bytes: usize, dir: &Path) -> ReportCache {
+        let metrics = Arc::new(Metrics::new());
+        let disk =
+            DiskTier::open(dir, disk_bytes, Arc::clone(&metrics), None).expect("open tier");
+        ReportCache::with_tiers(mem_bytes, Some(disk), metrics)
     }
 
     #[test]
@@ -276,6 +387,17 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_allocates_no_tier() {
+        let disabled = ReportCache::new(0);
+        assert!(disabled.mem.is_none(), "capacity 0 must not allocate an LRU");
+        assert!(disabled.disk.is_none());
+        let stats = disabled.stats();
+        assert_eq!((stats.entries, stats.bytes, stats.capacity_bytes), (0, 0, 0));
+        assert!(disabled.flush(Duration::from_millis(1)), "no tier ⇒ flush is trivial");
+        assert!(disabled.disk_stats().is_none());
+    }
+
+    #[test]
     fn reinsert_replaces_and_keeps_accounting_exact() {
         let cache = ReportCache::new(100);
         cache.insert(1, body("short"));
@@ -284,6 +406,79 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.bytes, "a longer replacement body".len());
         assert_eq!(&*cache.get(1).unwrap(), "a longer replacement body");
+    }
+
+    #[test]
+    fn memory_miss_falls_through_to_disk_and_promotes() {
+        let dir = temp_dir("fallthrough");
+        let cache = with_disk(1024, 1 << 20, &dir);
+        cache.insert(7, body("durable report"));
+        assert!(cache.flush(Duration::from_secs(5)));
+        // Rebuild over the same dir with a cold memory tier.
+        drop(cache);
+        let cache = with_disk(1024, 1 << 20, &dir);
+        let served = cache.get(7).expect("served from disk");
+        assert_eq!(&*served, "durable report");
+        let disk = cache.disk_stats().unwrap();
+        assert_eq!(disk.hits, 1);
+        // Promotion: the next get is a pure memory hit.
+        assert_eq!(&*cache.get(7).unwrap(), "durable report");
+        assert_eq!(cache.disk_stats().unwrap().hits, 1, "second get never touched disk");
+        assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_only_mode_serves_without_a_memory_tier() {
+        let dir = temp_dir("disk-only");
+        let cache = with_disk(0, 1 << 20, &dir);
+        cache.insert(3, body("mem tier is off"));
+        assert!(cache.flush(Duration::from_secs(5)));
+        assert_eq!(cache.get(3).as_deref(), Some("mem tier is off"));
+        let disk = cache.disk_stats().unwrap();
+        assert_eq!(disk.writes, 1);
+        assert!(disk.hits >= 1);
+        assert_eq!(cache.stats().entries, 0, "no memory tier to populate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bodies_too_big_for_memory_still_spill_to_disk() {
+        let dir = temp_dir("mem-oversize");
+        let big = "z".repeat(200);
+        let cache = with_disk(50, 1 << 20, &dir);
+        cache.insert(8, body(&big));
+        assert!(cache.flush(Duration::from_secs(5)));
+        assert_eq!(cache.stats().entries, 0, "too big for the memory budget");
+        assert_eq!(cache.get(8).as_deref(), Some(big.as_str()));
+        assert_eq!(cache.disk_stats().unwrap().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicted_victims_remain_durable_on_disk() {
+        let dir = temp_dir("evict-spill");
+        let cache = with_disk(20, 1 << 20, &dir);
+        cache.insert(1, body("aaaaaaaaaa")); // 10 bytes
+        cache.insert(2, body("bbbbbbbbbb"));
+        cache.insert(3, body("cccccccccc")); // evicts 1 from memory
+        assert!(cache.flush(Duration::from_secs(5)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(1).as_deref(), Some("aaaaaaaaaa"), "evictee served from disk");
+        assert!(cache.disk_stats().unwrap().hits >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_byte_budget_counts_headers() {
+        let dir = temp_dir("budget-headers");
+        let cache = with_disk(1024, HEADER_LEN + 10, &dir);
+        cache.insert(1, body("0123456789"));
+        assert!(cache.flush(Duration::from_secs(5)));
+        let disk = cache.disk_stats().unwrap();
+        assert_eq!(disk.entries, 1);
+        assert_eq!(disk.bytes, HEADER_LEN + 10);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Differential stress of the intrusive list against a naive model:

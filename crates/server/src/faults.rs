@@ -22,6 +22,14 @@
 //! executor_stall:<site>:<millis>[ms]  wedge the executor before the site's
 //!                                work: an uncancellable sleep that ignores
 //!                                tokens, exercising stall supervision
+//! disk_write_err:<probability>   fail a disk-tier spill write with an I/O
+//!                                error (trips the circuit breaker)
+//! disk_full:<probability>        fail a spill write as if the disk were
+//!                                full (ENOSPC-alike; trips the breaker)
+//! disk_corrupt:<probability>     flip one byte of a spill file as it is
+//!                                written — the write "succeeds", the next
+//!                                read detects and quarantines it
+//! disk_slow:<millis>[ms]         sleep before each disk read or write
 //! seed:<u64>                     reseed the deterministic RNG
 //! ```
 //!
@@ -80,6 +88,10 @@ pub struct FaultPlan {
     cancel_race: f64,
     executor_die: f64,
     stalls: Vec<(FaultSite, Duration)>,
+    disk_write_err: f64,
+    disk_full: f64,
+    disk_corrupt: f64,
+    disk_slow: Duration,
     rng: AtomicU64,
 }
 
@@ -92,6 +104,10 @@ impl FaultPlan {
             cancel_race: 0.0,
             executor_die: 0.0,
             stalls: Vec::new(),
+            disk_write_err: 0.0,
+            disk_full: 0.0,
+            disk_corrupt: 0.0,
+            disk_slow: Duration::ZERO,
             rng: AtomicU64::new(0x5eed_1e55_c0ff_ee00),
         };
         for directive in spec.split(',').map(str::trim).filter(|d| !d.is_empty()) {
@@ -119,6 +135,18 @@ impl FaultPlan {
                     let pause = parse_millis(parts.next(), directive)?;
                     plan.stalls.push((site, pause));
                 }
+                "disk_write_err" => {
+                    plan.disk_write_err = parse_probability(parts.next(), directive)?;
+                }
+                "disk_full" => {
+                    plan.disk_full = parse_probability(parts.next(), directive)?;
+                }
+                "disk_corrupt" => {
+                    plan.disk_corrupt = parse_probability(parts.next(), directive)?;
+                }
+                "disk_slow" => {
+                    plan.disk_slow = parse_millis(parts.next(), directive)?;
+                }
                 "seed" => {
                     let seed: u64 = parts
                         .next()
@@ -130,7 +158,8 @@ impl FaultPlan {
                 other => {
                     return Err(format!(
                         "unknown fault directive `{other}` (expected \
-                         panic|slow|cancel_race|executor_die|executor_stall|seed)"
+                         panic|slow|cancel_race|executor_die|executor_stall|\
+                         disk_write_err|disk_full|disk_corrupt|disk_slow|seed)"
                     ));
                 }
             }
@@ -157,6 +186,10 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.cancel_race <= 0.0
             && self.executor_die <= 0.0
+            && self.disk_write_err <= 0.0
+            && self.disk_full <= 0.0
+            && self.disk_corrupt <= 0.0
+            && self.disk_slow == Duration::ZERO
     }
 
     /// Draws the next deterministic uniform in `[0, 1)` and compares.
@@ -217,6 +250,31 @@ impl FaultPlan {
         let total: Duration =
             self.stalls.iter().filter(|(s, _)| s.covers(site)).map(|&(_, pause)| pause).sum();
         (total > Duration::ZERO).then_some(total)
+    }
+
+    /// Whether a disk-tier spill write should fail with a generic I/O error.
+    pub fn disk_write_err(&self) -> bool {
+        self.chance(self.disk_write_err)
+    }
+
+    /// Whether a disk-tier spill write should fail as if the disk were full.
+    pub fn disk_full(&self) -> bool {
+        self.chance(self.disk_full)
+    }
+
+    /// Whether one byte of the spill file being written should be flipped.
+    /// The write itself succeeds; the corruption is caught (and the entry
+    /// quarantined) by checksum verification on the next read.
+    pub fn disk_corrupt(&self) -> bool {
+        self.chance(self.disk_corrupt)
+    }
+
+    /// Sleeps for the configured `disk_slow` pause, if any, before a disk
+    /// read or write.
+    pub fn maybe_disk_slow(&self) {
+        if self.disk_slow > Duration::ZERO {
+            std::thread::sleep(self.disk_slow);
+        }
     }
 }
 
@@ -283,6 +341,28 @@ mod tests {
         assert!(FaultPlan::parse("executor_die:2").is_err());
         assert!(FaultPlan::parse("executor_stall:job").is_err());
         assert!(FaultPlan::parse("executor_stall:parse:10ms:extra").is_err());
+        assert!(FaultPlan::parse("disk_write_err:1.5").is_err());
+        assert!(FaultPlan::parse("disk_slow:soon").is_err());
+        assert!(FaultPlan::parse("disk_corrupt:0.5:extra").is_err());
+    }
+
+    #[test]
+    fn disk_directives_parse_and_fire() {
+        let plan =
+            FaultPlan::parse("disk_write_err:1,disk_full:1,disk_corrupt:1,disk_slow:1ms")
+                .unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan.disk_write_err());
+        assert!(plan.disk_full());
+        assert!(plan.disk_corrupt());
+        plan.maybe_disk_slow(); // sleeps 1ms; must return
+        let quiet = FaultPlan::parse("").unwrap();
+        assert!(!quiet.disk_write_err());
+        assert!(!quiet.disk_full());
+        assert!(!quiet.disk_corrupt());
+        quiet.maybe_disk_slow(); // no-op
+        let slow_only = FaultPlan::parse("disk_slow:5ms").unwrap();
+        assert!(!slow_only.is_empty());
     }
 
     #[test]

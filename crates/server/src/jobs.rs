@@ -55,6 +55,13 @@
 //! * **Drain joins every shard.** Lame-duck drain stops admission, waits
 //!   for all shards to go idle within the shared budget, then cuts every
 //!   shard's queue and cancels every shard's running job.
+//! * **Spill-on-complete ordering.** A completing job populates the cache
+//!   from inside its work closure on the executor thread, which *enqueues*
+//!   the disk spill (see [`crate::persist`]) before the outcome publishes
+//!   to waiters — a report is never observable without also being on its
+//!   way to durability. The disk write itself is asynchronous; the
+//!   server's drain paths call `cache.flush` after [`JobManager::drain`]
+//!   so every accepted job's spill is durable before exit.
 //!
 //! [`CancelToken`]: saturn_core::CancelToken
 

@@ -68,12 +68,38 @@
 //! stragglers are then cancelled via the same token path, and the process
 //! exits `0`.
 //!
+//! **Durable cache & the disk degradation ladder.** `--cache-dir` (with a
+//! `--cache-disk-mb` budget) attaches a crash-safe disk spill tier under
+//! the in-memory report LRU: completed and evicted reports persist as
+//! content-addressed, checksummed files written via temp-file + fsync +
+//! atomic rename, a memory miss falls through to a verified disk read, and
+//! graceful drain flushes pending spills before exit. The tier degrades
+//! down a fixed ladder — **disk-ok → memory-only → recovery**:
+//!
+//! * *disk-ok* — spills persist asynchronously; memory misses are served
+//!   byte-identically from disk and promoted back into memory.
+//! * *memory-only* — any real I/O error (ENOSPC, EIO, permission) trips a
+//!   circuit breaker: lookups miss and spills drop without touching the
+//!   disk, and **no request ever fails** because of the tier. A probe is
+//!   re-admitted on a capped exponential backoff (100ms → 5s); one success
+//!   closes the breaker.
+//! * *recovery* — at startup (including after SIGKILL) a scan rebuilds the
+//!   disk index, deleting torn temp files and quarantining any entry whose
+//!   checksum, length, magic, or name disagrees with its contents — counted
+//!   in `saturn_cache_disk_corrupt_total`, never served, never a crash.
+//!
+//! Either tier disables cleanly: `--cache-mb 0` and `--cache-disk-mb 0`
+//! allocate no structure at all for their tier. An unwritable `--cache-dir`
+//! is a *startup* error (`serve` fails fast); see [`persist`] for the
+//! format and [`cache`] for the tier composition.
+//!
 //! **Fault injection.** The `SATURN_FAULTS` environment variable (or
 //! [`ServerConfig::faults`]) arms a [`FaultPlan`] — e.g.
 //! `panic:analyze:0.1,slow:sweep:250ms,cancel_race:1` — that injects
-//! panics, delays, and cancellation races at the job-execution and
-//! HTTP-parse seams. See [`faults`] for the grammar. Unset, every hook is
-//! a no-op.
+//! panics, delays, and cancellation races at the job-execution,
+//! HTTP-parse, and disk-persistence seams (`disk_write_err`, `disk_full`,
+//! `disk_corrupt`, `disk_slow`). See [`faults`] for the grammar. Unset,
+//! every hook is a no-op.
 //!
 //! # Telemetry
 //!
@@ -97,6 +123,13 @@
 //! | `saturn_cache_hits_total` | counter | — | cache lookups that returned a body |
 //! | `saturn_cache_misses_total` | counter | — | cache lookups that found nothing |
 //! | `saturn_cache_evictions_total` | counter | — | entries evicted for the byte budget |
+//! | `saturn_cache_disk_bytes` | gauge | — | bytes resident in the disk tier |
+//! | `saturn_cache_disk_hits_total` | counter | — | disk lookups that served a verified body |
+//! | `saturn_cache_disk_misses_total` | counter | — | disk lookups that found nothing |
+//! | `saturn_cache_disk_writes_total` | counter | — | entries durably spilled to disk |
+//! | `saturn_cache_disk_evictions_total` | counter | — | disk entries evicted for the byte budget |
+//! | `saturn_cache_disk_corrupt_total` | counter | — | entries quarantined as torn/corrupt/oversize |
+//! | `saturn_cache_disk_errors_total` | counter | — | disk I/O failures (each trips the breaker) |
 //! | `saturn_jobs_executed_total` | counter | — | jobs run to any outcome |
 //! | `saturn_jobs_completed_total` | counter | — | jobs finishing with their own outcome |
 //! | `saturn_jobs_cancelled_total` | counter | — | deadline / drain / fault 504s |
@@ -138,6 +171,7 @@ pub mod faults;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
+pub mod persist;
 pub mod signals;
 
 pub use cache::{CacheStats, ReportCache};
@@ -149,6 +183,7 @@ pub use jobs::{
 pub use metrics::{
     Counter, FloatGauge, Gauge, Histogram, Metrics, RequestTimings, ShardMetrics,
 };
+pub use persist::{DiskStats, DiskTier};
 
 use http::{
     error_body, read_request, write_response, write_response_typed, write_response_with,
@@ -163,6 +198,7 @@ use saturn_linkstream::{io as stream_io, Directedness, LinkStream};
 use serde_json::Value;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -203,8 +239,15 @@ pub struct ServerConfig {
     /// the knob never enters cache fingerprints. Overridable per request
     /// with `?no_incremental=1`.
     pub no_incremental: bool,
-    /// Report cache budget in bytes (0 disables caching).
+    /// Report cache budget in bytes (0 disables the memory tier — no LRU
+    /// is allocated).
     pub cache_bytes: usize,
+    /// Directory for the durable disk spill tier (`None` disables it).
+    /// Created if missing; an unwritable directory fails [`Server::bind`].
+    pub cache_dir: Option<PathBuf>,
+    /// Disk spill tier budget in bytes (0 disables the tier even when
+    /// [`ServerConfig::cache_dir`] is set).
+    pub cache_disk_bytes: usize,
     /// Maximum jobs waiting in the queue before submissions get 503.
     pub queue_depth: usize,
     /// Maximum accepted request body, bytes.
@@ -236,6 +279,8 @@ impl Default for ServerConfig {
             no_delta: false,
             no_incremental: false,
             cache_bytes: 64 << 20,
+            cache_dir: None,
+            cache_disk_bytes: 64 << 20,
             queue_depth: 64,
             max_body_bytes: 64 << 20,
             max_connections: 256,
@@ -290,11 +335,24 @@ impl Server {
         jobs_config.executors = executors;
         jobs_config.stall_budget = config.stall_budget;
         jobs_config.faults = config.faults.clone();
+        // The disk tier opens (probe write + recovery scan) before any
+        // request is accepted: an unwritable --cache-dir is a bind error,
+        // not a degraded runtime state.
+        let disk = match &config.cache_dir {
+            Some(dir) if config.cache_disk_bytes > 0 => Some(persist::DiskTier::open(
+                dir,
+                config.cache_disk_bytes,
+                Arc::clone(&shared_metrics),
+                config.faults.clone(),
+            )?),
+            _ => None,
+        };
         Ok(Server {
             listener,
             ctx: Arc::new(ServerContext {
-                cache: Arc::new(ReportCache::with_metrics(
+                cache: Arc::new(ReportCache::with_tiers(
                     config.cache_bytes,
+                    disk,
                     Arc::clone(&shared_metrics),
                 )),
                 jobs: JobManager::with_config(jobs_config, Some(Arc::clone(&shared_metrics))),
@@ -361,6 +419,8 @@ impl Server {
 fn drain_and_exit(ctx: &ServerContext) -> ! {
     ctx.lame_duck.store(true, Ordering::SeqCst);
     let stats = ctx.jobs.drain(Duration::from_secs(ctx.drain_secs));
+    // make accepted work durable: pending disk spills land before exit
+    ctx.cache.flush(Duration::from_secs(2));
     let flush_by = Instant::now() + Duration::from_secs(2);
     while ctx.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < flush_by {
         std::thread::sleep(Duration::from_millis(20));
@@ -394,7 +454,11 @@ impl ServerHandle {
     /// until [`ServerHandle::stop`] or drop.
     pub fn drain(&self, budget: Duration) -> JobStats {
         self.ctx.lame_duck.store(true, Ordering::SeqCst);
-        self.ctx.jobs.drain(budget)
+        let stats = self.ctx.jobs.drain(budget);
+        // same durability guarantee as the signal path: completed reports
+        // reach the disk tier before the caller tears the server down
+        self.ctx.cache.flush(Duration::from_secs(2));
+        stats
     }
 
     /// Stops accepting and joins the accept thread. Connections already
@@ -828,19 +892,29 @@ fn endpoint_job(request: &Request, ctx: &ServerContext) -> Handled {
 }
 
 fn endpoint_health(ctx: &ServerContext) -> Reply {
-    let body = Value::Object(vec![
+    let mut fields = vec![
         ("status".to_string(), Value::String("ok".to_string())),
         ("draining".to_string(), Value::Bool(ctx.lame_duck.load(Ordering::SeqCst))),
         (
             "cache".to_string(),
             serde_json::to_value(&ctx.cache.stats()).expect("stats serialize"),
         ),
-        ("jobs".to_string(), serde_json::to_value(&ctx.jobs.stats()).expect("stats serialize")),
-        (
-            "active_connections".to_string(),
-            Value::Int(ctx.active_connections.load(Ordering::SeqCst) as i128),
-        ),
-    ]);
+    ];
+    if let Some(disk) = ctx.cache.disk_stats() {
+        fields.push((
+            "cache_disk".to_string(),
+            serde_json::to_value(&disk).expect("stats serialize"),
+        ));
+    }
+    fields.push((
+        "jobs".to_string(),
+        serde_json::to_value(&ctx.jobs.stats()).expect("stats serialize"),
+    ));
+    fields.push((
+        "active_connections".to_string(),
+        Value::Int(ctx.active_connections.load(Ordering::SeqCst) as i128),
+    ));
+    let body = Value::Object(fields);
     Reply::new(200, body.to_string_pretty().into_bytes())
 }
 

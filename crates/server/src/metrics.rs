@@ -356,6 +356,22 @@ pub struct Metrics {
     pub cache_bytes: Gauge,
     /// `saturn_cache_entries` — resident reports.
     pub cache_entries: Gauge,
+    /// `saturn_cache_disk_hits_total` — disk lookups that served a body.
+    pub cache_disk_hits: Counter,
+    /// `saturn_cache_disk_misses_total` — disk lookups that found nothing.
+    pub cache_disk_misses: Counter,
+    /// `saturn_cache_disk_writes_total` — entries durably spilled to disk.
+    pub cache_disk_writes: Counter,
+    /// `saturn_cache_disk_evictions_total` — disk entries evicted for space.
+    pub cache_disk_evictions: Counter,
+    /// `saturn_cache_disk_corrupt_total` — entries quarantined as torn,
+    /// corrupt, or oversize (checksum/length mismatch ⇒ delete, never serve).
+    pub cache_disk_corrupt: Counter,
+    /// `saturn_cache_disk_errors_total` — disk I/O failures (each trips the
+    /// circuit breaker toward memory-only mode).
+    pub cache_disk_errors: Counter,
+    /// `saturn_cache_disk_bytes` — bytes resident in the disk tier.
+    pub cache_disk_bytes: Gauge,
     /// `saturn_jobs_executed_total` — jobs run to any outcome.
     pub jobs_executed: Counter,
     /// `saturn_jobs_completed_total` — jobs with their own 2xx/4xx outcome.
@@ -462,6 +478,11 @@ impl Metrics {
             ("saturn_queue_depth", "Jobs waiting in the queue.", &self.queue_depth),
             ("saturn_cache_bytes", "Resident report-cache bytes.", &self.cache_bytes),
             ("saturn_cache_entries", "Resident report-cache entries.", &self.cache_entries),
+            (
+                "saturn_cache_disk_bytes",
+                "Bytes resident in the disk tier.",
+                &self.cache_disk_bytes,
+            ),
         ] {
             writeln!(out, "# HELP {name} {help}").unwrap();
             writeln!(out, "# TYPE {name} gauge").unwrap();
@@ -479,6 +500,36 @@ impl Metrics {
                 &self.cache_misses,
             ),
             ("saturn_cache_evictions_total", "Cache entries evicted.", &self.cache_evictions),
+            (
+                "saturn_cache_disk_hits_total",
+                "Disk-tier lookups that served a body.",
+                &self.cache_disk_hits,
+            ),
+            (
+                "saturn_cache_disk_misses_total",
+                "Disk-tier lookups that found nothing.",
+                &self.cache_disk_misses,
+            ),
+            (
+                "saturn_cache_disk_writes_total",
+                "Entries durably spilled to disk.",
+                &self.cache_disk_writes,
+            ),
+            (
+                "saturn_cache_disk_evictions_total",
+                "Disk-tier entries evicted for space.",
+                &self.cache_disk_evictions,
+            ),
+            (
+                "saturn_cache_disk_corrupt_total",
+                "Disk entries quarantined as torn or corrupt.",
+                &self.cache_disk_corrupt,
+            ),
+            (
+                "saturn_cache_disk_errors_total",
+                "Disk I/O failures (trip the circuit breaker).",
+                &self.cache_disk_errors,
+            ),
             (
                 "saturn_jobs_executed_total",
                 "Jobs executed to any outcome.",

@@ -373,3 +373,111 @@ fn drain_under_load_completes_within_budget() {
     assert_eq!(refused.status, 503, "lame-duck connections get 503");
     server.stop();
 }
+
+/// Disk-fault storm: a server with no memory tier at all (so every repeat
+/// lookup really reads the disk) and every disk fault armed — write errors,
+/// full disk, silent corruption, and slow I/O. The invariants: only
+/// documented statuses, corrupt entries quarantined (counter observed), the
+/// breaker degrades the tier to memory-only (error counter observed), and
+/// no request ever fails because of the disk.
+#[test]
+fn disk_fault_storm_degrades_without_failing_requests() {
+    let dir =
+        std::env::temp_dir().join(format!("saturn-chaos-{}-disk-storm", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        // memory tier off: repeats miss memory by construction, so every
+        // revisit exercises the disk lookup / quarantine / breaker paths
+        cache_bytes: 0,
+        cache_dir: Some(dir.clone()),
+        cache_disk_bytes: 8 << 20,
+        queue_depth: 32,
+        max_connections: 64,
+        // moderate write-fault rates: high enough to trip the breaker
+        // repeatedly, low enough that successful probes keep closing it so
+        // the read path (where corruption is detected) stays reachable
+        faults: Some(Arc::new(
+            FaultPlan::parse(
+                "seed:42,disk_write_err:0.25,disk_corrupt:0.5,disk_slow:1ms,disk_full:0.1",
+            )
+            .expect("fault plan"),
+        )),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind").spawn().expect("spawn");
+    let addr = server.addr();
+
+    let mut clients = Vec::new();
+    for worker in 0..4u32 {
+        clients.push(std::thread::spawn(move || {
+            for i in 0..12u32 {
+                // a few distinct traces, revisited: misses, spills, disk
+                // lookups, and corrupt-entry quarantines all interleave
+                let body = trace(4 + (i % 3), 120, 25 + (worker as i64 % 2));
+                let response = request(addr, "POST", "/v1/analyze?points=6", body.as_bytes());
+                assert!(
+                    ALLOWED.contains(&response.status),
+                    "disk storm got {}",
+                    response.status
+                );
+                assert_ne!(response.status, 500, "disk faults must never 500 a request");
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("storm client");
+    }
+
+    // Keep feeding cold sweeps and revisiting *older* ones (bounded) until
+    // the armed faults have demonstrably fired: at least one quarantined
+    // corruption and at least one breaker-tripping I/O error. Corruption is
+    // only detectable on a later read of an already-spilled entry, so each
+    // round walks back over earlier targets — by then written, possibly
+    // corrupted, and (whenever the breaker is closed) actually read.
+    let mut history: Vec<(String, String)> = Vec::new();
+    let mut extra = 0u32;
+    while (counter_sample(addr, "saturn_cache_disk_corrupt_total") == 0
+        || counter_sample(addr, "saturn_cache_disk_errors_total") == 0)
+        && extra < 200
+    {
+        let body = trace(3 + (extra % 5), 100 + (extra as i64 % 7) * 10, 20);
+        let target = format!("/v1/analyze?points=6&seed={}", 1000 + extra);
+        let response = request(addr, "POST", &target, body.as_bytes());
+        assert!(ALLOWED.contains(&response.status));
+        history.push((target, body));
+        // revisit a few earlier entries: disk lookups over settled spills
+        for back in [1usize, 3, 7] {
+            if let Some((target, body)) =
+                history.len().checked_sub(back + 1).map(|i| &history[i])
+            {
+                let revisit = request(addr, "POST", target, body.as_bytes());
+                assert!(ALLOWED.contains(&revisit.status));
+            }
+        }
+        extra += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        counter_sample(addr, "saturn_cache_disk_corrupt_total") >= 1,
+        "corruption fault armed at 0.4 never quarantined an entry"
+    );
+    assert!(
+        counter_sample(addr, "saturn_cache_disk_errors_total") >= 1,
+        "write faults armed at 0.4+0.2 never tripped the breaker"
+    );
+
+    // After the storm the service is still coherent: a cold sweep and its
+    // repeat are byte-identical (by body comparison — whether the repeat is
+    // served from memory, disk, or recomputed is the tier's business).
+    let body = trace(7, 150, 45);
+    let cold = request(addr, "POST", "/v1/analyze?points=7", body.as_bytes());
+    assert_eq!(cold.status, 200, "a healthy sweep must succeed after the storm");
+    let repeat = request(addr, "POST", "/v1/analyze?points=7", body.as_bytes());
+    assert_eq!(repeat.status, 200);
+    assert_eq!(repeat.body, cold.body, "post-storm bytes diverged");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -826,3 +826,134 @@ fn metrics_rejects_wrong_method_and_counts_errors() {
     await_metric_at_least(addr, "saturn_requests_total{route=\"other\",status=\"4xx\"}", 1.0);
     server.stop();
 }
+
+/// A unique, clean temp directory for one disk-tier test.
+fn disk_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("saturn-integration-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_restart_serves_byte_identical_reports_from_disk() {
+    let dir = disk_dir("warm-restart");
+    let body = trace(6, 240, 35);
+    let target = "/v1/analyze?points=10";
+    let cold = {
+        let server = start(|c| {
+            c.cache_dir = Some(dir.clone());
+            c.cache_disk_bytes = 8 << 20;
+        });
+        let cold = request(server.addr(), "POST", target, body.as_bytes());
+        assert_eq!(cold.status, 200);
+        await_metric_at_least(server.addr(), "saturn_cache_disk_writes_total", 1.0);
+        // drain flushes pending spills before the server goes away
+        server.drain(Duration::from_secs(5));
+        server.stop();
+        cold.body
+    };
+    // A fresh process-equivalent: new server, cold memory, same --cache-dir.
+    let server = start(|c| {
+        c.cache_dir = Some(dir.clone());
+        c.cache_disk_bytes = 8 << 20;
+    });
+    let warm = request(server.addr(), "POST", target, body.as_bytes());
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, cold, "disk-served report must be byte-identical");
+    let text = scrape_metrics(server.addr());
+    assert!(metric_sample(&text, "saturn_cache_disk_hits_total") >= 1.0);
+    assert_eq!(metric_sample(&text, "saturn_cache_disk_corrupt_total"), 0.0);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_only_cache_serves_repeats_without_a_memory_tier() {
+    let dir = disk_dir("disk-only");
+    let server = start(|c| {
+        c.cache_bytes = 0; // memory tier disabled entirely
+        c.cache_dir = Some(dir.clone());
+        c.cache_disk_bytes = 8 << 20;
+    });
+    let body = trace(5, 180, 40);
+    let first = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(first.status, 200);
+    await_metric_at_least(server.addr(), "saturn_cache_disk_writes_total", 1.0);
+    let second = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body, "disk hit must serve the cold bytes");
+    let text = scrape_metrics(server.addr());
+    assert!(metric_sample(&text, "saturn_cache_disk_hits_total") >= 1.0);
+    assert_eq!(metric_sample(&text, "saturn_cache_entries"), 0.0, "no memory tier");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_write_errors_degrade_to_memory_only_without_failing_requests() {
+    let dir = disk_dir("degrade");
+    let server = start(|c| {
+        c.cache_dir = Some(dir.clone());
+        c.cache_disk_bytes = 8 << 20;
+        c.faults =
+            Some(Arc::new(saturn_server::FaultPlan::parse("disk_write_err:1").expect("plan")));
+    });
+    let body = trace(5, 160, 30);
+    let first = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(first.status, 200, "a failing disk must never fail a request");
+    await_metric_at_least(server.addr(), "saturn_cache_disk_errors_total", 1.0);
+    let second = request(server.addr(), "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body, "memory tier still serves identically");
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    assert_eq!(health["cache_disk"]["degraded"].as_bool(), Some(true));
+    assert!(health["cache_disk"]["errors"].as_u64().unwrap_or(0) >= 1);
+    assert_eq!(
+        metric_sample(&scrape_metrics(server.addr()), "saturn_cache_disk_writes_total"),
+        0.0
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn health_reports_disk_tier_fields_only_when_configured() {
+    let without = start(|_| {});
+    let health = json(&request(without.addr(), "GET", "/v1/health", b""));
+    assert!(health["cache_disk"].is_null(), "no disk tier ⇒ no cache_disk object");
+    without.stop();
+
+    let dir = disk_dir("health");
+    let server = start(|c| {
+        c.cache_dir = Some(dir.clone());
+        c.cache_disk_bytes = 4 << 20;
+    });
+    let health = json(&request(server.addr(), "GET", "/v1/health", b""));
+    let disk = &health["cache_disk"];
+    assert_eq!(disk["capacity_bytes"].as_u64(), Some(4 << 20));
+    assert_eq!(disk["degraded"].as_bool(), Some(false));
+    for field in
+        ["entries", "bytes", "hits", "misses", "writes", "evictions", "corrupt", "errors"]
+    {
+        assert!(disk[field].as_u64().is_some(), "cache_disk.{field} missing");
+    }
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bind_fails_fast_on_unwritable_cache_dir() {
+    // A regular file where the directory should go: create_dir_all fails.
+    let blocker =
+        std::env::temp_dir().join(format!("saturn-integration-{}-blocker", std::process::id()));
+    std::fs::write(&blocker, b"not a dir").expect("blocker");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(blocker.join("cache")),
+        ..ServerConfig::default()
+    };
+    let err = Server::bind(&config).err().expect("bind must fail fast");
+    assert!(err.to_string().contains("cache dir"), "error names the cache dir: {err}");
+    let _ = std::fs::remove_file(&blocker);
+}
