@@ -131,7 +131,48 @@ def check_timeline(bench):
             )
 
 
-CHECKS = (check_workloads, check_intra_scale, check_delta, check_timeline)
+def check_streaming(bench):
+    """Streaming ingest refresh: a session's warm incremental refresh must
+    reproduce the scratch sweep byte-identically at every append round, and
+    it must actually be faster — a session cache that loses to scratch (or
+    never reuses a scale) is a regression in the whole streaming API's
+    reason to exist."""
+    streaming = section(bench, "streaming")
+    require(
+        streaming.get("reports_identical") is True,
+        "streaming: refresh vs scratch report mismatch",
+    )
+    require(
+        streaming.get("speedup", 0) > 1.0,
+        "streaming: warm refresh must beat the scratch sweep (speedup <= 1)",
+    )
+    require(
+        streaming.get("scales_reused", 0) >= 1,
+        "streaming: no scales reused across refreshes",
+    )
+    require(
+        streaming.get("suffix_windows_rebuilt", 0) >= 1,
+        "streaming: no suffix windows respliced (appends never hit the splice path)",
+    )
+    rounds = streaming.get("per_round")
+    require(rounds, "streaming: per_round is missing or empty")
+    for row in rounds:
+        where = f"streaming: round {row.get('round')}"
+        require(
+            row.get("reports_identical") is True,
+            f"{where}: refresh report diverged from scratch",
+        )
+        require(
+            row.get("refresh_seconds", 0) > 0,
+            f"{where}: refresh_seconds must be > 0",
+        )
+        require(
+            row.get("scratch_seconds", 0) > 0,
+            f"{where}: scratch_seconds must be > 0",
+        )
+
+
+CHECKS = (check_workloads, check_intra_scale, check_delta, check_timeline, check_streaming)
 
 
 def run_gate(bench):
@@ -183,6 +224,32 @@ def self_test():
         lambda b: b["sparse_burst"].update(per_scale=[]),
         "per_scale is missing or empty",
     )
+    failing(lambda b: b.pop("streaming"), "`streaming` is missing")
+    failing(
+        lambda b: b["streaming"].update(reports_identical=False),
+        "refresh vs scratch report mismatch",
+    )
+    failing(
+        lambda b: b["streaming"].update(speedup=0.97),
+        "warm refresh must beat the scratch sweep",
+    )
+    failing(
+        lambda b: b["streaming"].update(scales_reused=0),
+        "no scales reused",
+    )
+    failing(
+        lambda b: b["streaming"].update(suffix_windows_rebuilt=0),
+        "never hit the splice path",
+    )
+    failing(
+        lambda b: b["streaming"]["per_round"][0].update(reports_identical=False),
+        "refresh report diverged from scratch",
+    )
+    failing(
+        lambda b: b["streaming"]["per_round"][1].update(refresh_seconds=0),
+        "refresh_seconds must be > 0",
+    )
+    failing(lambda b: b["streaming"].update(per_round=[]), "per_round is missing or empty")
     print("check_bench self-test: all violation classes rejected")
 
 

@@ -57,6 +57,14 @@ EXPECTED_FAMILIES = {
     "saturn_shard_jobs_rejected_total": "counter",
     "saturn_shard_jobs_deadline_rejected_total": "counter",
     "saturn_executor_restarts_total": "counter",
+    "saturn_stream_sessions_open": "gauge",
+    "saturn_stream_sessions_opened_total": "counter",
+    "saturn_stream_sessions_expired_total": "counter",
+    "saturn_stream_events_appended_total": "counter",
+    "saturn_stream_refreshes_total": "counter",
+    "saturn_stream_scales_reused_total": "counter",
+    "saturn_stream_tiles_skipped_total": "counter",
+    "saturn_stream_suffix_windows_rebuilt_total": "counter",
     "saturn_sweep_tiles_total": "counter",
     "saturn_sweep_scales_total": "counter",
     "saturn_dp_trips_total": "counter",

@@ -10,7 +10,7 @@
 //! saturn synth <irvine|facebook|enron|manufacturing> [--seed S] [--scale F] [--out FILE]
 //! saturn validate <file> [--directed] [--points N] [--threads N]
 //! saturn stats <file> [--directed] [--json]
-//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--cache-dir DIR] [--cache-disk-mb M] [--queue N] [--executors N|auto] [--default-deadline-ms N] [--drain-secs N]
+//! saturn serve [--addr A] [--threads N] [--tile N] [--cache-mb M] [--cache-dir DIR] [--cache-disk-mb M] [--queue N] [--executors N|auto] [--default-deadline-ms N] [--drain-secs N] [--stream-ttl-secs N] [--max-streams N]
 //! saturn help
 //! ```
 
@@ -77,8 +77,8 @@ USAGE:
   saturn stats <file>     print stream statistics
       --directed, --json as above
   saturn serve            run the HTTP analysis service (POST /v1/analyze,
-                          /v1/validate, /v1/stats; GET /v1/jobs/<id>,
-                          /v1/health, /v1/metrics)
+                          /v1/validate, /v1/stats, /v1/streams;
+                          GET /v1/jobs/<id>, /v1/health, /v1/metrics)
       --addr A            bind address (default 127.0.0.1:7878; port 0 = ephemeral)
       --threads N         sweep worker pool size, shared across requests
       --tile N            default target-tile width for analyze sweeps
@@ -98,6 +98,11 @@ USAGE:
                           0 disables the tier even with --cache-dir)
       --queue N           per-shard job queue depth before 503 backpressure
                           (default 64)
+      --stream-ttl-secs N idle TTL of streaming ingest sessions; sessions
+                          untouched this long are evicted and answer 410
+                          (default 300)
+      --max-streams N     concurrently open ingest sessions before creation
+                          gets 503 stream_limit (default 64)
       --executors N|auto  executor shards, each with its own queue, worker
                           pool, and supervisor-backed restart (default 1;
                           auto = min(cores/4, 4)); execution knob only —
@@ -148,6 +153,8 @@ struct Flags {
     executors: usize,
     default_deadline_ms: u64,
     drain_secs: u64,
+    stream_ttl_secs: u64,
+    max_streams: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -173,6 +180,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         executors: 1,
         default_deadline_ms: 0,
         drain_secs: 10,
+        stream_ttl_secs: 300,
+        max_streams: 64,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -228,6 +237,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--drain-secs" => {
                 f.drain_secs =
                     value("--drain-secs")?.parse().map_err(|e| format!("--drain-secs: {e}"))?
+            }
+            "--stream-ttl-secs" => {
+                f.stream_ttl_secs = value("--stream-ttl-secs")?
+                    .parse()
+                    .map_err(|e| format!("--stream-ttl-secs: {e}"))?
+            }
+            "--max-streams" => {
+                f.max_streams = value("--max-streams")?
+                    .parse()
+                    .map_err(|e| format!("--max-streams: {e}"))?
             }
             "--seed" => {
                 f.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
@@ -375,6 +394,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         executors: f.executors,
         default_deadline_ms: f.default_deadline_ms,
         drain_secs: f.drain_secs,
+        stream_ttl: std::time::Duration::from_secs(f.stream_ttl_secs),
+        max_streams: f.max_streams,
         faults,
         ..ServerConfig::default()
     };
@@ -384,7 +405,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // the resolved address from here
     println!("saturn-server listening on http://{addr}");
     println!(
-        "  threads={} executors={} cache={}MiB disk={} queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
+        "  threads={} executors={} cache={}MiB disk={} queue={} deadline={} drain={}s  (POST /v1/analyze | /v1/validate | /v1/stats | /v1/streams, GET /v1/jobs/<id> | /v1/health | /v1/metrics)",
         if f.threads == 0 { "auto".to_string() } else { f.threads.to_string() },
         if f.executors == 0 {
             format!("auto({})", saturn_server::auto_executors())
@@ -537,6 +558,20 @@ mod tests {
             .unwrap_err()
             .contains("--default-deadline-ms"));
         assert!(flags(&["--drain-secs"]).unwrap_err().contains("--drain-secs"));
+    }
+
+    #[test]
+    fn stream_session_flags_parse_and_default() {
+        let f = flags(&[]).unwrap();
+        assert_eq!(f.stream_ttl_secs, 300);
+        assert_eq!(f.max_streams, 64);
+        let f = flags(&["--stream-ttl-secs", "5", "--max-streams", "2"]).unwrap();
+        assert_eq!(f.stream_ttl_secs, 5);
+        assert_eq!(f.max_streams, 2);
+        assert!(flags(&["--stream-ttl-secs", "soon"])
+            .unwrap_err()
+            .contains("--stream-ttl-secs"));
+        assert!(flags(&["--max-streams"]).unwrap_err().contains("--max-streams"));
     }
 
     #[test]

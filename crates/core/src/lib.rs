@@ -56,7 +56,10 @@ pub use heterogeneity::{
     heterogeneous_analysis, segment_activity, ActivityClass, ActivitySegment,
     HeterogeneityConfig, HeterogeneityReport,
 };
-pub use method::{DeltaResult, KeepPolicy, OccupancyMethod, TargetSpec, UniformityScores};
+pub use method::{
+    DeltaResult, KeepPolicy, OccupancyMethod, RefreshStats, SweepCache, TargetSpec,
+    UniformityScores,
+};
 pub use report::{GammaResult, OccupancyReport};
 pub use saturn_trips::{CancelToken, Cancelled};
 pub use selection::{compare_selection_methods, SelectionComparison};

@@ -4,6 +4,7 @@ use crate::control::{SweepControl, TileSpan};
 use crate::parallel::{auto_tile_cols, merge_sources, sweep_queue, WorkerPool};
 use crate::report::OccupancyReport;
 use crate::SweepGrid;
+use rustc_hash::FxHashMap;
 use saturn_distrib::{SelectionMetric, WeightedDist};
 use saturn_linkstream::LinkStream;
 use saturn_trips::{
@@ -56,6 +57,80 @@ pub enum KeepPolicy {
     ScoresOnly,
     /// Keep the full distribution of every swept scale.
     All,
+}
+
+/// Telemetry of the latest [`OccupancyMethod::try_refresh_on`] call:
+/// how much of the sweep the session cache absorbed. Never feeds report
+/// bytes or fingerprints — observability only.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct RefreshStats {
+    /// Scales the refresh was asked to analyze.
+    pub scales_total: u64,
+    /// Scales whose cached histogram was served without any DP work
+    /// (planned timeline field-for-field equal to the cached one).
+    pub scales_reused: u64,
+    /// Scales recomputed on a suffix-spliced timeline
+    /// (`Timeline::spliced_from_view`).
+    pub scales_respliced: u64,
+    /// Scales recomputed on a scratch- or merge-built timeline
+    /// (cache miss, or a dirty mark reaching window 0).
+    pub scales_scratch: u64,
+    /// `(scale, tile)` work items skipped by histogram reuse, under the
+    /// full sweep's tile layout.
+    pub tiles_skipped: u64,
+    /// Windows re-scattered by splices, summed over respliced scales.
+    pub suffix_windows_rebuilt: u64,
+}
+
+/// One cached scale of a [`SweepCache`]: the timeline the histogram was
+/// computed from (the reuse witness) and the merged histogram itself.
+#[derive(Clone, Debug)]
+struct CachedScale {
+    timeline: Arc<Timeline>,
+    hist: OccupancyHistogram,
+    epoch: u64,
+}
+
+/// Per-session sweep memory for [`OccupancyMethod::try_refresh_on`]: the
+/// per-scale timelines and merged histograms of the last refresh, keyed by
+/// window count `K`. An ingest session owns one cache per stream and feeds
+/// every incremental re-analysis through it; the cache never changes report
+/// bytes — it only decides how much work a refresh can skip.
+///
+/// Entries are epoch-stamped: every refresh bumps the epoch, touches the
+/// entries of the scales it analyzed, and on success prunes the rest (a
+/// scale that left the grid would otherwise pin its timeline + histogram
+/// forever). A cancelled refresh inserts nothing and prunes nothing, so the
+/// cache stays exactly as the last *successful* refresh left it — callers
+/// must then keep their dirty mark, which makes the next splice
+/// conservative (and conservative splices are always correct; see the
+/// timeline module's "Splice invariants").
+#[derive(Clone, Debug, Default)]
+pub struct SweepCache {
+    /// Target spec the cached histograms were computed under; a change
+    /// invalidates everything (histograms are per-target-set).
+    targets: Option<TargetSpec>,
+    scales: FxHashMap<u64, CachedScale>,
+    epoch: u64,
+    /// Telemetry of the latest refresh (reset at the start of each).
+    pub stats: RefreshStats,
+}
+
+impl SweepCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached scales.
+    pub fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Whether the cache holds no scale.
+    pub fn is_empty(&self) -> bool {
+        self.scales.is_empty()
+    }
 }
 
 /// All Section 7 uniformity scores of one occupancy distribution, computed
@@ -310,6 +385,28 @@ impl OccupancyMethod {
         ks: &[u64],
         ctl: &SweepControl,
     ) -> Result<Vec<DeltaResult>, Cancelled> {
+        let hists = self.sweep_histograms(pool, arenas, view, targets, ks, ctl, &[])?;
+        Ok(ks.iter().zip(&hists).map(|(&k, hist)| self.delta_result(span, k, hist)).collect())
+    }
+
+    /// The fan-out core of [`sweep_scales`](Self::sweep_scales), returning
+    /// each scale's merged histogram instead of scored results — the refresh
+    /// path ([`try_refresh_on`](Self::try_refresh_on)) stores these in its
+    /// session cache. `prebuilt` optionally seeds per-scale timelines
+    /// (empty = build every scale lazily): a seeded scale skips the lazy
+    /// build entirely and is excluded from the merge plan, so spliced
+    /// timelines flow in without disturbing the merge-chain machinery.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one sweep
+    fn sweep_histograms(
+        &self,
+        pool: &mut WorkerPool,
+        arenas: &[Mutex<EngineArena>],
+        view: &EventView,
+        targets: &TargetSet,
+        ks: &[u64],
+        ctl: &SweepControl,
+        prebuilt: &[Option<Arc<Timeline>>],
+    ) -> Result<Vec<OccupancyHistogram>, Cancelled> {
         let ncols = targets.len();
         let tile_cols = if self.tile == 0 {
             auto_tile_cols(ncols, ks.len(), pool.parallelism())
@@ -327,11 +424,19 @@ impl OccupancyMethod {
             no_incremental_timeline: self.no_incremental,
             ..Default::default()
         };
-        let sources: Vec<Option<usize>> = if dp_options.no_incremental_timeline {
+        let mut sources: Vec<Option<usize>> = if dp_options.no_incremental_timeline {
             vec![None; ks.len()]
         } else {
             merge_sources(ks)
         };
+        // a seeded scale never builds, so it must not count as a merge
+        // dependent of its planned source (the release bookkeeping would
+        // otherwise never reach zero there)
+        for (i, source) in sources.iter_mut().enumerate() {
+            if prebuilt.get(i).is_some_and(Option::is_some) {
+                *source = None;
+            }
+        }
         let mut dependents = vec![0usize; ks.len()];
         for &j in sources.iter().flatten() {
             dependents[j] += 1;
@@ -345,8 +450,9 @@ impl OccupancyMethod {
         }
         let shared: Vec<SharedScale> = dependents
             .iter()
-            .map(|&deps| SharedScale {
-                timeline: Mutex::new(None),
+            .enumerate()
+            .map(|(i, &deps)| SharedScale {
+                timeline: Mutex::new(prebuilt.get(i).cloned().flatten()),
                 remaining: AtomicUsize::new(tiles_in_scale + deps),
             })
             .collect();
@@ -455,7 +561,7 @@ impl OccupancyMethod {
         for (item, hist) in items.iter().zip(&parts) {
             merged[item.scale].merge(hist);
         }
-        Ok(ks.iter().zip(&merged).map(|(&k, hist)| self.delta_result(span, k, hist)).collect())
+        Ok(merged)
     }
 
     /// Runs the method: sweeps the grid, optionally refines around the
@@ -546,6 +652,205 @@ impl OccupancyMethod {
         // Δ ascending (K descending)
         results.sort_unstable_by_key(|r| std::cmp::Reverse(r.k));
         Ok(OccupancyReport::new(self.metric, results))
+    }
+
+    /// [`try_run_on`](Self::try_run_on) through a per-session [`SweepCache`]:
+    /// the incremental re-analysis primitive of ingest sessions.
+    ///
+    /// `dirty_from` is the earliest timestamp appended to `stream` since the
+    /// cache's last *successful* refresh (`None` = nothing appended). Each
+    /// grid scale then takes the cheapest sound path:
+    ///
+    /// * cache hit, nothing appended — the cached timeline is the current
+    ///   one; its histogram is served with zero DP work;
+    /// * cache hit, dirty mark — the cached timeline is suffix-spliced from
+    ///   the dirty window on (`Timeline::spliced_from_view`); if the splice
+    ///   comes back field-for-field identical (appends deduplicated away at
+    ///   this scale), the cached histogram is served, otherwise the scale is
+    ///   recomputed on the spliced timeline;
+    /// * cache miss — scratch or merge build, exactly as a cold sweep.
+    ///
+    /// Reports are **byte-identical** to a scratch [`try_run_on`] over the
+    /// same stream — the cache and the dirty mark are pure execution state
+    /// (the service hard-asserts this in its differential tests and the
+    /// bench). Refinement rounds run through the cache too, so the refined
+    /// scales of consecutive refreshes reuse each other. On success the
+    /// cache holds exactly the scales of this refresh and `cache.stats`
+    /// describes the work split; on cancellation the cache is untouched and
+    /// the caller must keep its dirty mark.
+    ///
+    /// A conservative (too early) `dirty_from` is always correct — it only
+    /// shrinks the reusable prefix. Callers must pass a pinned-period
+    /// stream: the study period may not move between refreshes feeding one
+    /// cache (ingest sessions pin it at creation).
+    pub fn try_refresh_on(
+        &self,
+        stream: &LinkStream,
+        pool: &mut WorkerPool,
+        ctl: &SweepControl,
+        cache: &mut SweepCache,
+        dirty_from: Option<i64>,
+    ) -> Result<OccupancyReport, Cancelled> {
+        if cache.targets != Some(self.targets) {
+            // histograms are per-target-set; a changed spec voids them all
+            cache.scales.clear();
+            cache.targets = Some(self.targets);
+        }
+        cache.epoch += 1;
+        cache.stats = RefreshStats::default();
+
+        let targets = self.targets.build(stream.node_count() as u32);
+        let view = EventView::new(stream);
+        let span = stream.span();
+        let mut ks = self.grid.k_values(stream, self.delta_min);
+        ctl.progress.set_total(ks.len() as u64);
+
+        let arenas: Vec<Mutex<EngineArena>> =
+            (0..pool.parallelism()).map(|_| Mutex::new(EngineArena::new())).collect();
+
+        let mut results = self.refresh_scales(
+            stream, pool, &arenas, &view, span, &targets, &ks, ctl, cache, dirty_from,
+        )?;
+
+        for _ in 0..self.refine_rounds {
+            let Some(best_pos) = argmax(&results, self.metric) else { break };
+            let best_k = results[best_pos].k;
+            let pos = ks.binary_search_by(|a| best_k.cmp(a)).unwrap_or_else(|p| p);
+            let k_above = if pos > 0 { ks[pos - 1] } else { best_k };
+            let k_below = ks.get(pos + 1).copied().unwrap_or(best_k);
+            let mut extra = Vec::new();
+            if best_k < k_above {
+                extra.extend(SweepGrid::refine_between(best_k, k_above, self.refine_points));
+            }
+            if k_below < best_k {
+                extra.extend(SweepGrid::refine_between(k_below, best_k, self.refine_points));
+            }
+            extra.retain(|k| !ks.contains(k));
+            extra.sort_unstable_by(|a, b| b.cmp(a));
+            extra.dedup();
+            if extra.is_empty() {
+                break;
+            }
+            ctl.progress.add_total(extra.len() as u64);
+            let new_results = self.refresh_scales(
+                stream, pool, &arenas, &view, span, &targets, &extra, ctl, cache, dirty_from,
+            )?;
+            results.extend(new_results);
+            ks.extend(extra);
+            ks.sort_unstable_by(|a, b| b.cmp(a));
+        }
+
+        results.sort_unstable_by_key(|r| std::cmp::Reverse(r.k));
+        // scales that left the grid since the last refresh would otherwise
+        // pin their timeline + histogram forever
+        let epoch = cache.epoch;
+        cache.scales.retain(|_, entry| entry.epoch == epoch);
+        Ok(OccupancyReport::new(self.metric, results))
+    }
+
+    /// One cache-aware sweep over `ks` (sorted descending): plans every
+    /// scale's timeline eagerly (reuse / splice / merge / scratch), serves
+    /// field-identical cache hits from their stored histograms, fans the
+    /// rest out through [`sweep_histograms`](Self::sweep_histograms) with
+    /// the planned timelines pre-seeded, and folds the results back into
+    /// the cache.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one refresh
+    fn refresh_scales(
+        &self,
+        stream: &LinkStream,
+        pool: &mut WorkerPool,
+        arenas: &[Mutex<EngineArena>],
+        view: &EventView,
+        span: i64,
+        targets: &TargetSet,
+        ks: &[u64],
+        ctl: &SweepControl,
+        cache: &mut SweepCache,
+        dirty_from: Option<i64>,
+    ) -> Result<Vec<DeltaResult>, Cancelled> {
+        cache.stats.scales_total += ks.len() as u64;
+        // the full sweep's tile layout, for the skip accounting
+        let ncols = targets.len();
+        let tile_cols = if self.tile == 0 {
+            auto_tile_cols(ncols, ks.len(), pool.parallelism())
+        } else {
+            self.tile.max(1)
+        };
+        let tiles_per_scale = targets.tile_ranges(tile_cols).len();
+
+        // Plan finest-first so merge sources precede their dependents
+        // (`merge_sources` points each scale at an earlier index).
+        let sources: Vec<Option<usize>> =
+            if self.no_incremental { vec![None; ks.len()] } else { merge_sources(ks) };
+        let mut planned: Vec<Arc<Timeline>> = Vec::with_capacity(ks.len());
+        let mut reused: Vec<bool> = Vec::with_capacity(ks.len());
+        for (i, &k) in ks.iter().enumerate() {
+            let cached = cache.scales.get(&k);
+            let mut spliced = false;
+            let timeline = match (cached, dirty_from) {
+                (Some(entry), None) => Arc::clone(&entry.timeline),
+                (Some(entry), Some(t0)) => {
+                    let w = stream
+                        .partition(k)
+                        .expect("grid window counts are valid for the stream")
+                        .index(saturn_linkstream::Time::new(t0))
+                        as u32;
+                    spliced = w > 0;
+                    if spliced {
+                        cache.stats.suffix_windows_rebuilt += k - w as u64;
+                    }
+                    Arc::new(entry.timeline.spliced_from_view(view, w))
+                }
+                (None, _) => Arc::new(match sources[i] {
+                    Some(j) => planned[j].aggregated_by_merge(k),
+                    None => Timeline::aggregated_from_view(view, k),
+                }),
+            };
+            // deep-equality reuse gate: a planned timeline field-for-field
+            // equal to the cached one means the cached histogram is still
+            // exact (appends deduplicated away at this scale)
+            let reuse = cached.is_some_and(|entry| {
+                Arc::ptr_eq(&entry.timeline, &timeline) || *entry.timeline == *timeline
+            });
+            if reuse {
+                cache.stats.scales_reused += 1;
+                cache.stats.tiles_skipped += tiles_per_scale as u64;
+            } else if spliced {
+                cache.stats.scales_respliced += 1;
+            } else {
+                cache.stats.scales_scratch += 1;
+            }
+            reused.push(reuse);
+            planned.push(timeline);
+        }
+
+        // reused scales complete instantly; the rest fan out pre-seeded
+        let compute: Vec<usize> = (0..ks.len()).filter(|&i| !reused[i]).collect();
+        ctl.progress.add_done((ks.len() - compute.len()) as u64);
+        let hists = if compute.is_empty() {
+            Vec::new()
+        } else {
+            let compute_ks: Vec<u64> = compute.iter().map(|&i| ks[i]).collect();
+            let seeds: Vec<Option<Arc<Timeline>>> =
+                compute.iter().map(|&i| Some(Arc::clone(&planned[i]))).collect();
+            self.sweep_histograms(pool, arenas, view, targets, &compute_ks, ctl, &seeds)?
+        };
+
+        let mut hists = hists.into_iter();
+        let mut results = Vec::with_capacity(ks.len());
+        for (i, &k) in ks.iter().enumerate() {
+            if reused[i] {
+                let entry = cache.scales.get_mut(&k).expect("reused scales are cached");
+                entry.epoch = cache.epoch;
+                results.push(self.delta_result(span, k, &entry.hist));
+            } else {
+                let hist = hists.next().expect("one histogram per computed scale");
+                results.push(self.delta_result(span, k, &hist));
+                let timeline = Arc::clone(&planned[i]);
+                cache.scales.insert(k, CachedScale { timeline, hist, epoch: cache.epoch });
+            }
+        }
+        Ok(results)
     }
 }
 
@@ -891,6 +1196,156 @@ mod tests {
         let report = method.try_run_on(&s, &mut pool, &SweepControl::new()).unwrap();
         let coarse_trips: u64 = report.results().iter().map(|r| r.trips).sum();
         assert!(observer.trips.load(Ordering::Relaxed) >= coarse_trips);
+    }
+
+    /// Builds a pinned-period ring stream plus a grown twin with `extra`
+    /// appended events landing strictly after the base activity.
+    fn ring_with_appends(extra: usize) -> (LinkStream, LinkStream, i64) {
+        let mut base = LinkStreamBuilder::indexed(Directedness::Undirected, 8);
+        base.period(0, 1200);
+        for i in 0..90usize {
+            let u = (i as u32) % 8;
+            base.add_indexed(u, (u + 1) % 8, i as i64 * 10); // t in [0, 890]
+        }
+        let old = base.clone().build().unwrap();
+        let first_append_t = 900i64;
+        let mut grown = base;
+        for i in 0..extra {
+            let u = (i as u32 * 3) % 8;
+            grown.add_indexed(u, (u + 5) % 8, first_append_t + (i as i64 * 7) % 300);
+        }
+        (old, grown.build().unwrap(), first_append_t)
+    }
+
+    #[test]
+    fn refresh_is_byte_identical_to_scratch_and_reuses_scales() {
+        let (old, new, t0) = ring_with_appends(40);
+        for (no_delta, no_incremental) in [(false, false), (true, true)] {
+            let method = OccupancyMethod::new()
+                .grid(SweepGrid::Geometric { points: 12 })
+                .refine(1, 4)
+                .no_delta_propagation(no_delta)
+                .no_incremental_timeline(no_incremental);
+            let mut pool = WorkerPool::new(2);
+            let mut cache = SweepCache::new();
+            // cold refresh == scratch run on the base stream
+            let cold =
+                method.try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None);
+            assert_eq!(cold.unwrap().to_json(), method.run_on(&old, &mut pool).to_json());
+            assert!(cache.stats.scales_reused == 0 && cache.stats.scales_respliced == 0);
+            assert!(!cache.is_empty());
+            // warm refresh after appends == scratch run on the grown stream
+            let warm = method
+                .try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, Some(t0))
+                .unwrap();
+            assert_eq!(
+                warm.to_json(),
+                method.run_on(&new, &mut pool).to_json(),
+                "refresh must be byte-identical to scratch (no_delta={no_delta})"
+            );
+            assert!(
+                cache.stats.scales_respliced > 0,
+                "late appends splice at least the finest scales: {:?}",
+                cache.stats
+            );
+            assert!(cache.stats.suffix_windows_rebuilt > 0);
+            // identical re-refresh with no appends: everything reuses
+            let again = method
+                .try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, None)
+                .unwrap();
+            assert_eq!(again.to_json(), warm.to_json());
+            assert_eq!(
+                cache.stats.scales_reused, cache.stats.scales_total,
+                "{:?}",
+                cache.stats
+            );
+            assert_eq!(cache.stats.scales_respliced + cache.stats.scales_scratch, 0);
+            assert!(cache.stats.tiles_skipped > 0);
+        }
+    }
+
+    #[test]
+    fn repeated_appends_refresh_through_one_cache() {
+        // three rounds of growth through one session cache, each checked
+        // against a scratch sweep of the concatenated stream
+        let mut b = LinkStreamBuilder::indexed(Directedness::Undirected, 6);
+        b.period(0, 600);
+        for i in 0..40i64 {
+            b.add_indexed((i % 6) as u32, ((i + 1) % 6) as u32, i * 5);
+        }
+        let method =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 10 }).refine(1, 3);
+        let mut pool = WorkerPool::new(1);
+        let mut cache = SweepCache::new();
+        let first = b.clone().build().unwrap();
+        let cold = method
+            .try_refresh_on(&first, &mut pool, &SweepControl::new(), &mut cache, None)
+            .unwrap();
+        assert_eq!(cold.to_json(), method.run_on(&first, &mut pool).to_json());
+        let mut t = 200i64;
+        for round in 0..3 {
+            let t0 = t;
+            for i in 0..15i64 {
+                b.add_indexed((i % 6) as u32, ((i * 5 + 2) % 6) as u32, t);
+                t += 7;
+            }
+            let grown = b.clone().build().unwrap();
+            let refreshed = method
+                .try_refresh_on(&grown, &mut pool, &SweepControl::new(), &mut cache, Some(t0))
+                .unwrap();
+            assert_eq!(
+                refreshed.to_json(),
+                method.run_on(&grown, &mut pool).to_json(),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_invalidates_on_target_change_and_prunes_dropped_scales() {
+        let (old, ..) = ring_with_appends(0);
+        let mut pool = WorkerPool::new(1);
+        let mut cache = SweepCache::new();
+        let wide =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 12 }).refine(0, 0);
+        wide.try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None).unwrap();
+        let cached_wide = cache.len();
+        assert!(cached_wide > 0);
+        // a narrower grid prunes the scales that left it
+        let narrow =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 5 }).refine(0, 0);
+        narrow.try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None).unwrap();
+        assert!(cache.len() < cached_wide, "{} -> {}", cached_wide, cache.len());
+        // a different target spec voids the cache: nothing reuses
+        let sampled = narrow.targets(TargetSpec::Sample { size: 4, seed: 1 });
+        let report = sampled
+            .try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None)
+            .unwrap();
+        assert_eq!(cache.stats.scales_reused, 0);
+        assert_eq!(report.to_json(), sampled.run_on(&old, &mut pool).to_json());
+    }
+
+    #[test]
+    fn cancelled_refresh_leaves_the_cache_untouched() {
+        let (old, new, t0) = ring_with_appends(30);
+        let method =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 10 }).refine(0, 0);
+        let mut pool = WorkerPool::new(1);
+        let mut cache = SweepCache::new();
+        method.try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None).unwrap();
+        let before = cache.len();
+        let ctl = SweepControl::new();
+        ctl.cancel.cancel();
+        assert!(matches!(
+            method.try_refresh_on(&new, &mut pool, &ctl, &mut cache, Some(t0)),
+            Err(Cancelled)
+        ));
+        assert_eq!(cache.len(), before, "cancelled refresh must not grow the cache");
+        // keeping the dirty mark, the retry is still byte-identical
+        let retry = method
+            .try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, Some(t0))
+            .unwrap();
+        assert_eq!(retry.to_json(), method.run_on(&new, &mut pool).to_json());
     }
 
     #[test]

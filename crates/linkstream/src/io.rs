@@ -35,32 +35,65 @@ pub fn read_stream<R: std::io::Read>(
     let buf = BufReader::new(reader);
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
-            continue;
+        if let Some(event) = parse_line(&line, idx + 1)? {
+            builder.add(event.u, event.v, event.t);
         }
-        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
-        let (u, v, t_tok) = match tokens.as_slice() {
-            [u, v, t] => (*u, *v, *t),
-            [u, v, _w, t] => (*u, *v, *t),
-            _ => {
-                return Err(ParseError::Malformed {
-                    line: lineno,
-                    reason: format!(
-                        "expected 3 (u v t) or 4 (u v w t) columns, found {}",
-                        tokens.len()
-                    ),
-                })
-            }
-        };
-        let t: i64 = t_tok.parse().map_err(|_| ParseError::Malformed {
-            line: lineno,
-            reason: format!("timestamp `{t_tok}` is not an integer tick count"),
-        })?;
-        builder.add(u, v, t);
     }
     Ok(builder.build()?)
+}
+
+/// One event parsed out of a trace line, borrowing the node labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParsedEvent<'a> {
+    /// Source node label.
+    pub u: &'a str,
+    /// Destination node label.
+    pub v: &'a str,
+    /// Timestamp in ticks.
+    pub t: i64,
+}
+
+/// Parses one trace line in either accepted layout (`u v t` plain, or
+/// `u v w t` KONECT with an ignored weight). Returns `None` for lines a
+/// trace reader skips — blank, `%`, or `#`. `lineno` is 1-based and only
+/// feeds error messages.
+pub fn parse_line(line: &str, lineno: usize) -> Result<Option<ParsedEvent<'_>>, ParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+    let (u, v, t_tok) = match tokens.as_slice() {
+        [u, v, t] => (*u, *v, *t),
+        [u, v, _w, t] => (*u, *v, *t),
+        _ => {
+            return Err(ParseError::Malformed {
+                line: lineno,
+                reason: format!(
+                    "expected 3 (u v t) or 4 (u v w t) columns, found {}",
+                    tokens.len()
+                ),
+            })
+        }
+    };
+    let t: i64 = t_tok.parse().map_err(|_| ParseError::Malformed {
+        line: lineno,
+        reason: format!("timestamp `{t_tok}` is not an integer tick count"),
+    })?;
+    Ok(Some(ParsedEvent { u, v, t }))
+}
+
+/// Parses every event of `text` without building a stream — the append
+/// path of an ingest session, which validates a whole batch *before*
+/// committing any of it to its builder.
+pub fn parse_events(text: &str) -> Result<Vec<ParsedEvent<'_>>, ParseError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if let Some(event) = parse_line(line, idx + 1)? {
+            events.push(event);
+        }
+    }
+    Ok(events)
 }
 
 /// Parses a link stream from a file path.
@@ -167,6 +200,25 @@ mod tests {
         let s2 = read_path(&path, Directedness::Undirected).unwrap();
         assert_eq!(s.events(), s2.events());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_events_matches_the_stream_reader() {
+        let text = "# header\n a b 3 \n\n% note\nb c 7 12\n";
+        let events = parse_events(text).unwrap();
+        assert_eq!(
+            events,
+            vec![ParsedEvent { u: "a", v: "b", t: 3 }, ParsedEvent { u: "b", v: "c", t: 12 }]
+        );
+        // errors carry the 1-based line number of the offending line
+        let err = parse_events("a b 1\nx y\n").unwrap_err();
+        match err {
+            ParseError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("columns"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

@@ -207,6 +207,7 @@ pub struct StreamStats {
     pub dropped_duplicates: usize,
 }
 
+#[derive(Clone)]
 enum NodeMode {
     /// Nodes are interned from string labels.
     Labeled(NodeInterner),
@@ -221,6 +222,11 @@ enum NodeMode {
 /// first appearance) or raw dense indices via
 /// [`add_indexed`](LinkStreamBuilder::add_indexed) on a builder created with
 /// [`indexed`](LinkStreamBuilder::indexed).
+///
+/// The builder is [`Clone`] so long-lived ingest sessions can keep
+/// accepting events while frozen [`snapshot`](LinkStreamBuilder::snapshot)s
+/// of the stream-so-far are analyzed.
+#[derive(Clone)]
 pub struct LinkStreamBuilder {
     directedness: Directedness,
     mode: NodeMode,
@@ -314,6 +320,15 @@ impl LinkStreamBuilder {
     /// Whether no triplet has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.raw.is_empty()
+    }
+
+    /// Freezes the stream-so-far without consuming the builder: the
+    /// append-session primitive. Equivalent to cloning and
+    /// [`build`](LinkStreamBuilder::build)ing — a snapshot after `n`
+    /// appends is byte-identical to a one-shot build of the same `n`
+    /// events, so incremental and scratch analyses share cache keys.
+    pub fn snapshot(&self) -> Result<LinkStream, BuildError> {
+        self.clone().build()
     }
 
     /// Validates, sorts, deduplicates and freezes the stream.
@@ -420,6 +435,32 @@ mod tests {
         b.period(0, 10);
         let s = b.build().unwrap();
         assert_eq!(s.span(), 10);
+    }
+
+    #[test]
+    fn snapshot_equals_one_shot_build_and_keeps_accepting() {
+        let mut b = LinkStreamBuilder::new(Directedness::Undirected);
+        b.period(0, 20);
+        b.add("a", "b", 1);
+        b.add("b", "c", 5);
+        let first = b.snapshot().unwrap();
+
+        let mut oneshot = LinkStreamBuilder::new(Directedness::Undirected);
+        oneshot.period(0, 20);
+        oneshot.add("a", "b", 1);
+        oneshot.add("b", "c", 5);
+        let scratch = oneshot.build().unwrap();
+        assert_eq!(first.events(), scratch.events());
+        assert_eq!(first.labels(), scratch.labels());
+        assert_eq!((first.t_begin(), first.t_end()), (scratch.t_begin(), scratch.t_end()));
+
+        // the builder survives the snapshot and keeps interning: new labels
+        // get ids after the existing ones, so earlier events keep their ids
+        b.add("c", "d", 9);
+        let second = b.snapshot().unwrap();
+        assert_eq!(second.len(), 3);
+        assert_eq!(second.labels()[..3], first.labels()[..]);
+        assert_eq!(second.events()[..2], first.events()[..]);
     }
 
     #[test]

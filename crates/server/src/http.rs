@@ -250,11 +250,13 @@ fn percent_decode(s: &str) -> String {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Payload Too Large",
         417 => "Expectation Failed",
         431 => "Request Header Fields Too Large",
@@ -321,15 +323,6 @@ pub fn write_response_typed<W: Write>(
     )?;
     writer.write_all(body)?;
     writer.flush()
-}
-
-/// Serializes an error payload `{"error": msg}`.
-pub fn error_body(msg: &str) -> Vec<u8> {
-    let value = serde_json::Value::Object(vec![(
-        "error".to_string(),
-        serde_json::Value::String(msg.to_string()),
-    )]);
-    value.to_string_pretty().into_bytes()
 }
 
 #[cfg(test)]

@@ -70,7 +70,6 @@ use crate::metrics::{Metrics, MetricsSweepObserver};
 use saturn_core::parallel::WorkerPool;
 use saturn_core::{json_trace_from_env, SweepControl, SweepObserver};
 use serde::Serialize;
-use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -181,27 +180,33 @@ impl JobCtx {
         }
     }
 
+    fn cause_code(&self) -> &'static str {
+        match self.cause.load(Ordering::Acquire) {
+            1 => "deadline_exceeded",
+            2 => "draining",
+            3 => "fault_injected",
+            4 => "stalled",
+            _ => "cancelled",
+        }
+    }
+
     /// The structured 504 outcome of a cancelled job, carrying how far the
     /// sweep got.
     pub fn cancelled_outcome(&self) -> JobOutcome {
         let (done, total) = self.control.progress.snapshot();
         JobOutcome {
             status: 504,
-            body: Arc::from(timeout_body(self.cause_text(), done, total)),
+            body: Arc::from(timeout_body(self.cause_code(), self.cause_text(), done, total)),
         }
     }
 }
 
 /// The JSON body of a `504` (or of a client-side deadline expiry, or of a
-/// supervisor-finalized `500`): the error text plus partial progress in
-/// whole scales.
-pub fn timeout_body(error: &str, scales_done: u64, scales_total: u64) -> String {
-    Value::Object(vec![
-        ("error".to_string(), Value::String(error.to_string())),
-        ("scales_done".to_string(), Value::Int(scales_done as i128)),
-        ("scales_total".to_string(), Value::Int(scales_total as i128)),
-    ])
-    .to_string_pretty()
+/// supervisor-finalized `500`): the standard [`crate::error_envelope`]
+/// carrying partial progress in whole scales. Cancellations are retryable
+/// by definition — the request itself was fine.
+pub fn timeout_body(code: &str, error: &str, scales_done: u64, scales_total: u64) -> String {
+    crate::error_envelope(code, error, true, Some((scales_done, scales_total)))
 }
 
 /// What kind of sweep a job runs — selects the fault-injection site.
@@ -977,7 +982,7 @@ fn executor_loop(shared: &Shared, shard: usize, generation: u64) {
         let panicked = caught.is_err();
         let outcome = caught.unwrap_or_else(|_| JobOutcome {
             status: 500,
-            body: Arc::from(r#"{"error": "analysis panicked"}"#),
+            body: Arc::from(crate::error_envelope("panicked", "analysis panicked", true, None)),
         });
         shared.metrics.sweep_seconds.observe(Duration::from_secs_f64(elapsed));
         let mut state = shared.state.lock().expect("job state poisoned");
@@ -1063,8 +1068,10 @@ fn restart_shard(state: &mut State, metrics: &Metrics, shard: usize, error: &str
     job.ctx.cancel(CancelCause::Stalled);
     let (done, total) = job.ctx.control.progress.snapshot();
     job.phase = JobPhase::Done;
-    job.outcome =
-        Some(JobOutcome { status: 500, body: Arc::from(timeout_body(error, done, total)) });
+    job.outcome = Some(JobOutcome {
+        status: 500,
+        body: Arc::from(timeout_body("executor_failed", error, done, total)),
+    });
     let fingerprint = job.fingerprint;
     metrics.jobs_executed.inc();
     metrics.shard(shard).executed.inc();

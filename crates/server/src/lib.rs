@@ -14,6 +14,9 @@
 //! POST /v1/analyze?directed=1&points=48&sample=64&seed=1&tile=0&no_delta=0&no_incremental=0&deadline_ms=0[&async=1]   trace body → occupancy report
 //! POST /v1/validate?points=32&weighted=1&delta_min=1&deadline_ms=0[&async=1]   trace body → loss curves
 //! POST /v1/stats?directed=1                                          trace body → stream statistics
+//! POST /v1/streams?t_begin=A&t_end=B[&directed=1]                    open a streaming ingest session (body may seed events)
+//! POST /v1/streams/<id>/events                                       append a batch of events (all-or-nothing)
+//! POST /v1/streams/<id>/analyze?points=48…[&async=1]                 incremental re-analysis of the session's stream
 //! GET  /v1/jobs/<id>[?wait=1]                                        async job status / result
 //! GET  /v1/health                                                    cache + queue + lifecycle counters
 //! GET  /v1/metrics                                                   Prometheus text exposition
@@ -39,6 +42,43 @@
 //! | `504 Gateway Timeout` | the request's deadline expired while its job was queued or running; the sweep was cancelled cooperatively | `{"error", "scales_done", "scales_total"}` partial-progress counters |
 //! | `500 Internal Server Error` | the sweep panicked (caught; the executor survives), or the supervisor finalized the job after its executor died or stalled past the liveness budget | `{"error": …}` — supervisor-finalized bodies carry `scales_done` / `scales_total` partial progress |
 //!
+//! **Error envelope.** Every error body on every route, from every layer,
+//! is the one shape built by [`error_envelope`]:
+//!
+//! ```json
+//! {"error": {"code": "…", "message": "…", "retryable": bool,
+//!            "scales_done"?: int, "scales_total"?: int}}
+//! ```
+//!
+//! `code` is the machine-readable contract (`message` is human detail,
+//! free to change). The registry:
+//!
+//! | code | status | raised when |
+//! |------|--------|-------------|
+//! | `bad_request` | 400 | malformed query parameter, trace body, or stream-session request |
+//! | `not_found` | 404 | unknown route, unknown job id, or unknown stream-session id |
+//! | `method_not_allowed` | 405 | wrong verb on a known route |
+//! | `request_timeout` | 408 | peer stalled mid-request |
+//! | `gone` | 410 | stream session evicted past its idle TTL (id was valid once, is gone now) |
+//! | `payload_too_large` | 413 | body over the configured byte cap |
+//! | `expectation_failed` | 417 | unsupported `Expect:` header |
+//! | `headers_too_large` | 431 | request head over the line/size caps |
+//! | `internal` | 500 | sweep panic caught by the executor; supervisor-finalized jobs |
+//! | `job_expired` | 500 | job outcome evicted before this waiter read it |
+//! | `not_implemented` | 501 | unsupported transfer encoding |
+//! | `queue_full` | 503 | the routed shard's bounded queue is full |
+//! | `would_expire` | 503 | admission control: estimated queue wait alone exceeds the deadline |
+//! | `connection_limit` | 503 | concurrent-connection cap reached |
+//! | `stream_limit` | 503 | `--max-streams` open ingest sessions already exist |
+//! | `draining` | 503 | lame-duck mode after SIGTERM/SIGINT |
+//! | `deadline_exceeded` | 504 | deadline fired while the job was queued or running |
+//! | `http_version_unsupported` | 505 | non-HTTP/1.x request line |
+//!
+//! Every 503 carries `Retry-After`; `retryable` is `true` exactly for
+//! statuses 408, 500, 503 and 504. [`params`] centralizes query parsing so
+//! a typo'd knob is a structured `bad_request` naming the parameter, never
+//! a silent default.
+//!
 //! **Deadlines.** `?deadline_ms=N` (or the `--default-deadline-ms` serve
 //! flag; `0` = none) bounds a request end to end. A watchdog finalizes
 //! queued jobs whose deadline passes without executing them, and fires the
@@ -61,6 +101,28 @@
 //! backlog × its own EWMA. Shard count is an execution knob: report bytes
 //! and cache fingerprints are byte-identical for every `--executors`
 //! value. See [`jobs`] for the full design.
+//!
+//! **Streaming ingest sessions.** `POST /v1/streams?t_begin=A&t_end=B`
+//! opens a session that *pins* the analysis period and directedness up
+//! front (a growing trace must not let the observed span drift between
+//! refreshes, or scales would be incomparable). `POST
+//! /v1/streams/<id>/events` appends a parsed batch all-or-nothing — a
+//! malformed line or an out-of-period timestamp rejects the whole batch
+//! with `bad_request` and the session is untouched. `POST
+//! /v1/streams/<id>/analyze` re-analyzes the grown stream *incrementally*:
+//! the session owns a [`SweepCache`](saturn_core::SweepCache) and the
+//! refresh ([`OccupancyMethod::try_refresh_on`](saturn_core::OccupancyMethod::try_refresh_on))
+//! splices only the dirty suffix of each scale's window timeline, reuses
+//! every scale whose timeline is provably unchanged by the appends, and
+//! recomputes the rest — with the hard invariant (held by a CI byte-compare
+//! and the bench's `streaming` section) that the report is byte-identical
+//! to a scratch `POST /v1/analyze` of the same events. Refresh results
+//! enter the same content-addressed response cache as `/v1/analyze`
+//! (same fingerprint: stream digest + grid + targets), so either surface
+//! can serve the other's artifact. Sessions idle past `--stream-ttl-secs`
+//! are evicted (`410 gone`); more than `--max-streams` concurrent sessions
+//! refuse creation with `503 stream_limit` + `Retry-After`. See [`streams`]
+//! for the session table and locking design.
 //!
 //! **Graceful drain.** On `SIGTERM`/`SIGINT`, `saturn serve` flips into
 //! lame-duck mode: new connections get `503 + Retry-After`, queued and
@@ -147,6 +209,14 @@
 //! | `saturn_shard_jobs_rejected_total` | counter | `shard` | per-shard slice of `saturn_jobs_rejected_total` |
 //! | `saturn_shard_jobs_deadline_rejected_total` | counter | `shard` | per-shard slice of `saturn_jobs_deadline_rejected_total` |
 //! | `saturn_executor_restarts_total` | counter | `shard` | supervisor restarts of one shard's executor |
+//! | `saturn_stream_sessions_open` | gauge | — | streaming ingest sessions currently open |
+//! | `saturn_stream_sessions_opened_total` | counter | — | sessions ever created |
+//! | `saturn_stream_sessions_expired_total` | counter | — | sessions evicted past the idle TTL |
+//! | `saturn_stream_events_appended_total` | counter | — | events accepted by append batches |
+//! | `saturn_stream_refreshes_total` | counter | — | incremental re-analyses executed |
+//! | `saturn_stream_scales_reused_total` | counter | — | scales served from the session cache without DP |
+//! | `saturn_stream_tiles_skipped_total` | counter | — | DP tiles skipped by refresh reuse |
+//! | `saturn_stream_suffix_windows_rebuilt_total` | counter | — | timeline windows respliced by refreshes |
 //! | `saturn_sweep_tiles_total` | counter | — | `(scale, tile)` DP items completed |
 //! | `saturn_sweep_scales_total` | counter | — | scales fully analyzed |
 //! | `saturn_dp_trips_total` | counter | — | minimal trips reported by the engines |
@@ -171,8 +241,10 @@ pub mod faults;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
+pub mod params;
 pub mod persist;
 pub mod signals;
+pub mod streams;
 
 pub use cache::{CacheStats, ReportCache};
 pub use faults::{FaultPlan, FaultSite};
@@ -183,17 +255,16 @@ pub use jobs::{
 pub use metrics::{
     Counter, FloatGauge, Gauge, Histogram, Metrics, RequestTimings, ShardMetrics,
 };
+pub use params::{ParamDefaults, RequestParams};
 pub use persist::{DiskStats, DiskTier};
 
 use http::{
-    error_body, read_request, write_response, write_response_typed, write_response_with,
-    ReadError, Request, CONTENT_TYPE_JSON, CONTENT_TYPE_PROMETHEUS,
+    read_request, write_response, write_response_typed, write_response_with, ReadError,
+    Request, CONTENT_TYPE_JSON, CONTENT_TYPE_PROMETHEUS,
 };
 use metrics::route_label;
 use saturn_core::fingerprint::{self, Digest};
-use saturn_core::{
-    try_validation_sweep_on, OccupancyMethod, SweepGrid, TargetSpec, ValidationOptions,
-};
+use saturn_core::{try_validation_sweep_on, OccupancyMethod, SweepGrid, ValidationOptions};
 use saturn_linkstream::{io as stream_io, Directedness, LinkStream};
 use serde_json::Value;
 use std::io::{BufReader, Write};
@@ -203,6 +274,103 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Builds the one error-body shape this service emits, on every route and
+/// at every layer (parse errors, routing, backpressure, job outcomes):
+///
+/// ```json
+/// {"error": {"code": "…", "message": "…", "retryable": bool,
+///            "scales_done"?: int, "scales_total"?: int}}
+/// ```
+///
+/// `code` is a stable machine-readable identifier from the registry in the
+/// crate-docs status table; `message` is human-readable detail (not an API
+/// contract); `retryable` says whether the identical request may succeed if
+/// simply retried later; `progress` attaches the partial-sweep counters
+/// that 504s and supervisor-finalized 500s carry.
+pub fn error_envelope(
+    code: &str,
+    message: &str,
+    retryable: bool,
+    progress: Option<(u64, u64)>,
+) -> String {
+    let mut fields = vec![
+        ("code".to_string(), Value::String(code.to_string())),
+        ("message".to_string(), Value::String(message.to_string())),
+        ("retryable".to_string(), Value::Bool(retryable)),
+    ];
+    if let Some((done, total)) = progress {
+        fields.push(("scales_done".to_string(), Value::Int(done as i128)));
+        fields.push(("scales_total".to_string(), Value::Int(total as i128)));
+    }
+    Value::Object(vec![("error".to_string(), Value::Object(fields))]).to_string_pretty()
+}
+
+/// One routed failure: an HTTP status plus its envelope fields. Every
+/// error a handler can produce flows through this type (or through
+/// [`jobs::timeout_body`] for outcomes carrying progress counters), so
+/// every error body in the service is built by [`error_envelope`].
+#[derive(Clone, Debug)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable code from the registry in the crate-docs status table.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Whether the identical request may succeed if retried later.
+    pub retryable: bool,
+}
+
+impl ApiError {
+    /// An error carrying the default code and retryability of its status.
+    pub fn new(status: u16, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code: default_code(status),
+            message: message.into(),
+            retryable: status_is_retryable(status),
+        }
+    }
+
+    /// An error with an explicit registry code (e.g. the three distinct
+    /// 503 causes).
+    pub fn with_code(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError { code, ..ApiError::new(status, message) }
+    }
+
+    /// The envelope body for this error.
+    pub fn body(&self) -> Vec<u8> {
+        error_envelope(self.code, &self.message, self.retryable, None).into_bytes()
+    }
+}
+
+/// The default registry code of a status; statuses with several causes
+/// (503) get explicit codes at their call sites via [`ApiError::with_code`].
+fn default_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "request_timeout",
+        410 => "gone",
+        413 => "payload_too_large",
+        417 => "expectation_failed",
+        431 => "headers_too_large",
+        500 => "internal",
+        501 => "not_implemented",
+        503 => "unavailable",
+        504 => "deadline_exceeded",
+        505 => "http_version_unsupported",
+        _ => "error",
+    }
+}
+
+/// Server-side (5xx) failures and timeouts are retryable; client errors
+/// are not — resending the same malformed request cannot succeed.
+fn status_is_retryable(status: u16) -> bool {
+    matches!(status, 408 | 500 | 503 | 504)
+}
 
 /// Tunables of one server instance.
 #[derive(Clone, Debug)]
@@ -263,6 +431,12 @@ pub struct ServerConfig {
     /// Socket read timeout: idle keep-alive connections are dropped after
     /// this long, a mid-request stall this long is answered with 408.
     pub read_timeout: Duration,
+    /// Idle time-to-live of a streaming ingest session: a session untouched
+    /// this long is evicted (subsequent requests get `410 Gone`).
+    pub stream_ttl: Duration,
+    /// Maximum concurrently open streaming sessions; creation beyond this
+    /// gets `503` with code `stream_limit`.
+    pub max_streams: usize,
     /// Fault-injection plan for chaos testing (see [`faults`]); `None` in
     /// production.
     pub faults: Option<Arc<FaultPlan>>,
@@ -287,6 +461,8 @@ impl Default for ServerConfig {
             default_deadline_ms: 0,
             drain_secs: 10,
             read_timeout: Duration::from_secs(10),
+            stream_ttl: Duration::from_secs(300),
+            max_streams: 64,
             faults: None,
         }
     }
@@ -310,6 +486,9 @@ struct ServerContext {
     drain_secs: u64,
     read_timeout: Duration,
     faults: Option<Arc<FaultPlan>>,
+    /// Streaming ingest sessions (`/v1/streams`): in-memory only, TTL-
+    /// evicted, gone on restart by design.
+    streams: streams::StreamSessions,
     active_connections: AtomicUsize,
     stopping: AtomicBool,
     /// Lame-duck mode: still serving in-flight work, refusing new
@@ -366,6 +545,7 @@ impl Server {
                 drain_secs: config.drain_secs,
                 read_timeout: config.read_timeout,
                 faults: config.faults.clone(),
+                streams: streams::StreamSessions::new(config.stream_ttl, config.max_streams),
                 active_connections: AtomicUsize::new(0),
                 stopping: AtomicBool::new(false),
                 lame_duck: AtomicBool::new(false),
@@ -496,7 +676,7 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerContext>) {
                 &mut stream,
                 503,
                 &[("Retry-After", retry)],
-                &error_body("server is draining"),
+                &ApiError::with_code(503, "draining", "server is draining").body(),
                 false,
             );
             continue;
@@ -508,7 +688,8 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerContext>) {
                 &mut stream,
                 503,
                 &[("Retry-After", "1".to_string())],
-                &error_body("connection limit reached"),
+                &ApiError::with_code(503, "connection_limit", "connection limit reached")
+                    .body(),
                 false,
             );
             ctx.active_connections.fetch_sub(1, Ordering::SeqCst);
@@ -547,7 +728,12 @@ fn serve_connection(stream: TcpStream, ctx: &ServerContext) {
                 // why the connection is going away instead of a silent drop
                 let timings =
                     RequestTimings { parse: parse_started.elapsed(), ..Default::default() };
-                let _ = write_response(&mut writer, status, &error_body(&msg), false);
+                let _ = write_response(
+                    &mut writer,
+                    status,
+                    &ApiError::new(status, msg).body(),
+                    false,
+                );
                 ctx.metrics.observe_request("other", status, &timings);
                 return;
             }
@@ -655,110 +841,110 @@ fn route(request: &Request, ctx: &ServerContext) -> Reply {
         ("POST", "/v1/analyze") => endpoint_analyze(request, ctx),
         ("POST", "/v1/validate") => endpoint_validate(request, ctx),
         ("POST", "/v1/stats") => endpoint_stats(request, ctx),
+        ("POST", "/v1/streams") => streams::endpoint_create(request, ctx),
+        ("POST", path) if path.starts_with("/v1/streams/") => {
+            streams::endpoint_session(request, ctx)
+        }
         ("GET", "/v1/health") => Ok(endpoint_health(ctx)),
         ("GET", "/v1/metrics") => Ok(endpoint_metrics(ctx)),
         ("GET", path) if path.starts_with("/v1/jobs/") => endpoint_job(request, ctx),
+        ("GET", path) if path.starts_with("/v1/streams") => Err(ApiError::new(
+            405,
+            "wrong method for this endpoint (analysis endpoints take POST)",
+        )),
         ("GET", "/v1/analyze" | "/v1/validate" | "/v1/stats")
-        | ("POST", "/v1/health" | "/v1/metrics") => {
-            Err((405, "wrong method for this endpoint (analysis endpoints take POST)".into()))
+        | ("POST", "/v1/health" | "/v1/metrics") => Err(ApiError::new(
+            405,
+            "wrong method for this endpoint (analysis endpoints take POST)",
+        )),
+        _ => {
+            Err(ApiError::new(404, format!("no route for {} {}", request.method, request.path)))
         }
-        _ => Err((404, format!("no route for {} {}", request.method, request.path))),
     };
     match outcome {
         Ok(reply) => reply,
-        Err((status, msg)) => Reply::new(status, error_body(&msg)),
+        Err(e) => Reply::new(e.status, e.body()),
     }
 }
 
-type Handled = Result<Reply, (u16, String)>;
-
-/// Parses a numeric query parameter, defaulting when absent.
-fn numeric<T: std::str::FromStr>(
-    request: &Request,
-    key: &str,
-    default: T,
-) -> Result<T, (u16, String)>
-where
-    T::Err: std::fmt::Display,
-{
-    match request.param(key) {
-        None => Ok(default),
-        Some(raw) => {
-            raw.parse().map_err(|e| (400, format!("query parameter {key}={raw}: {e}")))
-        }
-    }
-}
-
-/// The request's deadline: `?deadline_ms=N` over the server default
-/// (0 = none either way).
-fn parse_deadline(
-    request: &Request,
-    ctx: &ServerContext,
-) -> Result<Option<Duration>, (u16, String)> {
-    let millis = numeric(request, "deadline_ms", ctx.default_deadline_ms)?;
-    Ok((millis > 0).then(|| Duration::from_millis(millis)))
-}
+/// The return type of every endpoint handler: a reply, or a structured
+/// error the dispatcher renders through [`error_envelope`].
+type Handled = Result<Reply, ApiError>;
 
 /// Parses the trace body under the request's directedness.
-fn parse_stream(request: &Request) -> Result<LinkStream, (u16, String)> {
+fn parse_stream(request: &Request) -> Result<LinkStream, ApiError> {
     let directedness = if request.flag("directed") {
         Directedness::Directed
     } else {
         Directedness::Undirected
     };
     let text = std::str::from_utf8(&request.body)
-        .map_err(|_| (400, "trace body is not UTF-8".to_string()))?;
-    stream_io::read_str(text, directedness).map_err(|e| (400, format!("trace body: {e}")))
+        .map_err(|_| ApiError::new(400, "trace body is not UTF-8"))?;
+    stream_io::read_str(text, directedness)
+        .map_err(|e| ApiError::new(400, format!("trace body: {e}")))
 }
 
-/// Target spec from `sample` / `seed` parameters (absent `sample` = exact).
-fn parse_targets(request: &Request) -> Result<TargetSpec, (u16, String)> {
-    Ok(match request.param("sample") {
-        None => TargetSpec::All,
-        Some(_) => TargetSpec::Sample {
-            size: numeric(request, "sample", 0u32)?,
-            seed: numeric(request, "seed", 1u64)?,
-        },
-    })
+/// Everything that addresses one sweep submission: where its result lives
+/// in the response cache, how in-flight duplicates coalesce, and the
+/// deadline/size hints the job system schedules by.
+pub(crate) struct SweepJobSpec {
+    /// Response-cache fingerprint the finished body is stored under.
+    pub cache_key: u128,
+    /// Coalescing key — identical in-flight submissions share one job.
+    pub job_key: u128,
+    /// Which executor-side work class this is.
+    pub kind: JobKind,
+    /// The request's end-to-end budget, if it has one.
+    pub deadline: Option<Duration>,
+    /// Expected scale count, for admission control's progress estimates.
+    pub scales_hint: u64,
 }
 
 /// Serves from cache, or submits `work` as a job and (unless `async=1`)
 /// waits for it — within the request's deadline, when it has one. The
-/// shared plumbing of the two sweep endpoints.
+/// shared plumbing of every sweep endpoint (analyze, validate, stream
+/// refresh).
 fn cached_or_submitted(
     request: &Request,
     ctx: &ServerContext,
-    key: u128,
-    kind: JobKind,
-    deadline: Option<Duration>,
-    scales_hint: u64,
+    spec: SweepJobSpec,
     work: jobs::JobWork,
 ) -> Handled {
-    if let Some(body) = ctx.cache.get(key) {
+    let SweepJobSpec { cache_key, job_key, kind, deadline, scales_hint } = spec;
+    if let Some(body) = ctx.cache.get(cache_key) {
         return Ok(Reply::new(200, body));
     }
     // fix the client's own wall-clock budget before queueing
     let wait_until = deadline.map(|budget| Instant::now() + budget);
-    let id = match ctx.jobs.submit_with(Some(key), deadline, kind, scales_hint, work) {
+    let id = match ctx.jobs.submit_with(Some(job_key), deadline, kind, scales_hint, work) {
         Ok(id) => id,
         Err(Reject::QueueFull { retry_after_secs }) => {
             return Ok(Reply::retry(
                 503,
-                error_body("job queue is full, retry later"),
+                ApiError::with_code(503, "queue_full", "job queue is full, retry later").body(),
                 retry_after_secs,
             ));
         }
         Err(Reject::WouldExpire { estimated_wait_ms, retry_after_secs }) => {
             return Ok(Reply::retry(
                 503,
-                error_body(&format!(
-                    "estimated queue wait of {estimated_wait_ms} ms exceeds the deadline"
-                )),
+                ApiError::with_code(
+                    503,
+                    "would_expire",
+                    format!(
+                        "estimated queue wait of {estimated_wait_ms} ms exceeds the deadline"
+                    ),
+                )
+                .body(),
                 retry_after_secs,
             ));
         }
         Err(Reject::Draining) => {
-            return Ok(Reply::retry(503, error_body("server is draining"), 1));
+            return Ok(Reply::retry(
+                503,
+                ApiError::with_code(503, "draining", "server is draining").body(),
+                1,
+            ));
         }
     };
     if request.flag("async") {
@@ -774,19 +960,36 @@ fn cached_or_submitted(
         // the progress so far, without waiting for the job to notice
         WaitOutcome::DeadlineExpired { scales_done, scales_total } => Ok(Reply::new(
             504,
-            jobs::timeout_body("deadline exceeded", scales_done, scales_total).into_bytes(),
+            jobs::timeout_body(
+                "deadline_exceeded",
+                "deadline exceeded",
+                scales_done,
+                scales_total,
+            )
+            .into_bytes(),
         )),
-        WaitOutcome::Unknown => {
-            Err((500, "job expired before its outcome was read".to_string()))
-        }
+        WaitOutcome::Unknown => Err(ApiError::with_code(
+            500,
+            "job_expired",
+            "job expired before its outcome was read",
+        )),
+    }
+}
+
+/// The server-level knob defaults a request's typed parameters fall back
+/// to (see [`params::RequestParams::parse`]).
+fn param_defaults(ctx: &ServerContext) -> ParamDefaults {
+    ParamDefaults {
+        deadline_ms: ctx.default_deadline_ms,
+        tile: ctx.tile,
+        no_delta: ctx.no_delta,
+        no_incremental: ctx.no_incremental,
     }
 }
 
 fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
+    let p = RequestParams::parse(request, &param_defaults(ctx))?;
     let stream = parse_stream(request)?;
-    let points = numeric(request, "points", 48usize)?;
-    let targets = parse_targets(request)?;
-    let deadline = parse_deadline(request, ctx)?;
     // execution knobs only: tiled, delta-filtered, and incrementally built
     // reports are bit-identical to untiled / unfiltered / scratch-built
     // ones, so `tile`, `no_delta`, and `no_incremental` stay OUT of the
@@ -794,20 +997,18 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
     // execution settings returns the same bytes the cold run would have
     // produced. `deadline_ms` stays out too: a deadline either leaves the
     // result untouched or prevents there being one.
-    let tile = numeric(request, "tile", ctx.tile)?;
-    let no_delta = numeric::<u8>(request, "no_delta", ctx.no_delta as u8)? != 0;
-    let no_incremental =
-        numeric::<u8>(request, "no_incremental", ctx.no_incremental as u8)? != 0;
-    let grid = SweepGrid::Geometric { points };
+    let grid = SweepGrid::Geometric { points: p.points };
     let scales_hint = grid.k_values(&stream, 1).len() as u64;
 
     let mut digest = Digest::new("saturn.analyze.v1");
     digest.write_u128(fingerprint::stream_digest(&stream));
     fingerprint::write_grid(&mut digest, &grid);
-    fingerprint::write_targets(&mut digest, &targets);
+    fingerprint::write_targets(&mut digest, &p.targets);
     let key = digest.finish();
 
     let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
+    let targets = p.targets;
+    let (tile, no_delta, no_incremental) = (p.tile, p.no_delta, p.no_incremental);
     let work: jobs::JobWork = Box::new(move |pool, jctx| {
         let method = OccupancyMethod::new()
             .grid(grid)
@@ -822,31 +1023,37 @@ fn endpoint_analyze(request: &Request, ctx: &ServerContext) -> Handled {
             Err(_cancelled) => jctx.cancelled_outcome(),
         }
     });
-    cached_or_submitted(request, ctx, key, JobKind::Analyze, deadline, scales_hint, work)
+    let spec = SweepJobSpec {
+        cache_key: key,
+        job_key: key,
+        kind: JobKind::Analyze,
+        deadline: p.deadline,
+        scales_hint,
+    };
+    cached_or_submitted(request, ctx, spec, work)
 }
 
 fn endpoint_validate(request: &Request, ctx: &ServerContext) -> Handled {
+    let p = RequestParams::parse(request, &param_defaults(ctx))?;
     let stream = parse_stream(request)?;
-    let points = numeric(request, "points", 48usize)?;
-    let targets = parse_targets(request)?;
-    let deadline = parse_deadline(request, ctx)?;
-    let grid = SweepGrid::Geometric { points };
+    let grid = SweepGrid::Geometric { points: p.points };
     let options = ValidationOptions {
         threads: 0, // ignored on the shared pool
-        delta_min: numeric(request, "delta_min", 1i64)?,
-        weighted_transitions: request.param("weighted").is_none_or(|v| v != "0"),
+        delta_min: p.delta_min,
+        weighted_transitions: p.weighted,
     };
     let scales_hint = grid.k_values(&stream, options.delta_min).len() as u64;
 
     let mut digest = Digest::new("saturn.validate.v1");
     digest.write_u128(fingerprint::stream_digest(&stream));
     fingerprint::write_grid(&mut digest, &grid);
-    fingerprint::write_targets(&mut digest, &targets);
+    fingerprint::write_targets(&mut digest, &p.targets);
     digest.write_i64(options.delta_min);
     digest.write_u64(options.weighted_transitions as u64);
     let key = digest.finish();
 
     let cache_insert = cache_filler(Arc::clone(&ctx.cache), key);
+    let targets = p.targets;
     let work: jobs::JobWork = Box::new(move |pool, jctx| {
         match try_validation_sweep_on(&stream, &grid, targets, &options, pool, &jctx.control) {
             Ok(report) => {
@@ -856,7 +1063,14 @@ fn endpoint_validate(request: &Request, ctx: &ServerContext) -> Handled {
             Err(_cancelled) => jctx.cancelled_outcome(),
         }
     });
-    cached_or_submitted(request, ctx, key, JobKind::Validate, deadline, scales_hint, work)
+    let spec = SweepJobSpec {
+        cache_key: key,
+        job_key: key,
+        kind: JobKind::Validate,
+        deadline: p.deadline,
+        scales_hint,
+    };
+    cached_or_submitted(request, ctx, spec, work)
 }
 
 fn endpoint_stats(request: &Request, ctx: &ServerContext) -> Handled {
@@ -877,14 +1091,20 @@ fn endpoint_stats(request: &Request, ctx: &ServerContext) -> Handled {
 
 fn endpoint_job(request: &Request, ctx: &ServerContext) -> Handled {
     let raw_id = request.path.strip_prefix("/v1/jobs/").expect("routed by prefix");
-    let id: u64 = raw_id.parse().map_err(|_| (404, format!("malformed job id `{raw_id}`")))?;
+    let id: u64 = raw_id
+        .parse()
+        .map_err(|_| ApiError::new(404, format!("malformed job id `{raw_id}`")))?;
     if request.flag("wait") {
-        let outcome =
-            ctx.jobs.wait(id).ok_or_else(|| (404, format!("unknown or expired job {id}")))?;
+        let outcome = ctx
+            .jobs
+            .wait(id)
+            .ok_or_else(|| ApiError::new(404, format!("unknown or expired job {id}")))?;
         return Ok(Reply::new(outcome.status, outcome.body));
     }
-    let phase =
-        ctx.jobs.phase(id).ok_or_else(|| (404, format!("unknown or expired job {id}")))?;
+    let phase = ctx
+        .jobs
+        .phase(id)
+        .ok_or_else(|| ApiError::new(404, format!("unknown or expired job {id}")))?;
     match ctx.jobs.outcome(id) {
         Some(outcome) => Ok(Reply::new(outcome.status, outcome.body)),
         None => Ok(Reply::new(200, job_status_body(id, phase))),
@@ -909,6 +1129,13 @@ fn endpoint_health(ctx: &ServerContext) -> Reply {
     fields.push((
         "jobs".to_string(),
         serde_json::to_value(&ctx.jobs.stats()).expect("stats serialize"),
+    ));
+    fields.push((
+        "streams".to_string(),
+        Value::Object(vec![
+            ("open".to_string(), Value::Int(ctx.streams.open() as i128)),
+            ("ttl_secs".to_string(), Value::Int(ctx.streams.ttl().as_secs() as i128)),
+        ]),
     ));
     fields.push((
         "active_connections".to_string(),

@@ -217,8 +217,8 @@ impl Histogram {
 
 /// Route labels of `saturn_requests_total`, in exposition order. Paths the
 /// server does not route (and malformed requests) count as `"other"`.
-pub const ROUTES: [&str; 7] =
-    ["analyze", "validate", "stats", "health", "jobs", "metrics", "other"];
+pub const ROUTES: [&str; 8] =
+    ["analyze", "validate", "stats", "streams", "health", "jobs", "metrics", "other"];
 
 /// Status-class labels of `saturn_requests_total`. Bounded on purpose:
 /// per-code label cardinality grows without limit under fuzzing, classes
@@ -234,6 +234,7 @@ pub fn route_label(path: &str) -> &'static str {
         "/v1/health" => "health",
         "/v1/metrics" => "metrics",
         p if p.starts_with("/v1/jobs/") => "jobs",
+        p if p.starts_with("/v1/streams") => "streams",
         _ => "other",
     }
 }
@@ -401,6 +402,25 @@ pub struct Metrics {
     pub dp_snap_entries: Counter,
     /// `saturn_dp_degree1_steps_total` — degree-1 fast-path steps.
     pub dp_degree1_steps: Counter,
+    /// `saturn_stream_sessions_open` — live streaming ingest sessions.
+    pub stream_sessions_open: Gauge,
+    /// `saturn_stream_sessions_opened_total` — sessions ever created.
+    pub stream_sessions_opened: Counter,
+    /// `saturn_stream_sessions_expired_total` — sessions evicted by TTL.
+    pub stream_sessions_expired: Counter,
+    /// `saturn_stream_events_appended_total` — events accepted into
+    /// session builders (create bodies and `/events` batches).
+    pub stream_events_appended: Counter,
+    /// `saturn_stream_refreshes_total` — incremental re-analyses completed.
+    pub stream_refreshes: Counter,
+    /// `saturn_stream_scales_reused_total` — scales served verbatim from a
+    /// session's sweep cache (histogram reused, DP skipped).
+    pub stream_scales_reused: Counter,
+    /// `saturn_stream_tiles_skipped_total` — DP tiles avoided by reuse.
+    pub stream_tiles_skipped: Counter,
+    /// `saturn_stream_suffix_windows_rebuilt_total` — timeline windows
+    /// rebuilt by suffix splices (the incremental work actually done).
+    pub stream_suffix_windows_rebuilt: Counter,
 }
 
 impl Metrics {
@@ -482,6 +502,11 @@ impl Metrics {
                 "saturn_cache_disk_bytes",
                 "Bytes resident in the disk tier.",
                 &self.cache_disk_bytes,
+            ),
+            (
+                "saturn_stream_sessions_open",
+                "Live streaming ingest sessions.",
+                &self.stream_sessions_open,
             ),
         ] {
             writeln!(out, "# HELP {name} {help}").unwrap();
@@ -579,6 +604,41 @@ impl Metrics {
                 "saturn_dp_degree1_steps_total",
                 "Degree-1 fast-path steps.",
                 &self.dp_degree1_steps,
+            ),
+            (
+                "saturn_stream_sessions_opened_total",
+                "Streaming sessions ever created.",
+                &self.stream_sessions_opened,
+            ),
+            (
+                "saturn_stream_sessions_expired_total",
+                "Streaming sessions evicted by TTL.",
+                &self.stream_sessions_expired,
+            ),
+            (
+                "saturn_stream_events_appended_total",
+                "Events accepted into session builders.",
+                &self.stream_events_appended,
+            ),
+            (
+                "saturn_stream_refreshes_total",
+                "Incremental re-analyses completed.",
+                &self.stream_refreshes,
+            ),
+            (
+                "saturn_stream_scales_reused_total",
+                "Scales served verbatim from a session sweep cache.",
+                &self.stream_scales_reused,
+            ),
+            (
+                "saturn_stream_tiles_skipped_total",
+                "DP tiles avoided by sweep-cache scale reuse.",
+                &self.stream_tiles_skipped,
+            ),
+            (
+                "saturn_stream_suffix_windows_rebuilt_total",
+                "Timeline windows rebuilt by suffix splices.",
+                &self.stream_suffix_windows_rebuilt,
             ),
         ] {
             writeln!(out, "# HELP {name} {help}").unwrap();
@@ -836,8 +896,13 @@ mod tests {
         );
         m.cache_hits.inc();
         m.queue_depth.set(2);
+        m.stream_sessions_open.set(1);
+        m.stream_scales_reused.add(7);
         let text = m.render_prometheus();
         assert!(text.contains("# TYPE saturn_requests_total counter"));
+        assert!(text.contains("saturn_stream_sessions_open 1"));
+        assert!(text.contains("saturn_stream_scales_reused_total 7"));
+        assert!(text.contains("saturn_requests_total{route=\"streams\",status=\"2xx\"} 0"));
         assert!(text.contains("saturn_requests_total{route=\"analyze\",status=\"2xx\"} 1"));
         assert!(text.contains("saturn_requests_total{route=\"other\",status=\"other\"} 0"));
         assert!(text.contains("saturn_queue_depth 2"));
@@ -880,6 +945,9 @@ mod tests {
         assert_eq!(route_label("/v1/analyze"), "analyze");
         assert_eq!(route_label("/v1/jobs/17"), "jobs");
         assert_eq!(route_label("/v1/metrics"), "metrics");
+        assert_eq!(route_label("/v1/streams"), "streams");
+        assert_eq!(route_label("/v1/streams/3/events"), "streams");
+        assert_eq!(route_label("/v1/streams/3/analyze"), "streams");
         assert_eq!(route_label("/nope"), "other");
     }
 

@@ -404,7 +404,7 @@ fn error_paths_have_proper_statuses() {
     assert_eq!(request(addr, "POST", "/v1/analyze", big.as_bytes()).status, 413);
     let error = request(addr, "POST", "/v1/stats", b"a b nine\n");
     assert_eq!(error.status, 400);
-    assert!(json(&error)["error"].as_str().unwrap().contains("not an integer"));
+    assert!(json(&error)["error"]["message"].as_str().unwrap().contains("not an integer"));
     server.stop();
 }
 
@@ -414,7 +414,10 @@ fn zero_queue_depth_yields_backpressure_503() {
     let response =
         request(server.addr(), "POST", "/v1/analyze?points=8", trace(5, 100, 20).as_bytes());
     assert_eq!(response.status, 503);
-    assert!(json(&response)["error"].as_str().unwrap().contains("queue"));
+    let error = json(&response);
+    assert_eq!(error["error"]["code"].as_str(), Some("queue_full"));
+    assert_eq!(error["error"]["retryable"].as_bool(), Some(true));
+    assert!(error["error"]["message"].as_str().unwrap().contains("queue"));
     assert!(
         response.retry_after.unwrap_or(0) >= 1,
         "backpressure 503 must carry a Retry-After hint"
@@ -468,9 +471,11 @@ fn deadlines_yield_structured_504s_and_per_request_override() {
     let expired = request(server.addr(), "POST", "/v1/analyze?points=12", body.as_bytes());
     assert_eq!(expired.status, 504);
     let v = json(&expired);
-    assert!(v["error"].as_str().unwrap().contains("deadline"));
-    let done = v["scales_done"].as_u64().expect("scales_done");
-    let total = v["scales_total"].as_u64().expect("scales_total");
+    assert_eq!(v["error"]["code"].as_str(), Some("deadline_exceeded"));
+    assert_eq!(v["error"]["retryable"].as_bool(), Some(true));
+    assert!(v["error"]["message"].as_str().unwrap().contains("deadline"));
+    let done = v["error"]["scales_done"].as_u64().expect("scales_done");
+    let total = v["error"]["scales_total"].as_u64().expect("scales_total");
     assert!(total >= 1 && done <= total, "progress {done}/{total} must be coherent");
 
     // per-request override beats the default; the result is a normal report
@@ -640,6 +645,14 @@ fn metrics_exposition_is_wellformed() {
         "saturn_dp_chain_offers_total",
         "saturn_dp_snap_entries_total",
         "saturn_dp_degree1_steps_total",
+        "saturn_stream_sessions_open",
+        "saturn_stream_sessions_opened_total",
+        "saturn_stream_sessions_expired_total",
+        "saturn_stream_events_appended_total",
+        "saturn_stream_refreshes_total",
+        "saturn_stream_scales_reused_total",
+        "saturn_stream_tiles_skipped_total",
+        "saturn_stream_suffix_windows_rebuilt_total",
         "saturn_parse_seconds",
         "saturn_handle_seconds",
         "saturn_serialize_seconds",
@@ -940,6 +953,232 @@ fn health_reports_disk_tier_fields_only_when_configured() {
     }
     server.stop();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Asserts one failure response conforms to the error envelope:
+/// `{"error": {"code", "message", "retryable"}}` with the code from the
+/// documented registry and `retryable` matching the status semantics.
+fn assert_envelope(response: &Response, status: u16, code: &str) {
+    assert_eq!(response.status, status, "expected {status} {code}");
+    let v = json(response);
+    let error = &v["error"];
+    assert_eq!(error["code"].as_str(), Some(code), "status {status}");
+    assert!(!error["message"].as_str().expect("message").is_empty(), "status {status}");
+    assert_eq!(
+        error["retryable"].as_bool().expect("retryable"),
+        matches!(status, 408 | 500 | 503 | 504),
+        "status {status}: retryable must follow the status class"
+    );
+}
+
+/// Every documented failure status, produced for real over the wire, must
+/// carry the structured envelope — no route or layer may emit a bespoke
+/// error shape.
+#[test]
+fn every_error_status_conforms_to_the_envelope_schema() {
+    let server = start(|c| {
+        c.max_body_bytes = 512;
+        c.stream_ttl = Duration::ZERO; // sessions expire on the next request
+    });
+    let addr = server.addr();
+    // allocate a session id, then let the TTL reap it for the 410
+    let created = request(addr, "POST", "/v1/streams?t_begin=0&t_end=100", b"a b 1\n");
+    assert_eq!(created.status, 201);
+    let sid = json(&created)["stream"].as_u64().expect("stream id");
+    std::thread::sleep(Duration::from_millis(5));
+    let big = trace(10, 200, 10);
+    assert!(big.len() > 512);
+    for (response, status, code) in [
+        (request(addr, "GET", "/nope", b""), 404, "not_found"),
+        (request(addr, "GET", "/v1/analyze", b""), 405, "method_not_allowed"),
+        (request(addr, "GET", "/v1/streams", b""), 405, "method_not_allowed"),
+        (request(addr, "POST", "/v1/analyze", b"not a trace"), 400, "bad_request"),
+        (request(addr, "POST", "/v1/analyze?points=x", b"a b 1\na c 2\n"), 400, "bad_request"),
+        (request(addr, "POST", "/v1/analyze", big.as_bytes()), 413, "payload_too_large"),
+        (request(addr, "POST", "/v1/streams?t_begin=9&t_end=1", b""), 400, "bad_request"),
+        (request(addr, "POST", "/v1/streams", b""), 400, "bad_request"),
+        (request(addr, "POST", &format!("/v1/streams/{sid}/events"), b"a b 1\n"), 410, "gone"),
+        (request(addr, "POST", "/v1/streams/no/events", b""), 404, "not_found"),
+        (request(addr, "POST", "/v1/streams/99999/events", b""), 404, "not_found"),
+    ] {
+        assert_envelope(&response, status, code);
+    }
+    server.stop();
+
+    // backpressure and deadline failures carry the envelope too
+    let tight = start(|c| c.queue_depth = 0);
+    let refused =
+        request(tight.addr(), "POST", "/v1/analyze?points=8", trace(5, 100, 20).as_bytes());
+    assert_envelope(&refused, 503, "queue_full");
+    tight.stop();
+    let slow = start(|c| c.default_deadline_ms = 1);
+    let expired =
+        request(slow.addr(), "POST", "/v1/analyze?points=12", trace(10, 400, 30).as_bytes());
+    assert_envelope(&expired, 504, "deadline_exceeded");
+    slow.stop();
+}
+
+/// The tentpole acceptance test: a session grown by repeated appends and
+/// re-analyzed incrementally returns, at every step, byte-for-byte the
+/// report `/v1/analyze` computes from scratch on the concatenated trace.
+/// Caching is disabled so both sides genuinely compute.
+#[test]
+fn streaming_refresh_is_byte_identical_to_scratch_analyze() {
+    let server = start(|c| {
+        c.cache_bytes = 0;
+        c.threads = 2;
+    });
+    let addr = server.addr();
+    // events at both period endpoints, so the scratch run's observed
+    // period equals the session's pinned [0, 2000] and fingerprints align
+    let mut base = String::from("a z 0\na z 2000\n");
+    for i in 0..120i64 {
+        base.push_str(&format!("n{} n{} {}\n", i % 6, (i + 1) % 6, (i * 12) % 1500));
+    }
+    let batches: Vec<String> = (0..2)
+        .map(|round| {
+            (0..40i64)
+                .map(|i| {
+                    format!(
+                        "m{} m{} {}\n",
+                        i % 4,
+                        (i + 1) % 4,
+                        1500 + round * 250 + (i * 6) % 250
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let created =
+        request(addr, "POST", "/v1/streams?t_begin=0&t_end=2000&directed=1", base.as_bytes());
+    assert_eq!(created.status, 201);
+    let v = json(&created);
+    let sid = v["stream"].as_u64().expect("stream id");
+    assert_eq!(v["events"].as_u64(), Some(122));
+    assert!(v["ttl_secs"].as_u64().unwrap() >= 1);
+
+    let mut concatenated = base.clone();
+    let mut refreshed = Vec::new();
+    for (round, batch) in std::iter::once(None).chain(batches.iter().map(Some)).enumerate() {
+        if let Some(batch) = batch {
+            let appended =
+                request(addr, "POST", &format!("/v1/streams/{sid}/events"), batch.as_bytes());
+            assert_eq!(appended.status, 200, "round {round}");
+            assert_eq!(json(&appended)["appended"].as_u64(), Some(40));
+            concatenated.push_str(batch);
+        }
+        let refresh = request(
+            addr,
+            "POST",
+            &format!("/v1/streams/{sid}/analyze?points=10&directed=1"),
+            b"",
+        );
+        assert_eq!(refresh.status, 200, "round {round}");
+        let scratch =
+            request(addr, "POST", "/v1/analyze?points=10&directed=1", concatenated.as_bytes());
+        assert_eq!(scratch.status, 200, "round {round}");
+        assert_eq!(
+            refresh.body, scratch.body,
+            "round {round}: incremental refresh must be byte-identical to scratch"
+        );
+        refreshed.push(refresh.body);
+    }
+    let last: serde_json::Value =
+        serde_json::from_slice(refreshed.last().unwrap()).expect("report JSON");
+    assert!(!last["results"].as_array().unwrap().is_empty());
+
+    // a clean re-refresh (no append in between) serves every scale from
+    // the session's sweep cache and still matches
+    let again =
+        request(addr, "POST", &format!("/v1/streams/{sid}/analyze?points=10&directed=1"), b"");
+    assert_eq!(again.status, 200);
+    assert_eq!(&again.body, refreshed.last().unwrap());
+
+    // the incremental machinery demonstrably ran: dirty refreshes spliced
+    // suffix windows, the clean one reused scales and skipped DP tiles
+    let text = scrape_metrics(addr);
+    assert!(metric_sample(&text, "saturn_stream_refreshes_total") >= 4.0);
+    assert!(metric_sample(&text, "saturn_stream_suffix_windows_rebuilt_total") >= 1.0);
+    assert!(metric_sample(&text, "saturn_stream_scales_reused_total") >= 1.0);
+    assert!(metric_sample(&text, "saturn_stream_tiles_skipped_total") >= 1.0);
+    assert!(metric_sample(&text, "saturn_stream_events_appended_total") >= 202.0);
+
+    let health = json(&request(addr, "GET", "/v1/health", b""));
+    assert_eq!(health["streams"]["open"].as_u64(), Some(1));
+    assert!(health["streams"]["ttl_secs"].as_u64().unwrap() >= 1);
+    server.stop();
+}
+
+/// Session-side failure semantics: required creation parameters, period
+/// fencing with all-or-nothing batches, empty-session analyze, unknown
+/// actions, and the session limit's `stream_limit` 503.
+#[test]
+fn stream_sessions_enforce_period_batches_and_limits() {
+    let server = start(|c| c.max_streams = 1);
+    let addr = server.addr();
+    assert_envelope(&request(addr, "POST", "/v1/streams?t_begin=0", b""), 400, "bad_request");
+
+    let created = request(addr, "POST", "/v1/streams?t_begin=0&t_end=1000", b"");
+    assert_eq!(created.status, 201);
+    let v = json(&created);
+    let sid = v["stream"].as_u64().expect("stream id");
+    assert_eq!(v["events"].as_u64(), Some(0));
+
+    // an empty session has nothing to analyze
+    let empty = request(addr, "POST", &format!("/v1/streams/{sid}/analyze"), b"");
+    assert_envelope(&empty, 400, "bad_request");
+
+    // a batch with one out-of-period event commits nothing...
+    let rejected =
+        request(addr, "POST", &format!("/v1/streams/{sid}/events"), b"a b 10\na b 5000\n");
+    assert_envelope(&rejected, 400, "bad_request");
+    assert!(json(&rejected)["error"]["message"].as_str().unwrap().contains("study period"));
+    // ...so the next append starts from zero events
+    let accepted =
+        request(addr, "POST", &format!("/v1/streams/{sid}/events"), b"a b 10\nb c 20\n");
+    assert_eq!(accepted.status, 200);
+    assert_eq!(json(&accepted)["appended"].as_u64(), Some(2));
+    assert_eq!(json(&accepted)["events"].as_u64(), Some(2));
+
+    // unknown session action
+    let unknown = request(addr, "POST", &format!("/v1/streams/{sid}/nope"), b"");
+    assert_envelope(&unknown, 404, "not_found");
+
+    // the session limit answers with its own 503 code and a retry hint
+    let refused = request(addr, "POST", "/v1/streams?t_begin=0&t_end=10", b"");
+    assert_envelope(&refused, 503, "stream_limit");
+    assert!(refused.retry_after.unwrap_or(0) >= 1, "stream_limit 503 carries Retry-After");
+    server.stop();
+}
+
+/// With caching on, a refresh and a scratch analyze of the same
+/// concatenated trace are the same artifact: they share one cache entry,
+/// whichever side computes first.
+#[test]
+fn streams_share_the_report_cache_with_scratch_analyze() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let body = trace(6, 180, 10);
+    let t_end = json(&request(addr, "POST", "/v1/stats", body.as_bytes()))["t_end"]
+        .as_i64()
+        .expect("t_end");
+    let created =
+        request(addr, "POST", &format!("/v1/streams?t_begin=0&t_end={t_end}"), body.as_bytes());
+    assert_eq!(created.status, 201);
+    let sid = json(&created)["stream"].as_u64().expect("stream id");
+
+    let refresh = request(addr, "POST", &format!("/v1/streams/{sid}/analyze?points=8"), b"");
+    assert_eq!(refresh.status, 200);
+    let hits_before =
+        json(&request(addr, "GET", "/v1/health", b""))["cache"]["hits"].as_u64().unwrap();
+    let scratch = request(addr, "POST", "/v1/analyze?points=8", body.as_bytes());
+    assert_eq!(scratch.status, 200);
+    assert_eq!(refresh.body, scratch.body, "shared cache entry must serve both");
+    let hits_after =
+        json(&request(addr, "GET", "/v1/health", b""))["cache"]["hits"].as_u64().unwrap();
+    assert_eq!(hits_after, hits_before + 1, "the scratch analyze must hit the refresh's entry");
+    server.stop();
 }
 
 #[test]

@@ -66,6 +66,47 @@
 //! The differential proptest `timeline_incremental.rs` enforces the
 //! field-for-field equality (offsets, edge arrays, pair ids, and the DP
 //! results computed from them) over random streams × random divisor chains.
+//!
+//! # Splice invariants (append-only suffix rebuild)
+//!
+//! A streaming ingest session appends events to a stream whose study
+//! period is **pinned** at creation; re-analysis must not rebuild every
+//! scale's timeline from scratch when only the trailing windows changed.
+//! [`Timeline::spliced_from_view`] rebuilds exactly the window suffix
+//! `[first_dirty, K)` from the grown [`EventView`] and keeps the CSR
+//! prefix of the old timeline verbatim (modulo pair-id remapping). The
+//! result is **field-for-field identical** to
+//! [`aggregated_from_view`](Timeline::aggregated_from_view) of the new
+//! view at the same `K`, resting on these invariants:
+//!
+//! * **Pinned study period.** Both timelines must partition the *same*
+//!   `[t_begin, t_end]` into `K` windows. If the period grew with the
+//!   appended events, every window boundary `Δ = T/K` would move and no
+//!   prefix could be reused — which is why ingest sessions require an
+//!   explicit period up front (and reject out-of-period appends).
+//! * **Append-only superset.** The new view's events are a superset of
+//!   the old ones, and every *new* event lands in a window
+//!   `>= first_dirty`. Windows `< first_dirty` therefore hold exactly the
+//!   event multiset they held before, so their deduplicated steps are
+//!   unchanged and the old CSR prefix (rows `< first_dirty`) is reused
+//!   byte-for-byte. A conservative (too small) `first_dirty` is always
+//!   safe — it only rebuilds more suffix than strictly necessary.
+//! * **Pair ids are view ranks.** The aggregated path assigns pair ids in
+//!   `(u, v)`-sorted view order. Appends can introduce new pairs anywhere
+//!   in that order, shifting the ranks of existing pairs, so the reused
+//!   prefix remaps each old id to the pair's rank in the *new* view
+//!   (a monotone map — within-step ascending `(u, v)` order survives).
+//!   The spliced timeline's ids therefore match the scratch build's ids
+//!   exactly, preserving the stable-id contract inside the one timeline.
+//! * **Dedup locality.** Same-pair-same-window repeats are adjacent in
+//!   the view, and a window is either entirely in the prefix or entirely
+//!   in the suffix — the scratch build's neighbor dedup commutes with the
+//!   prefix/suffix split.
+//!
+//! The differential proptest `timeline_splice.rs` enforces splice-equals-
+//! scratch over random streams × random append splits, and `Timeline`
+//! derives `PartialEq` so callers (the sweep's session cache) can verify
+//! "nothing actually changed at this scale" by direct comparison.
 
 use saturn_linkstream::{LinkStream, WindowPartition};
 
@@ -168,8 +209,10 @@ impl EventView {
 }
 
 /// A prepared sequence of steps for the DP engine (see the module docs for
-/// the CSR layout).
-#[derive(Clone, Debug)]
+/// the CSR layout). `PartialEq` is field-for-field — two equal timelines
+/// are interchangeable for the engine (the basis of the sweep cache's
+/// scale-reuse test).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Timeline {
     n: u32,
     directed: bool,
@@ -581,6 +624,142 @@ impl Timeline {
         }
     }
 
+    /// Rebuilds only the window suffix `[first_dirty, K)` from the grown
+    /// `view`, keeping this timeline's CSR prefix for the clean windows
+    /// (module docs, "Splice invariants"). Field-for-field identical to
+    /// [`aggregated_from_view`](Timeline::aggregated_from_view) of `view`
+    /// at the same `K`, provided the study period is pinned, `view` is an
+    /// append-only superset of the events this timeline was built from,
+    /// and every appended event lands in a window `>= first_dirty`.
+    /// `first_dirty == 0` is a plain scratch rebuild; a conservative
+    /// (too small) `first_dirty` is always correct, just slower.
+    ///
+    /// Cost is `O(E)` for the pair/window pass (the pass is shared with a
+    /// scratch build) but the radix scatter and CSR fold — the allocation-
+    /// heavy parts — touch only the suffix events and `K - first_dirty`
+    /// buckets.
+    ///
+    /// # Panics
+    /// Panics if this timeline is exact, or `first_dirty > num_steps`, or
+    /// the view's period disagrees with a prefix pair's presence (an
+    /// append-only violation).
+    pub fn spliced_from_view(&self, view: &EventView, first_dirty: u32) -> Timeline {
+        assert!(!self.is_exact(), "suffix splice applies to aggregated timelines only");
+        assert!(
+            first_dirty <= self.num_steps,
+            "first_dirty {first_dirty} exceeds window count {}",
+            self.num_steps
+        );
+        let k = self.num_steps as u64;
+        if first_dirty == 0 {
+            return Timeline::aggregated_from_view(view, k);
+        }
+        let partition =
+            WindowPartition::new(view.t_begin, view.t_end, k).expect("invalid window count");
+
+        // One pass over the pair-sorted view: collect the sorted distinct
+        // pairs (rank = the id a scratch build would assign) and the
+        // deduplicated suffix events with windows shifted down by
+        // `first_dirty`. Same-pair-same-window repeats are adjacent (within
+        // a pair, ticks ascend), so the dedup matches the scratch pass.
+        let len = view.len();
+        let mut pairs_src: Vec<u32> = Vec::new();
+        let mut pairs_dst: Vec<u32> = Vec::new();
+        let mut win: Vec<u32> = Vec::new();
+        let mut src: Vec<u32> = Vec::new();
+        let mut dst: Vec<u32> = Vec::new();
+        let mut pair: Vec<u32> = Vec::new();
+        let mut cur: Option<(u32, u32)> = None;
+        let mut prev_win = u32::MAX;
+        for i in 0..len {
+            let uv = (view.src[i], view.dst[i]);
+            if cur != Some(uv) {
+                cur = Some(uv);
+                pairs_src.push(uv.0);
+                pairs_dst.push(uv.1);
+                prev_win = u32::MAX;
+            }
+            let w = partition.index(saturn_linkstream::Time::new(view.ticks[i])) as u32;
+            if w == prev_win {
+                continue;
+            }
+            prev_win = w;
+            if w >= first_dirty {
+                win.push(w - first_dirty);
+                src.push(uv.0);
+                dst.push(uv.1);
+                pair.push((pairs_src.len() - 1) as u32);
+            }
+        }
+        let distinct_pairs = pairs_src.len() as u32;
+        assert!(src.len() < u32::MAX as usize, "edge count exceeds engine limit");
+        let (win, src, dst, pair) =
+            radix_by_window(win, src, dst, pair, self.num_steps - first_dirty);
+
+        // Reuse the clean CSR prefix (steps with window < first_dirty),
+        // remapping each old pair id to the pair's rank in the new view.
+        let p = self.step_index.partition_point(|&w| w < first_dirty);
+        let prefix_edges = self.step_offsets[p] as usize;
+        let mut step_index = self.step_index[..p].to_vec();
+        let mut step_offsets = self.step_offsets[..=p].to_vec();
+        let mut edge_src = self.edge_src[..prefix_edges].to_vec();
+        let mut edge_dst = self.edge_dst[..prefix_edges].to_vec();
+        let mut remap = vec![u32::MAX; self.distinct_pairs as usize];
+        let mut edge_pair: Vec<u32> = Vec::with_capacity(prefix_edges + pair.len());
+        for e in 0..prefix_edges {
+            let old = self.edge_pair[e] as usize;
+            if remap[old] == u32::MAX {
+                let uv = (self.edge_src[e], self.edge_dst[e]);
+                let (mut lo, mut hi) = (0usize, pairs_src.len());
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if (pairs_src[mid], pairs_dst[mid]) < uv {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                assert!(
+                    lo < pairs_src.len() && (pairs_src[lo], pairs_dst[lo]) == uv,
+                    "prefix pair absent from the view: splice requires an append-only superset"
+                );
+                remap[old] = lo as u32;
+            }
+            edge_pair.push(remap[old]);
+        }
+
+        // Append the rebuilt suffix, folding equal-window runs into the CSR
+        // arrays with indices and offsets shifted back up.
+        edge_src.extend_from_slice(&src);
+        edge_dst.extend_from_slice(&dst);
+        edge_pair.extend_from_slice(&pair);
+        let base = prefix_edges as u32;
+        let mut i = 0usize;
+        while i < win.len() {
+            let w = win[i];
+            let mut j = i + 1;
+            while j < win.len() && win[j] == w {
+                j += 1;
+            }
+            step_index.push(w + first_dirty);
+            step_offsets.push(base + j as u32);
+            i = j;
+        }
+
+        Timeline {
+            n: view.n,
+            directed: view.directed,
+            num_steps: self.num_steps,
+            step_index,
+            step_offsets,
+            edge_src,
+            edge_dst,
+            edge_pair,
+            distinct_pairs,
+            ticks: Vec::new(),
+        }
+    }
+
     /// An order-sensitive checksum over every field the DP engine consumes
     /// (step indices, CSR offsets, edge endpoints, pair ids, step/pair
     /// counts). Two timelines with equal checksums are field-for-field
@@ -832,6 +1011,62 @@ mod tests {
             .aggregated_by_merge(120)
             .aggregated_by_merge(12);
         assert_identical(&chained, &Timeline::aggregated(&s, 12), "chained 1200->120->12");
+    }
+
+    #[test]
+    fn splice_equals_scratch_across_append_splits() {
+        // base stream + appended suffix under a pinned period [0, 1200]
+        let k = 48u64;
+        let mut base = LinkStreamBuilder::indexed(Directedness::Undirected, 9);
+        base.period(0, 1200);
+        for i in 0..300i64 {
+            base.add_indexed((i * 3 % 9) as u32, (i * 7 % 9) as u32, (i * 11) % 900);
+        }
+        let old = base.clone().build().unwrap();
+        // appends land at t >= 900: windows >= ceil-free index of t=900;
+        // the pair pattern differs from the base, so new pairs interleave
+        // into the sorted pair order and shift the ranks of old pairs
+        let mut grown = base;
+        for i in 0..80i64 {
+            grown.add_indexed((i % 9) as u32, ((i * 5 + 1) % 9) as u32, 900 + (i * 3) % 300);
+        }
+        let new = grown.build().unwrap();
+        assert_eq!((new.t_begin(), new.t_end()), (old.t_begin(), old.t_end()), "pinned");
+        let old_tl = Timeline::aggregated(&old, k);
+        let view = EventView::new(&new);
+        let scratch = Timeline::aggregated_from_view(&view, k);
+        // the tight first_dirty (window of the earliest append) plus
+        // conservative picks down to 0 (the scratch-rebuild degenerate)
+        let tight = new.partition(k).unwrap().index(saturn_linkstream::Time::new(900)) as u32;
+        for fd in [tight, tight / 2, 7, 1, 0] {
+            let spliced = old_tl.spliced_from_view(&view, fd);
+            assert_identical(&spliced, &scratch, &format!("splice first_dirty={fd}"));
+            assert_eq!(spliced, scratch, "PartialEq agrees (first_dirty={fd})");
+        }
+    }
+
+    #[test]
+    fn splice_with_no_dirty_suffix_is_identity() {
+        let s = stream();
+        let view = EventView::new(&s);
+        let t = Timeline::aggregated(&s, 3);
+        // first_dirty == num_steps: the whole timeline is clean prefix
+        assert_identical(&t.spliced_from_view(&view, 3), &t, "no-op splice");
+        assert_eq!(t.spliced_from_view(&view, 3), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregated timelines only")]
+    fn splice_rejects_exact_timelines() {
+        let s = stream();
+        Timeline::exact(&s).spliced_from_view(&EventView::new(&s), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window count")]
+    fn splice_rejects_out_of_range_first_dirty() {
+        let s = stream();
+        Timeline::aggregated(&s, 3).spliced_from_view(&EventView::new(&s), 4);
     }
 
     #[test]
