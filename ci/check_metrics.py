@@ -65,6 +65,7 @@ EXPECTED_FAMILIES = {
     "saturn_stream_scales_reused_total": "counter",
     "saturn_stream_tiles_skipped_total": "counter",
     "saturn_stream_suffix_windows_rebuilt_total": "counter",
+    "saturn_stream_stale_refreshes_total": "counter",
     "saturn_sweep_tiles_total": "counter",
     "saturn_sweep_scales_total": "counter",
     "saturn_dp_trips_total": "counter",

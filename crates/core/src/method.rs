@@ -100,11 +100,21 @@ struct CachedScale {
 /// Entries are epoch-stamped: every refresh bumps the epoch, touches the
 /// entries of the scales it analyzed, and on success prunes the rest (a
 /// scale that left the grid would otherwise pin its timeline + histogram
-/// forever). A cancelled refresh inserts nothing and prunes nothing, so the
-/// cache stays exactly as the last *successful* refresh left it — callers
-/// must then keep their dirty mark, which makes the next splice
-/// conservative (and conservative splices are always correct; see the
-/// timeline module's "Splice invariants").
+/// forever). A refresh cancelled mid-way may leave the entries of its
+/// completed rounds behind (a refine round updates the cache before the
+/// next round runs); that is safe because an entry always pairs a timeline
+/// with the histogram computed from exactly that timeline, and because the
+/// caller keeps its dirty mark until a refresh *succeeds* — the mark then
+/// still covers every event appended since the last successful refresh, so
+/// the next splice stays conservative (and conservative splices are always
+/// correct; see the timeline module's "Splice invariants").
+///
+/// The cache also remembers the identity (content digest + event count) of
+/// the newest stream a refresh ran against. [`OccupancyMethod::try_refresh_on`]
+/// uses it to reject snapshots that cannot be append-consistent with the
+/// cached state — e.g. a stale snapshot racing a newer refresh of the same
+/// session — by falling back to a scratch sweep instead of reusing entries
+/// built from events the snapshot does not contain.
 #[derive(Clone, Debug, Default)]
 pub struct SweepCache {
     /// Target spec the cached histograms were computed under; a change
@@ -112,6 +122,10 @@ pub struct SweepCache {
     targets: Option<TargetSpec>,
     scales: FxHashMap<u64, CachedScale>,
     epoch: u64,
+    /// `(stream_digest, event count)` of the newest stream a refresh ran
+    /// against — stamped *before* sweeping, so even after a cancellation it
+    /// upper-bounds the events any surviving entry may contain.
+    stamp: Option<(u128, u64)>,
     /// Telemetry of the latest refresh (reset at the start of each).
     pub stats: RefreshStats,
 }
@@ -676,13 +690,27 @@ impl OccupancyMethod {
     /// bench). Refinement rounds run through the cache too, so the refined
     /// scales of consecutive refreshes reuse each other. On success the
     /// cache holds exactly the scales of this refresh and `cache.stats`
-    /// describes the work split; on cancellation the cache is untouched and
-    /// the caller must keep its dirty mark.
+    /// describes the work split. A cancelled refresh may leave the entries
+    /// of its completed rounds in the cache — safe, because every entry
+    /// pairs a timeline with the histogram computed from it — but the
+    /// caller must keep its dirty mark until a refresh *succeeds*, so the
+    /// mark always covers every event appended since the last successful
+    /// refresh and the next splice stays conservative.
     ///
     /// A conservative (too early) `dirty_from` is always correct — it only
     /// shrinks the reusable prefix. Callers must pass a pinned-period
     /// stream: the study period may not move between refreshes feeding one
     /// cache (ingest sessions pin it at creation).
+    ///
+    /// The cache is stamped with the identity of the newest stream a
+    /// refresh ran against. If `stream` cannot be an append-only extension
+    /// consistent with that stamp and `dirty_from` — same event count but
+    /// different digest, *fewer* events (a stale snapshot that raced a
+    /// newer refresh of the same cache), or a changed digest with no dirty
+    /// mark — the entries are discarded and every scale is computed from
+    /// scratch: reusing them could serve histograms containing events this
+    /// stream does not have. The report stays correct either way; only the
+    /// amount of reuse changes.
     pub fn try_refresh_on(
         &self,
         stream: &LinkStream,
@@ -696,6 +724,26 @@ impl OccupancyMethod {
             cache.scales.clear();
             cache.targets = Some(self.targets);
         }
+        let identity =
+            (crate::fingerprint::stream_digest(stream), stream.events().len() as u64);
+        if let Some((digest, events)) = cache.stamp {
+            // the stream must be append-consistent with the cached state:
+            // unchanged, or strictly grown with a dirty mark covering the
+            // growth. Anything else (a stale snapshot racing a newer
+            // refresh, a rewritten stream, a claimed-clean change) would
+            // let reuse serve bytes for a different stream.
+            let consistent =
+                identity.0 == digest || (dirty_from.is_some() && identity.1 > events);
+            if !consistent {
+                cache.scales.clear();
+            }
+        }
+        // re-stamp *before* sweeping: entries this refresh touches are
+        // built from `stream`, and a cancellation can leave them behind —
+        // the stamp must stay an upper bound on what the entries may
+        // contain, or a stale snapshot matching the old stamp could reuse
+        // newer entries
+        cache.stamp = Some(identity);
         cache.epoch += 1;
         cache.stats = RefreshStats::default();
 
@@ -1346,6 +1394,58 @@ mod tests {
             .try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, Some(t0))
             .unwrap();
         assert_eq!(retry.to_json(), method.run_on(&new, &mut pool).to_json());
+    }
+
+    #[test]
+    fn refresh_of_an_inconsistent_snapshot_falls_back_to_scratch() {
+        // simulates the executor race: a refresh of an OLDER snapshot
+        // executes after a refresh of a newer one already advanced the
+        // cache (concurrent refreshes of one session can land on different
+        // shards and run out of submission order)
+        let (old, new, t0) = ring_with_appends(30);
+        let method =
+            OccupancyMethod::new().grid(SweepGrid::Geometric { points: 10 }).refine(1, 3);
+        let mut pool = WorkerPool::new(2);
+        let mut cache = SweepCache::new();
+        method.try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, None).unwrap();
+        // the stale snapshot claims clean (it was cut before the racing
+        // append): reusing the cached timelines would serve the newer
+        // stream's histograms under the older stream's identity
+        let stale = method
+            .try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None)
+            .unwrap();
+        assert_eq!(stale.to_json(), method.run_on(&old, &mut pool).to_json());
+        assert_eq!(cache.stats.scales_reused + cache.stats.scales_respliced, 0);
+        // the fallback re-stamped the cache as the old stream's: an
+        // identical follow-up refresh is fully reusable again
+        let again = method
+            .try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None)
+            .unwrap();
+        assert_eq!(again.to_json(), stale.to_json());
+        assert_eq!(cache.stats.scales_reused, cache.stats.scales_total, "{:?}", cache.stats);
+
+        // stale snapshot carrying a dirty mark (the racing append landed
+        // below it): splicing would keep a prefix with phantom events or
+        // trip the append-only assert — must scratch instead
+        let mut cache = SweepCache::new();
+        method
+            .try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, Some(t0))
+            .unwrap();
+        let stale = method
+            .try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, Some(t0))
+            .unwrap();
+        assert_eq!(stale.to_json(), method.run_on(&old, &mut pool).to_json());
+        assert_eq!(cache.stats.scales_reused + cache.stats.scales_respliced, 0);
+
+        // a grown stream claiming clean (a caller that lost its dirty
+        // mark) is equally inconsistent: scratch, not reuse
+        let mut cache = SweepCache::new();
+        method.try_refresh_on(&old, &mut pool, &SweepControl::new(), &mut cache, None).unwrap();
+        let grown = method
+            .try_refresh_on(&new, &mut pool, &SweepControl::new(), &mut cache, None)
+            .unwrap();
+        assert_eq!(grown.to_json(), method.run_on(&new, &mut pool).to_json());
+        assert_eq!(cache.stats.scales_reused + cache.stats.scales_respliced, 0);
     }
 
     #[test]

@@ -1407,6 +1407,41 @@ mod tests {
         assert_eq!(stats.executor_restarts, 0, "a caught panic needs no restart");
     }
 
+    /// Clients key on `error.code`: every code the cancellation and
+    /// supervisor paths emit must be exactly one from the crate-docs
+    /// registry table, carried in the standard envelope with partial
+    /// progress.
+    #[test]
+    fn emitted_error_codes_match_the_documented_registry() {
+        for (cause, code) in [
+            (Some(CancelCause::Deadline), "deadline_exceeded"),
+            (Some(CancelCause::Drain), "draining"),
+            (Some(CancelCause::Injected), "fault_injected"),
+            (Some(CancelCause::Stalled), "stalled"),
+            (None, "cancelled"),
+        ] {
+            let jctx = JobCtx { control: SweepControl::new(), cause: AtomicU8::new(0) };
+            match cause {
+                Some(cause) => jctx.cancel(cause),
+                // the token fired without a recorded cause: the fallback
+                None => jctx.control.cancel.cancel(),
+            }
+            let outcome = jctx.cancelled_outcome();
+            assert_eq!(outcome.status, 504);
+            let v: serde_json::Value = serde_json::from_str(&outcome.body).unwrap();
+            assert_eq!(v["error"]["code"].as_str(), Some(code));
+            assert_eq!(v["error"]["retryable"].as_bool(), Some(true));
+            assert!(v["error"]["scales_done"].as_u64().is_some(), "body: {}", outcome.body);
+            assert!(v["error"]["scales_total"].as_u64().is_some());
+        }
+        // a caught panic emits the registered `panicked` code
+        let jobs = JobManager::new(1, 4);
+        let id = jobs.submit(None, Box::new(|_pool, _ctx| panic!("boom"))).unwrap();
+        let outcome = jobs.wait(id).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&outcome.body).unwrap();
+        assert_eq!((outcome.status, v["error"]["code"].as_str()), (500, Some("panicked")));
+    }
+
     #[test]
     fn unknown_ids_are_none() {
         let jobs = JobManager::new(1, 2);
@@ -1681,6 +1716,10 @@ mod tests {
         let out_first = jobs.wait(first).expect("in-flight job is finalized by the supervisor");
         assert_eq!(out_first.status, 500);
         assert!(out_first.body.contains("executor died"), "body: {}", out_first.body);
+        // supervisor finalizations carry the registered code + progress
+        let v: serde_json::Value = serde_json::from_str(&out_first.body).unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some("executor_failed"));
+        assert!(v["error"]["scales_total"].as_u64().is_some());
         let out_second =
             jobs.wait(second).expect("queued job survives the restart and reports");
         assert_eq!(out_second.status, 500);

@@ -63,15 +63,20 @@
 //! | `payload_too_large` | 413 | body over the configured byte cap |
 //! | `expectation_failed` | 417 | unsupported `Expect:` header |
 //! | `headers_too_large` | 431 | request head over the line/size caps |
-//! | `internal` | 500 | sweep panic caught by the executor; supervisor-finalized jobs |
+//! | `internal` | 500 | any other unexpected server failure (the default 500 code) |
+//! | `panicked` | 500 | the sweep panicked; the executor caught it and survives |
+//! | `executor_failed` | 500 | the supervisor finalized the job after its executor died or stalled past the liveness budget (body carries partial progress) |
 //! | `job_expired` | 500 | job outcome evicted before this waiter read it |
 //! | `not_implemented` | 501 | unsupported transfer encoding |
 //! | `queue_full` | 503 | the routed shard's bounded queue is full |
 //! | `would_expire` | 503 | admission control: estimated queue wait alone exceeds the deadline |
 //! | `connection_limit` | 503 | concurrent-connection cap reached |
 //! | `stream_limit` | 503 | `--max-streams` open ingest sessions already exist |
-//! | `draining` | 503 | lame-duck mode after SIGTERM/SIGINT |
+//! | `draining` | 503, 504 | 503: lame-duck refusal of new work after SIGTERM/SIGINT; 504: a running job cancelled because the drain budget expired |
 //! | `deadline_exceeded` | 504 | deadline fired while the job was queued or running |
+//! | `fault_injected` | 504 | an armed fault-injection directive cancelled the job |
+//! | `stalled` | 504 | stall supervision cancelled a job making no sweep progress |
+//! | `cancelled` | 504 | the job's cancel token fired without a recorded cause (fallback) |
 //! | `http_version_unsupported` | 505 | non-HTTP/1.x request line |
 //!
 //! Every 503 carries `Retry-After`; `retryable` is `true` exactly for
@@ -121,8 +126,14 @@
 //! (same fingerprint: stream digest + grid + targets), so either surface
 //! can serve the other's artifact. Sessions idle past `--stream-ttl-secs`
 //! are evicted (`410 gone`); more than `--max-streams` concurrent sessions
-//! refuse creation with `503 stream_limit` + `Retry-After`. See [`streams`]
-//! for the session table and locking design.
+//! refuse creation with `503 stream_limit` + `Retry-After`. Concurrent
+//! refreshes of one session are ordered by a snapshot watermark on its
+//! sweep state: a refresh outrun by a newer one (possible across executor
+//! shards) recomputes from scratch without touching session state — and
+//! the [`SweepCache`](saturn_core::SweepCache) is itself stamped with the
+//! stream identity it was built from, so the core layer independently
+//! rejects inconsistent snapshots. See [`streams`] for the session table
+//! and locking design.
 //!
 //! **Graceful drain.** On `SIGTERM`/`SIGINT`, `saturn serve` flips into
 //! lame-duck mode: new connections get `503 + Retry-After`, queued and
@@ -217,6 +228,7 @@
 //! | `saturn_stream_scales_reused_total` | counter | — | scales served from the session cache without DP |
 //! | `saturn_stream_tiles_skipped_total` | counter | — | DP tiles skipped by refresh reuse |
 //! | `saturn_stream_suffix_windows_rebuilt_total` | counter | — | timeline windows respliced by refreshes |
+//! | `saturn_stream_stale_refreshes_total` | counter | — | refreshes outrun by a newer refresh of their session, recomputed from scratch |
 //! | `saturn_sweep_tiles_total` | counter | — | `(scale, tile)` DP items completed |
 //! | `saturn_sweep_scales_total` | counter | — | scales fully analyzed |
 //! | `saturn_dp_trips_total` | counter | — | minimal trips reported by the engines |

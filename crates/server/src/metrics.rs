@@ -421,6 +421,10 @@ pub struct Metrics {
     /// `saturn_stream_suffix_windows_rebuilt_total` — timeline windows
     /// rebuilt by suffix splices (the incremental work actually done).
     pub stream_suffix_windows_rebuilt: Counter,
+    /// `saturn_stream_stale_refreshes_total` — refreshes whose snapshot
+    /// was outrun by a newer refresh of the same session and therefore ran
+    /// from scratch, leaving the session cache alone.
+    pub stream_stale_refreshes: Counter,
 }
 
 impl Metrics {
@@ -639,6 +643,11 @@ impl Metrics {
                 "saturn_stream_suffix_windows_rebuilt_total",
                 "Timeline windows rebuilt by suffix splices.",
                 &self.stream_suffix_windows_rebuilt,
+            ),
+            (
+                "saturn_stream_stale_refreshes_total",
+                "Refreshes outrun by a newer refresh of the session (ran from scratch).",
+                &self.stream_stale_refreshes,
             ),
         ] {
             writeln!(out, "# HELP {name} {help}").unwrap();

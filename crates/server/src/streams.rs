@@ -45,9 +45,13 @@ use crate::{
     SweepJobSpec,
 };
 use saturn_core::fingerprint::{self, Digest};
-use saturn_core::{OccupancyMethod, SweepCache, SweepGrid};
+use saturn_core::parallel::WorkerPool;
+use saturn_core::{
+    Cancelled, OccupancyMethod, OccupancyReport, RefreshStats, SweepCache, SweepControl,
+    SweepGrid,
+};
 use saturn_linkstream::io::{self as stream_io, ParsedEvent};
-use saturn_linkstream::{Directedness, LinkStreamBuilder};
+use saturn_linkstream::{Directedness, LinkStream, LinkStreamBuilder};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,11 +82,10 @@ struct Session {
     /// The pinned study period `[t_begin, t_end]`, inclusive.
     period: (i64, i64),
     ingest: Mutex<Ingest>,
-    /// The per-scale timeline + histogram cache a refresh reads and
-    /// updates. The lock also serializes refreshes of one session: two
-    /// concurrent analyzes run one after the other, the second reusing
-    /// whatever the first cached.
-    sweep: Mutex<SweepCache>,
+    /// The refresh-side state. The lock serializes refreshes of one
+    /// session: two concurrent analyzes run one after the other, ordered
+    /// by the state's snapshot watermark (see [`run_refresh`]).
+    sweep: Mutex<SweepState>,
     last_touch: Mutex<Instant>,
 }
 
@@ -94,9 +97,21 @@ struct Ingest {
     /// builder drops still lower it, which can only shrink the reused
     /// prefix, never corrupt it.
     dirty_min_t: Option<i64>,
-    /// Events retained by the builder, used to detect appends that raced
-    /// a refresh (the dirty mark must survive those).
-    events: u64,
+    /// Monotone append counter, bumped on every committed batch. Refresh
+    /// snapshots capture it to order themselves against [`SweepState`] and
+    /// to detect appends racing a refresh (the dirty mark must survive
+    /// those).
+    version: u64,
+}
+
+/// A session's refresh-side state, behind `Session::sweep`.
+struct SweepState {
+    /// The per-scale timeline + histogram cache refreshes read and update.
+    cache: SweepCache,
+    /// [`Ingest::version`] of the snapshot whose *successful* refresh last
+    /// advanced `cache` — the watermark [`run_refresh`] checks so that a
+    /// snapshot outrun by a newer refresh never runs against the cache.
+    version: u64,
 }
 
 impl Session {
@@ -234,8 +249,8 @@ pub(crate) fn endpoint_create(request: &Request, ctx: &ServerContext) -> Handled
             Arc::new(Session {
                 id,
                 period: (t_begin, t_end),
-                ingest: Mutex::new(Ingest { builder, dirty_min_t, events }),
-                sweep: Mutex::new(SweepCache::new()),
+                ingest: Mutex::new(Ingest { builder, dirty_min_t, version: 0 }),
+                sweep: Mutex::new(SweepState { cache: SweepCache::new(), version: 0 }),
                 last_touch: Mutex::new(Instant::now()),
             }),
         );
@@ -296,12 +311,12 @@ fn append_events(request: &Request, ctx: &ServerContext, session: &Arc<Session>)
         }
         // `appended` counts retained events — the builder drops self-loops
         let appended = (ingest.builder.len() - before) as u64;
-        ingest.events = ingest.builder.len() as u64;
+        ingest.version += 1;
         ingest.dirty_min_t = Some(match ingest.dirty_min_t {
             Some(t0) => t0.min(batch_min),
             None => batch_min,
         });
-        (appended, ingest.events)
+        (appended, ingest.builder.len() as u64)
     };
     ctx.metrics.stream_events_appended.add(appended);
     Ok(Reply::new(
@@ -312,6 +327,55 @@ fn append_events(request: &Request, ctx: &ServerContext, session: &Arc<Session>)
             ("events".to_string(), Value::Int(total as i128)),
         ]),
     ))
+}
+
+/// Executes one refresh job against `session`'s sweep state, given a
+/// snapshot `(stream, dirty_from, snapshot_version)` cut under the ingest
+/// lock.
+///
+/// Concurrent refreshes of one session hash to *different* job keys when
+/// an append lands between their snapshots, so with several executor
+/// shards they can execute out of submission order. The sweep state
+/// therefore carries the ingest version of the snapshot that last advanced
+/// it: a snapshot older than that watermark must not run against the cache
+/// — the cache was built from a strict superset of its events, and reusing
+/// or splicing cached timelines would serve the newer stream's bytes under
+/// the older stream's content key (the core's own stream stamp on
+/// [`SweepCache`] would catch this too, but by discarding the newer
+/// entries). Such an outrun refresh recomputes from scratch — still
+/// exactly the right bytes for *its* snapshot — and leaves all session
+/// state alone.
+///
+/// Returns the report plus the sweep-cache stats, `None` for the stale
+/// scratch path (which bypasses the cache entirely). On success the
+/// watermark advances and the dirty mark clears unless an append raced the
+/// sweep; on cancellation both survive for the retry.
+fn run_refresh(
+    method: &OccupancyMethod,
+    stream: &LinkStream,
+    pool: &mut WorkerPool,
+    ctl: &SweepControl,
+    session: &Session,
+    dirty_from: Option<i64>,
+    snapshot_version: u64,
+) -> Result<(OccupancyReport, Option<RefreshStats>), Cancelled> {
+    let mut sweep = session.sweep.lock().unwrap();
+    if snapshot_version < sweep.version {
+        drop(sweep);
+        return Ok((method.try_run_on(stream, pool, ctl)?, None));
+    }
+    let report = method.try_refresh_on(stream, pool, ctl, &mut sweep.cache, dirty_from)?;
+    sweep.version = snapshot_version;
+    let stats = sweep.cache.stats;
+    drop(sweep);
+    // the dirty mark clears only if no append raced the sweep; a racing
+    // append keeps its (conservative, still correct) mark for the next
+    // refresh
+    let mut ingest = session.ingest.lock().unwrap();
+    if ingest.version == snapshot_version {
+        ingest.dirty_min_t = None;
+    }
+    Ok((report, Some(stats)))
 }
 
 /// The refresh path: snapshot the stream-so-far, then run the sweep
@@ -325,15 +389,16 @@ fn refresh_analysis(request: &Request, ctx: &ServerContext, session: &Arc<Sessio
             "analyze takes no body on a stream session (append via /events first)",
         ));
     }
-    // snapshot under the ingest lock: the events and the dirty mark must be
-    // one consistent cut, or a racing append could be marked clean
-    let (stream, dirty_from, events_at_snapshot) = {
+    // snapshot under the ingest lock: the events, the dirty mark and the
+    // version must be one consistent cut, or a racing append could be
+    // marked clean
+    let (stream, dirty_from, version_at_snapshot) = {
         let ingest = session.ingest.lock().unwrap();
         let stream = ingest
             .builder
             .snapshot()
             .map_err(|e| ApiError::new(400, format!("stream {}: {e}", session.id)))?;
-        (stream, ingest.dirty_min_t, ingest.events)
+        (stream, ingest.dirty_min_t, ingest.version)
     };
     let grid = SweepGrid::Geometric { points: p.points };
     let scales_hint = grid.k_values(&stream, 1).len() as u64;
@@ -368,27 +433,34 @@ fn refresh_analysis(request: &Request, ctx: &ServerContext, session: &Arc<Sessio
             .tile(tile)
             .no_delta_propagation(no_delta)
             .no_incremental_timeline(no_incremental);
-        let mut sweep = session.sweep.lock().unwrap();
-        match method.try_refresh_on(&stream, pool, &jctx.control, &mut sweep, dirty_from) {
-            Ok(report) => {
-                let stats = sweep.stats;
-                drop(sweep);
-                // the dirty mark clears only if no append raced the sweep;
-                // a racing append keeps its (conservative, still correct)
-                // mark for the next refresh
-                let mut ingest = session.ingest.lock().unwrap();
-                if ingest.events == events_at_snapshot {
-                    ingest.dirty_min_t = None;
-                }
-                drop(ingest);
+        let run = run_refresh(
+            &method,
+            &stream,
+            pool,
+            &jctx.control,
+            &session,
+            dirty_from,
+            version_at_snapshot,
+        );
+        match run {
+            Ok((report, Some(stats))) => {
                 metrics.stream_refreshes.inc();
                 metrics.stream_scales_reused.add(stats.scales_reused);
                 metrics.stream_tiles_skipped.add(stats.tiles_skipped);
                 metrics.stream_suffix_windows_rebuilt.add(stats.suffix_windows_rebuilt);
                 cache_insert(report.to_json())
             }
-            // a cancelled refresh mutated nothing: the sweep cache keeps
-            // its last successful state, the dirty mark survives
+            // outrun by a newer refresh: correct bytes for this snapshot,
+            // computed from scratch, session state untouched
+            Ok((report, None)) => {
+                metrics.stream_stale_refreshes.inc();
+                cache_insert(report.to_json())
+            }
+            // a cancelled refresh may leave entries from its completed
+            // refine rounds in the sweep cache — safe, because each entry
+            // pairs a timeline with its own histogram and the surviving
+            // dirty mark keeps the next refresh's splices conservative;
+            // the version watermark only advances on success
             Err(_cancelled) => jctx.cancelled_outcome(),
         }
     });
@@ -412,10 +484,81 @@ mod tests {
         Arc::new(Session {
             id,
             period: (0, 100),
-            ingest: Mutex::new(Ingest { builder, dirty_min_t: None, events: 0 }),
-            sweep: Mutex::new(SweepCache::new()),
+            ingest: Mutex::new(Ingest { builder, dirty_min_t: None, version: 0 }),
+            sweep: Mutex::new(SweepState { cache: SweepCache::new(), version: 0 }),
             last_touch: Mutex::new(Instant::now()),
         })
+    }
+
+    /// A consistent `(stream, dirty mark, version)` cut, exactly as
+    /// `refresh_analysis` takes it.
+    fn snapshot(session: &Session) -> (LinkStream, Option<i64>, u64) {
+        let ingest = session.ingest.lock().unwrap();
+        (ingest.builder.snapshot().unwrap(), ingest.dirty_min_t, ingest.version)
+    }
+
+    /// Commits a batch the way `append_events` does: builder, version,
+    /// dirty mark.
+    fn append(session: &Session, batch: &[(&str, &str, i64)]) {
+        let mut ingest = session.ingest.lock().unwrap();
+        let batch_min = batch.iter().map(|&(.., t)| t).min().expect("non-empty");
+        for &(u, v, t) in batch {
+            ingest.builder.add(u, v, t);
+        }
+        ingest.version += 1;
+        ingest.dirty_min_t = Some(match ingest.dirty_min_t {
+            Some(t0) => t0.min(batch_min),
+            None => batch_min,
+        });
+    }
+
+    /// The executor race the job keys allow: two refreshes of one session
+    /// separated by an append hash to different job keys, land on
+    /// different shards, and the OLDER snapshot executes last. It must
+    /// neither serve the newer stream's bytes under its own key nor
+    /// regress the session state the newer refresh built.
+    #[test]
+    fn an_outrun_snapshot_refreshes_from_scratch_and_touches_no_session_state() {
+        let session = session(1);
+        let method = OccupancyMethod::new().grid(SweepGrid::Geometric { points: 8 });
+        let mut pool = WorkerPool::new(1);
+        let ctl = SweepControl::new();
+        let batch: Vec<(String, String, i64)> = (0..40i64)
+            .map(|i| (format!("n{}", i % 5), format!("n{}", (i + 1) % 5), (i * 2) % 80))
+            .collect();
+        let seed: Vec<(&str, &str, i64)> =
+            batch.iter().map(|(u, v, t)| (u.as_str(), v.as_str(), *t)).collect();
+        append(&session, &seed);
+        let (stream_a, dirty_a, v_a) = snapshot(&session);
+        // the racing append, then the newer snapshot
+        append(&session, &[("m0", "n1", 80), ("m1", "n2", 85), ("m2", "n3", 97)]);
+        let (stream_b, dirty_b, v_b) = snapshot(&session);
+        assert!(v_a < v_b);
+
+        // the newer refresh executes first and advances the session
+        let (report_b, stats_b) =
+            run_refresh(&method, &stream_b, &mut pool, &ctl, &session, dirty_b, v_b).unwrap();
+        assert_eq!(report_b.to_json(), method.run_on(&stream_b, &mut pool).to_json());
+        assert!(stats_b.is_some());
+        assert_eq!(session.sweep.lock().unwrap().version, v_b);
+        assert!(session.ingest.lock().unwrap().dirty_min_t.is_none(), "no append raced");
+
+        // the stale snapshot still produces the right bytes for ITS
+        // stream, from scratch, without the session cache
+        let (report_a, stats_a) =
+            run_refresh(&method, &stream_a, &mut pool, &ctl, &session, dirty_a, v_a).unwrap();
+        assert_eq!(report_a.to_json(), method.run_on(&stream_a, &mut pool).to_json());
+        assert!(stats_a.is_none(), "an outrun refresh must bypass the session cache");
+        assert_ne!(report_a.to_json(), report_b.to_json());
+
+        // the session state still belongs to the newer refresh: an
+        // identical clean re-refresh of B reuses every scale
+        assert_eq!(session.sweep.lock().unwrap().version, v_b);
+        let (report_b2, stats_b2) =
+            run_refresh(&method, &stream_b, &mut pool, &ctl, &session, None, v_b).unwrap();
+        assert_eq!(report_b2.to_json(), report_b.to_json());
+        let stats = stats_b2.expect("in-order refresh uses the cache");
+        assert_eq!(stats.scales_reused, stats.scales_total, "{stats:?}");
     }
 
     #[test]

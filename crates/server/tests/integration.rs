@@ -653,6 +653,7 @@ fn metrics_exposition_is_wellformed() {
         "saturn_stream_scales_reused_total",
         "saturn_stream_tiles_skipped_total",
         "saturn_stream_suffix_windows_rebuilt_total",
+        "saturn_stream_stale_refreshes_total",
         "saturn_parse_seconds",
         "saturn_handle_seconds",
         "saturn_serialize_seconds",
@@ -1016,6 +1017,16 @@ fn every_error_status_conforms_to_the_envelope_schema() {
         request(slow.addr(), "POST", "/v1/analyze?points=12", trace(10, 400, 30).as_bytes());
     assert_envelope(&expired, 504, "deadline_exceeded");
     slow.stop();
+
+    // the executor failure path emits the registered `panicked` code
+    let armed = start(|c| {
+        c.faults =
+            Some(Arc::new(saturn_server::FaultPlan::parse("panic:analyze:1").expect("plan")));
+    });
+    let panicked =
+        request(armed.addr(), "POST", "/v1/analyze?points=8", trace(5, 100, 20).as_bytes());
+    assert_envelope(&panicked, 500, "panicked");
+    armed.stop();
 }
 
 /// The tentpole acceptance test: a session grown by repeated appends and
